@@ -1,0 +1,49 @@
+//! Reverse-mode automatic differentiation for the TransferGraph
+//! reproduction.
+//!
+//! There is no Rust GNN library, so the paper's GraphSAGE and GAT learners
+//! (and the Task2Vec probe network in the appendix) need a neural-network
+//! substrate. This crate provides a small tape-based autodiff engine over
+//! dense [`tg_linalg::Matrix`] values, plus parameter storage, optimisers
+//! (SGD with momentum, Adam), and layer initialisers.
+//!
+//! The design is the classic define-by-run tape:
+//! 1. create a [`ParamStore`] holding persistent, trainable matrices;
+//! 2. each training step, build a fresh [`Tape`], importing parameters as
+//!    leaves and recording ops (`matmul`, `relu`, `row_softmax`, …);
+//! 3. call [`Tape::backward`] on a scalar node, then
+//!    [`Tape::accumulate_grads`] to flush gradients into the store;
+//! 4. an optimiser updates the store in place.
+//!
+//! # Example: fit `y = 2x` with one weight
+//!
+//! ```
+//! use tg_autograd::{ParamStore, Tape, Sgd, Optimizer};
+//! use tg_linalg::Matrix;
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+//! let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+//! let y = Matrix::from_vec(4, 1, vec![2.0, 4.0, 6.0, 8.0]);
+//! let mut opt = Sgd::new(0.05, 0.0);
+//! for _ in 0..200 {
+//!     let mut tape = Tape::new();
+//!     let wv = tape.param(&store, w);
+//!     let xv = tape.constant(x.clone());
+//!     let pred = tape.matmul(xv, wv);
+//!     let loss = tape.mse_loss(pred, &y);
+//!     tape.backward(loss);
+//!     store.zero_grads();
+//!     tape.accumulate_grads(&mut store);
+//!     opt.step(&mut store);
+//! }
+//! assert!((store.value(w).get(0, 0) - 2.0).abs() < 1e-6);
+//! ```
+
+pub mod nn;
+pub mod optim;
+pub mod tape;
+
+pub use nn::{he_init, xavier_init, Linear, Mlp};
+pub use optim::{Adam, Optimizer, ParamId, ParamStore, Sgd};
+pub use tape::{Tape, Var};

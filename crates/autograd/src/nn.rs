@@ -1,0 +1,157 @@
+//! Layer helpers and initialisers built on the tape.
+
+use crate::optim::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use tg_linalg::Matrix;
+use tg_rng::Rng;
+
+/// Xavier/Glorot uniform initialisation for a `fan_in × fan_out` weight.
+pub fn xavier_init(rng: &mut Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform_range(-bound, bound))
+}
+
+/// He/Kaiming normal initialisation (for ReLU networks).
+pub fn he_init(rng: &mut Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.normal(0.0, std))
+}
+
+/// A fully connected layer `x ↦ x W + b` with parameters registered in a
+/// [`ParamStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct Linear {
+    /// Weight matrix handle (`in × out`).
+    pub w: ParamId,
+    /// Bias handle (`1 × out`).
+    pub b: ParamId,
+}
+
+impl Linear {
+    /// Registers a new Xavier-initialised layer.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        name: &str,
+        fan_in: usize,
+        fan_out: usize,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_init(rng, fan_in, fan_out));
+        let b = store.add(format!("{name}.b"), Matrix::zeros(1, fan_out));
+        Linear { w, b }
+    }
+
+    /// Applies the layer on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_row_broadcast(xw, b)
+    }
+}
+
+/// A plain multi-layer perceptron with ReLU activations between layers.
+///
+/// Used as the Task2Vec probe network (the appendix's Eq. 6 computes the
+/// Fisher information of exactly such a probe) and in tests.
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `&[16, 32, 4]` for a
+    /// 16-in, 32-hidden, 4-out network.
+    pub fn new(store: &mut ParamStore, rng: &mut Rng, name: &str, widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "Mlp: need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.l{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward pass; ReLU between layers, no activation after the last.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i + 1 < self.layers.len() {
+                h = tape.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Parameter handles of all layers, in order.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(|l| [l.w, l.b]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = Rng::seed_from_u64(0);
+        let w = xavier_init(&mut rng, 10, 20);
+        let bound = (6.0 / 30.0f64).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= bound));
+        // Not all zero.
+        assert!(w.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_std_reasonable() {
+        let mut rng = Rng::seed_from_u64(1);
+        let w = he_init(&mut rng, 100, 200);
+        let std = tg_linalg::stats::std_dev(w.as_slice());
+        let expect = (2.0f64 / 100.0).sqrt();
+        assert!((std - expect).abs() < 0.02, "std {std} expect {expect}");
+    }
+
+    #[test]
+    fn linear_output_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(2);
+        let layer = Linear::new(&mut store, &mut rng, "fc", 3, 5);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(7, 3));
+        let y = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (7, 5));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // Classic non-linear sanity check: 2-4-1 MLP fits XOR.
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut store, &mut rng, "xor", &[2, 8, 1]);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut opt = Adam::new(0.05);
+        let mut final_loss = f64::MAX;
+        for _ in 0..800 {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let logits = mlp.forward(&mut tape, &store, xv);
+            let loss = tape.bce_with_logits(logits, &y);
+            final_loss = tape.backward(loss);
+            store.zero_grads();
+            tape.accumulate_grads(&mut store);
+            opt.step(&mut store);
+        }
+        assert!(final_loss < 0.05, "XOR loss did not converge: {final_loss}");
+    }
+
+    #[test]
+    fn mlp_param_ids_count() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(4);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[4, 8, 8, 2]);
+        assert_eq!(mlp.param_ids().len(), 6); // 3 layers × (w, b)
+    }
+}

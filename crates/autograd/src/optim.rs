@@ -1,0 +1,313 @@
+//! Parameter storage and optimisers.
+
+use tg_linalg::Matrix;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct ParamData {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+    /// First/second moment buffers, allocated lazily by Adam.
+    m: Option<Matrix>,
+    v: Option<Matrix>,
+}
+
+/// Persistent storage for trainable parameters.
+///
+/// The tape copies parameter values in at the start of each step and
+/// accumulates gradients back after `backward`; the optimiser then updates
+/// values in place.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<ParamData>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(ParamData {
+            name: name.into(),
+            value,
+            grad: Matrix::zeros(r, c),
+            m: None,
+            v: None,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (e.g. for manual re-initialisation).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Current accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].grad
+    }
+
+    /// Registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Adds `delta` into the gradient buffer of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        let g = &mut self.params[id.0].grad;
+        assert_eq!(g.shape(), delta.shape(), "grad shape mismatch");
+        for (gi, &di) in g.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+            *gi += di;
+        }
+    }
+
+    /// Zeroes every gradient buffer. Call once per optimisation step before
+    /// accumulating.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            for g in p.grad.as_mut_slice() {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Total number of scalar parameters (for reporting).
+    pub fn num_scalars(&self) -> usize {
+        self.params
+            .iter()
+            .map(|p| p.value.rows() * p.value.cols())
+            .sum()
+    }
+
+    /// Global L2 norm of all gradients (diagnostic / clipping input).
+    pub fn grad_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so their global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) {
+        let n = self.grad_norm();
+        if n > max_norm && n > 0.0 {
+            let s = max_norm / n;
+            for p in &mut self.params {
+                for g in p.grad.as_mut_slice() {
+                    *g *= s;
+                }
+            }
+        }
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.params.len()).map(ParamId).collect()
+    }
+}
+
+/// A gradient-based optimiser over a [`ParamStore`].
+pub trait Optimizer {
+    /// Applies one update using the currently accumulated gradients.
+    fn step(&mut self, store: &mut ParamStore);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// New SGD optimiser.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.velocity.resize_with(store.params.len(), || None);
+        for (p, vel) in store.params.iter_mut().zip(&mut self.velocity) {
+            if self.momentum > 0.0 {
+                let v = vel.get_or_insert_with(|| {
+                    Matrix::zeros(p.value.rows(), p.value.cols())
+                });
+                for ((vi, &gi), xi) in v
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(p.grad.as_slice())
+                    .zip(p.value.as_mut_slice())
+                {
+                    *vi = self.momentum * *vi + gi;
+                    *xi -= self.lr * *vi;
+                }
+            } else {
+                for (xi, &gi) in p.value.as_mut_slice().iter_mut().zip(p.grad.as_slice()) {
+                    *xi -= self.lr * gi;
+                }
+            }
+        }
+    }
+}
+
+/// Adam optimiser (Kingma & Ba, 2015) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical stabiliser.
+    pub eps: f64,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &mut store.params {
+            let (r, c) = p.value.shape();
+            let m = p.m.get_or_insert_with(|| Matrix::zeros(r, c));
+            let v = p.v.get_or_insert_with(|| Matrix::zeros(r, c));
+            for (((mi, vi), &gi), xi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(p.grad.as_slice())
+                .zip(p.value.as_mut_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let mhat = *mi / b1t;
+                let vhat = *vi / b2t;
+                *xi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(store.value(id).get(1, 0), 3.0);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.num_scalars(), 4);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn accumulate_and_zero_grads() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::zeros(1, 2));
+        store.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+        store.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.5, 0.5]));
+        assert_eq!(store.grad(id).as_slice(), &[1.5, -0.5]);
+        store.zero_grads();
+        assert_eq!(store.grad(id).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![1.0]));
+        store.accumulate_grad(id, &Matrix::from_vec(1, 1, vec![2.0]));
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut store);
+        assert!((store.value(id).get(0, 0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        // Constant gradient: with momentum the second step is larger.
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        let mut opt = Sgd::new(0.1, 0.9);
+        store.accumulate_grad(id, &Matrix::from_vec(1, 1, vec![1.0]));
+        opt.step(&mut store);
+        let after1 = store.value(id).get(0, 0);
+        opt.step(&mut store); // same gradient still in buffer
+        let after2 = store.value(id).get(0, 0);
+        let step1 = -after1;
+        let step2 = after1 - after2;
+        assert!(step2 > step1 * 1.5, "step1={step1} step2={step2}");
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // minimise f(w) = (w-3)^2 with explicit gradient 2(w-3).
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            store.zero_grads();
+            let w = store.value(id).get(0, 0);
+            store.accumulate_grad(id, &Matrix::from_vec(1, 1, vec![2.0 * (w - 3.0)]));
+            opt.step(&mut store);
+        }
+        assert!((store.value(id).get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::zeros(1, 2));
+        store.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        let g = store.grad(id);
+        assert!((g.get(0, 0) / g.get(0, 1) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based gradient checking: random small networks with random
+//! activation stacks must match finite differences.
+
+use proptest::prelude::*;
+use tg_autograd::{ParamStore, Tape, Var};
+use tg_linalg::Matrix;
+use tg_rng::Rng;
+
+/// Applies the activation indexed by `k` (keeps the op set differentiable
+/// everywhere except measure-zero kinks).
+fn activation(tape: &mut Tape, x: Var, k: u8) -> Var {
+    match k % 4 {
+        0 => tape.tanh(x),
+        1 => tape.sigmoid(x),
+        2 => tape.leaky_relu(x, 0.3),
+        _ => tape.scalar_mul(x, 0.7),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_two_layer_nets_match_finite_differences(
+        seed in 0u64..10_000,
+        rows in 2usize..5,
+        hidden in 1usize..5,
+        cols in 1usize..4,
+        act1 in 0u8..4,
+        act2 in 0u8..4,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Matrix::from_fn(3, hidden, |_, _| rng.normal(0.0, 0.8)));
+        let w2 = store.add("w2", Matrix::from_fn(hidden, cols, |_, _| rng.normal(0.0, 0.8)));
+        let x = Matrix::from_fn(rows, 3, |_, _| rng.normal(0.0, 1.0));
+        let target = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0));
+
+        let build = |tape: &mut Tape, store: &ParamStore| {
+            let w1v = tape.param(store, w1);
+            let w2v = tape.param(store, w2);
+            let xv = tape.constant(x.clone());
+            let h = tape.matmul(xv, w1v);
+            let h = activation(tape, h, act1);
+            let o = tape.matmul(h, w2v);
+            let o = activation(tape, o, act2);
+            tape.mse_loss(o, &target)
+        };
+
+        // Analytic gradients.
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, &store);
+        tape.backward(loss);
+        store.zero_grads();
+        tape.accumulate_grads(&mut store);
+
+        // Finite differences on every parameter entry.
+        let eps = 1e-5;
+        for id in store.ids() {
+            let analytic = store.grad(id).clone();
+            let (r_n, c_n) = store.value(id).shape();
+            for r in 0..r_n {
+                for c in 0..c_n {
+                    let orig = store.value(id).get(r, c);
+                    store.value_mut(id).set(r, c, orig + eps);
+                    let mut tp = Tape::new();
+                    let lp = build(&mut tp, &store);
+                    let fp = tp.value(lp).get(0, 0);
+                    store.value_mut(id).set(r, c, orig - eps);
+                    let mut tm = Tape::new();
+                    let lm = build(&mut tm, &store);
+                    let fm = tm.value(lm).get(0, 0);
+                    store.value_mut(id).set(r, c, orig);
+                    let numeric = (fp - fm) / (2.0 * eps);
+                    let a = analytic.get(r, c);
+                    prop_assert!(
+                        (a - numeric).abs() < 1e-4 * (1.0 + a.abs().max(numeric.abs())),
+                        "param ({r},{c}): analytic {a} vs numeric {numeric}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench: transferability-estimator throughput (backs the
+//! paper's efficiency motivation — selection must be far cheaper than
+//! fine-tuning; §VII-G).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_transfer::Estimator;
+use tg_zoo::{Modality, ModelZoo, ZooConfig};
+
+fn bench_estimators(c: &mut Criterion) {
+    let zoo = ModelZoo::build(&ZooConfig::paper(1));
+    let m = zoo.models_of(Modality::Image)[0];
+    let d = zoo.dataset_by_name("pets"); // 37 classes, representative
+    let fp = zoo.forward_pass(m, d);
+
+    let mut group = c.benchmark_group("estimator_score");
+    for est in Estimator::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(est.name()), &fp, |b, fp| {
+            b.iter(|| est.score(std::hint::black_box(fp)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("forward_pass_simulation", |b| {
+        b.iter(|| zoo.forward_pass(std::hint::black_box(m), std::hint::black_box(d)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimators
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: end-to-end leave-one-out evaluation cost of one
+//! (strategy, target) pair — the number that shows model selection is
+//! orders of magnitude cheaper than the 1178 GPU-hours of exhaustive
+//! fine-tuning the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_zoo::{Modality, ModelZoo, ZooConfig};
+use transfergraph::{evaluate, EvalOptions, Strategy, Workbench};
+
+fn bench_pipeline(c: &mut Criterion) {
+    // Small zoo keeps a criterion run tractable; the experiment binaries
+    // cover paper scale.
+    let zoo = ModelZoo::build(&ZooConfig::small(1));
+    let target = zoo.targets_of(Modality::Image)[0];
+    let opts = EvalOptions {
+        embed_dim: 32,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("loo_evaluate_small_zoo");
+    group.sample_size(10);
+    for strategy in [
+        Strategy::Random,
+        Strategy::LogMe,
+        Strategy::lr_baseline(),
+        Strategy::transfer_graph_default(),
+    ] {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                // A fresh workbench each iteration: measures the cold path
+                // including forward passes and LogME.
+                let mut wb = Workbench::new(&zoo);
+                evaluate(&mut wb, &strategy, target, &opts)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: prediction-model fit/predict cost on a tabular task
+//! with the shape of the TransferGraph training set (≈2000 rows, metadata ⊕
+//! 2×128-d embeddings ≈ 276 features).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_linalg::Matrix;
+use tg_predict::{Regressor, RegressorKind};
+use tg_rng::Rng;
+
+fn synthetic(rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
+    let mut rng = Rng::seed_from_u64(3);
+    let x = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0));
+    let y: Vec<f64> = (0..rows)
+        .map(|i| {
+            0.4 * x.get(i, 0) + 0.3 * x.get(i, 5) * x.get(i, 6) + rng.normal(0.0, 0.1)
+        })
+        .collect();
+    (x, y)
+}
+
+fn bench_regressors(c: &mut Criterion) {
+    let (x, y) = synthetic(2000, 276);
+    let mut group = c.benchmark_group("regressor_fit_2000x276");
+    group.sample_size(10);
+    for kind in RegressorKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut model = kind.build();
+                let mut rng = Rng::seed_from_u64(4);
+                model.fit(&x, &y, &mut rng);
+                model.predict(&x)
+            })
+        });
+    }
+    group.finish();
+
+    // Predict-only latency (the online model-recommendation step).
+    let mut group = c.benchmark_group("regressor_predict_185x276");
+    let (px, _) = synthetic(185, 276);
+    for kind in RegressorKind::ALL {
+        let mut model = kind.build();
+        let mut rng = Rng::seed_from_u64(5);
+        model.fit(&x, &y, &mut rng);
+        group.bench_function(kind.name(), |b| b.iter(|| model.predict(&px)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_regressors
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! **Extension**: the additional baselines this reproduction implements
+//! beyond the paper's line-up —
+//! * `HistoryNN` — similarity-weighted nearest-neighbour over the training
+//!   history (no learning at all: a sanity bar every learned method should
+//!   clear);
+//! * `TG:LR,GCN,all` — the GCN graph learner (Kipf & Welling), the
+//!   related-work family member the paper cites but does not evaluate.
+
+use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_embed::LearnerKind;
+use tg_predict::RegressorKind;
+use tg_zoo::Modality;
+use transfergraph::{report::Table, EvalOptions, FeatureSet, Strategy};
+
+fn main() {
+    let zoo = zoo_from_env();
+    let opts = EvalOptions::default();
+    let strategies = [
+        Strategy::HistoryNn,
+        Strategy::lr_all_logme(),
+        Strategy::TransferGraph {
+            regressor: RegressorKind::Linear,
+            learner: LearnerKind::Gcn,
+            features: FeatureSet::All,
+        },
+        Strategy::TransferGraph {
+            regressor: RegressorKind::Linear,
+            learner: LearnerKind::Node2VecPlus,
+            features: FeatureSet::All,
+        },
+    ];
+    for modality in [Modality::Image, Modality::Text] {
+        let targets = reported_targets(&zoo, modality);
+        println!("Extended baselines ({modality})\n");
+        let mut table = Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
+        for s in &strategies {
+            let outs = evaluate_over_targets(&zoo, s, &targets, &opts);
+            let per: Vec<String> = outs
+                .iter()
+                .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
+                .collect();
+            table.row(vec![
+                s.label(),
+                format!("{:+.3}", mean_pearson(&outs)),
+                per.join(" "),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

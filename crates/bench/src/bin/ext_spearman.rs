@@ -1,0 +1,39 @@
+//! **Extension**: rank-correlation robustness check — repeats the Fig. 7
+//! comparison under Spearman's ρ instead of Pearson's τ. Model selection is
+//! ultimately a ranking problem, so the ordering of strategies should
+//! survive the change of metric.
+
+use tg_bench::{evaluate_over_targets, reported_targets, zoo_from_env};
+use tg_zoo::Modality;
+use transfergraph::{report::Table, EvalOptions, Strategy};
+
+fn main() {
+    let zoo = zoo_from_env();
+    let opts = EvalOptions::default();
+    let strategies = [
+        Strategy::LogMe,
+        Strategy::lr_baseline(),
+        Strategy::lr_all_logme(),
+        Strategy::TransferGraph {
+            regressor: tg_predict::RegressorKind::Linear,
+            learner: tg_embed::LearnerKind::Node2VecPlus,
+            features: transfergraph::FeatureSet::All,
+        },
+        Strategy::transfer_graph_default(),
+    ];
+
+    for modality in [Modality::Image, Modality::Text] {
+        let targets = reported_targets(&zoo, modality);
+        println!("Fig. 7 under Spearman ρ ({modality})\n");
+        let mut table = Table::new(vec!["strategy", "mean Pearson τ", "mean Spearman ρ"]);
+        for s in &strategies {
+            let outs = evaluate_over_targets(&zoo, s, &targets, &opts);
+            let mp = outs.iter().map(|o| o.pearson.unwrap_or(0.0)).sum::<f64>()
+                / outs.len() as f64;
+            let ms = outs.iter().map(|o| o.spearman.unwrap_or(0.0)).sum::<f64>()
+                / outs.len() as f64;
+            table.row(vec![s.label(), format!("{mp:+.3}"), format!("{ms:+.3}")]);
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,51 @@
+//! **Figure 10**: effect of the prediction model — LR, RF, XGB — with
+//! Node2Vec+ graph features and all supervised features, per dataset.
+//!
+//! Paper shape: no dominant prediction model; per-dataset results are
+//! similar across predictors (feature selection matters more).
+
+use tg_bench::{evaluate_over_targets, reported_targets, zoo_from_env};
+use tg_embed::LearnerKind;
+use tg_predict::RegressorKind;
+use tg_zoo::Modality;
+use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
+
+fn main() {
+    let zoo = zoo_from_env();
+    let opts = EvalOptions::default();
+
+    for modality in [Modality::Image, Modality::Text] {
+        let targets = reported_targets(&zoo, modality);
+        println!("Figure 10 ({modality}) — prediction models (N2V+ graph features, all)\n");
+        let mut header = vec!["dataset".to_string()];
+        header.extend(RegressorKind::ALL.iter().map(|r| format!("TG:{}", r.name())));
+        let mut table = report::Table::new(header);
+        let outs: Vec<_> = RegressorKind::ALL
+            .iter()
+            .map(|&regressor| {
+                let s = Strategy::TransferGraph {
+                    regressor,
+                    learner: LearnerKind::Node2VecPlus,
+                    features: FeatureSet::All,
+                };
+                evaluate_over_targets(&zoo, &s, &targets, &opts)
+            })
+            .collect();
+        let mut means = vec![0.0; RegressorKind::ALL.len()];
+        for (ti, &t) in targets.iter().enumerate() {
+            let mut row = vec![zoo.dataset(t).name.clone()];
+            for (si, outs) in outs.iter().enumerate() {
+                let tau = outs[ti].pearson.unwrap_or(0.0);
+                means[si] += tau / targets.len() as f64;
+                row.push(format!("{tau:+.3}"));
+            }
+            table.row(row);
+        }
+        let mut mean_row = vec!["MEAN".to_string()];
+        for m in &means {
+            mean_row.push(format!("{m:+.3}"));
+        }
+        table.row(mean_row);
+        println!("{}", table.render());
+    }
+}

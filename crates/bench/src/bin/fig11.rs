@@ -1,0 +1,71 @@
+//! **Figure 11 (a, b)**: effect of the fine-tuning method (LoRA), textual
+//! datasets.
+//!
+//! (a) LoRA used for *both* the training history and the ground truth;
+//! (b) full-fine-tune history in the graph/training stage, LoRA results as
+//! ground truth on the unseen target.
+//!
+//! Paper shape: the graph-based approach consistently outperforms the
+//! baselines under both settings; the mixed setting (b) costs a little
+//! correlation but not the ordering.
+
+use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_zoo::{FineTuneMethod, Modality};
+use transfergraph::{report, EvalOptions, Strategy};
+
+fn main() {
+    let zoo = zoo_from_env();
+    let targets = reported_targets(&zoo, Modality::Text);
+    let strategies = [
+        Strategy::LogMe,
+        Strategy::lr_baseline(),
+        Strategy::lr_all_logme(),
+        Strategy::TransferGraph {
+            regressor: tg_predict::RegressorKind::Linear,
+            learner: tg_embed::LearnerKind::Node2VecPlus,
+            features: transfergraph::FeatureSet::All,
+        },
+        Strategy::transfer_graph_default(),
+    ];
+
+    let settings = [
+        (
+            "(a) LoRA history + LoRA ground truth",
+            EvalOptions {
+                train_method: FineTuneMethod::Lora,
+                eval_method: FineTuneMethod::Lora,
+                ..Default::default()
+            },
+        ),
+        (
+            "(b) full-FT history + LoRA ground truth",
+            EvalOptions {
+                train_method: FineTuneMethod::Full,
+                eval_method: FineTuneMethod::Lora,
+                ..Default::default()
+            },
+        ),
+        (
+            "(reference) full-FT history + full-FT ground truth",
+            EvalOptions::default(),
+        ),
+    ];
+
+    for (label, opts) in &settings {
+        println!("Figure 11 {label} — text datasets\n");
+        let mut table = report::Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
+        for s in &strategies {
+            let outs = evaluate_over_targets(&zoo, s, &targets, opts);
+            let per: Vec<String> = outs
+                .iter()
+                .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
+                .collect();
+            table.row(vec![
+                s.label(),
+                format!("{:+.3}", mean_pearson(&outs)),
+                per.join(" "),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

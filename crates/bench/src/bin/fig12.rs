@@ -1,0 +1,61 @@
+//! **Figure 12 (appendix)**: effect of the dataset representation —
+//! Task2Vec vs Domain Similarity — for `TG:XGB, GraphSAGE, all` (where the
+//! representation is both the similarity input and the GNN node features)
+//! and `TG:XGB, N2V+, all` (similarity input only).
+//!
+//! Paper shape: only slight differences on most datasets; Task2Vec shows no
+//! advantage for GraphSAGE (its very high dimension vs a small graph).
+
+use tg_bench::{evaluate_over_targets, reported_targets, zoo_from_env};
+use tg_embed::LearnerKind;
+use tg_predict::RegressorKind;
+use tg_zoo::Modality;
+use transfergraph::{report, EvalOptions, FeatureSet, Representation, Strategy};
+
+fn main() {
+    let zoo = zoo_from_env();
+    let targets = reported_targets(&zoo, Modality::Image);
+    println!("Figure 12 — dataset representations (image targets)\n");
+
+    let mut table = report::Table::new(vec![
+        "dataset",
+        "SAGE/DomainSim",
+        "SAGE/Task2Vec",
+        "N2V+/DomainSim",
+        "N2V+/Task2Vec",
+    ]);
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for learner in [LearnerKind::GraphSage, LearnerKind::Node2VecPlus] {
+        for rep in [Representation::DomainSimilarity, Representation::Task2Vec] {
+            let s = Strategy::TransferGraph {
+                regressor: RegressorKind::Xgb,
+                learner,
+                features: FeatureSet::All,
+            };
+            let opts = EvalOptions {
+                representation: rep,
+                ..Default::default()
+            };
+            let outs = evaluate_over_targets(&zoo, &s, &targets, &opts);
+            columns.push(outs.iter().map(|o| o.pearson.unwrap_or(0.0)).collect());
+        }
+    }
+    for (ti, &t) in targets.iter().enumerate() {
+        let mut row = vec![zoo.dataset(t).name.clone()];
+        for col in &columns {
+            row.push(format!("{:+.3}", col[ti]));
+        }
+        table.row(row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    for col in &columns {
+        mean_row.push(format!("{:+.3}", tg_linalg::stats::mean(col)));
+    }
+    table.row(mean_row);
+    println!("{}", table.render());
+
+    let t2v_dim = zoo.task2vec_embedding(targets[0]).len();
+    let ds_dim = zoo.domain_similarity_embedding(targets[0]).len();
+    println!("representation dimensions: Task2Vec = {t2v_dim}, Domain Similarity = {ds_dim}");
+    println!("(paper: 13842 vs 1024 — same order-of-magnitude asymmetry)");
+}

@@ -1,0 +1,54 @@
+//! **Figure 7 (a, b)**: Pearson correlation between predicted scores and
+//! fine-tuning results, averaged over the reported targets of each
+//! modality, for the baselines (LogME, LR, LR{all,LogME}) and the
+//! TransferGraph variants (TG:{LR,RF,XGB} with Node2Vec(+), all features).
+//!
+//! Paper shape: all TG variants beat LR{all,LogME}, which beats LR and
+//! LogME; LR{all,LogME} clearly beats LR, especially on text.
+
+use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_embed::LearnerKind;
+use tg_predict::RegressorKind;
+use tg_zoo::Modality;
+use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
+
+fn main() {
+    let zoo = zoo_from_env();
+    let opts = EvalOptions::default();
+    let mut strategies = vec![
+        Strategy::LogMe,
+        Strategy::lr_baseline(),
+        Strategy::lr_all_logme(),
+    ];
+    for regressor in RegressorKind::ALL {
+        for learner in [LearnerKind::Node2Vec, LearnerKind::Node2VecPlus] {
+            strategies.push(Strategy::TransferGraph {
+                regressor,
+                learner,
+                features: FeatureSet::All,
+            });
+        }
+    }
+
+    for modality in [Modality::Image, Modality::Text] {
+        let targets = reported_targets(&zoo, modality);
+        println!(
+            "Figure 7 ({modality}) — mean Pearson correlation over {} reported targets\n",
+            targets.len()
+        );
+        let mut table = report::Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
+        let mut bars: Vec<(String, f64)> = Vec::new();
+        for s in &strategies {
+            let outs = evaluate_over_targets(&zoo, s, &targets, &opts);
+            let mean = mean_pearson(&outs);
+            let per: Vec<String> = outs
+                .iter()
+                .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
+                .collect();
+            table.row(vec![s.label(), format!("{mean:+.3}"), per.join(" ")]);
+            bars.push((s.label(), mean));
+        }
+        println!("{}", table.render());
+        println!("{}", report::bar_chart(&bars, 40));
+    }
+}

@@ -1,0 +1,66 @@
+//! **Figure 9**: effect of the graph learner — GraphSAGE, GAT, Node2Vec+,
+//! Node2Vec — all with the LR prediction model and all features.
+//!
+//! Paper shape: the Node2Vec family outperforms GraphSAGE and GAT on this
+//! small (few-hundred-node) graph.
+//!
+//! Footer ablations (DESIGN.md §6): embedding dimension sweep and walk
+//! hyperparameter sensitivity for Node2Vec+.
+
+use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_embed::LearnerKind;
+use tg_predict::RegressorKind;
+use tg_zoo::Modality;
+use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
+
+fn main() {
+    let zoo = zoo_from_env();
+    let opts = EvalOptions::default();
+
+    for modality in [Modality::Image, Modality::Text] {
+        let targets = reported_targets(&zoo, modality);
+        for (label, features) in [
+            ("all features", FeatureSet::All),
+            ("graph features only — isolates embedding quality", FeatureSet::GraphOnly),
+        ] {
+            println!("Figure 9 ({modality}) — graph learners (LR predictor, {label})\n");
+            let mut table =
+                report::Table::new(vec!["graph learner", "mean τ", "per-dataset τ"]);
+            for learner in LearnerKind::ALL {
+                let s = Strategy::TransferGraph {
+                    regressor: RegressorKind::Linear,
+                    learner,
+                    features,
+                };
+                let outs = evaluate_over_targets(&zoo, &s, &targets, &opts);
+                let per: Vec<String> = outs
+                    .iter()
+                    .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
+                    .collect();
+                table.row(vec![
+                    learner.name().to_string(),
+                    format!("{:+.3}", mean_pearson(&outs)),
+                    per.join(" "),
+                ]);
+            }
+            println!("{}", table.render());
+        }
+    }
+
+    // Ablation: embedding dimension (image, N2V+).
+    let targets = reported_targets(&zoo, Modality::Image);
+    println!("Ablation — embedding dimension (image, TG:LR,N2V+,all):");
+    for dim in [32usize, 64, 128, 256] {
+        let opts = EvalOptions {
+            embed_dim: dim,
+            ..Default::default()
+        };
+        let s = Strategy::TransferGraph {
+            regressor: RegressorKind::Linear,
+            learner: LearnerKind::Node2VecPlus,
+            features: FeatureSet::All,
+        };
+        let m = mean_pearson(&evaluate_over_targets(&zoo, &s, &targets, &opts));
+        println!("  dim {dim:>4}: {m:+.3}");
+    }
+}

@@ -1,0 +1,99 @@
+//! **Table II**: statistics of the constructed graphs for both modalities
+//! (full graphs, no leave-one-out exclusion), plus the edge-pruning
+//! threshold ablation called out in DESIGN.md §6.
+//!
+//! Paper values (for scale comparison): image — 265 nodes, avg degree 20.1,
+//! 5256 D-D edges, 1753 accuracy edges, 916 transferability edges;
+//! text — 188 nodes, avg degree 8.6, 550 D-D, 918 accuracy, 419
+//! transferability.
+
+use tg_bench::zoo_from_env;
+use tg_graph::{build_graph, GraphConfig, GraphInputs, GraphStats};
+use tg_zoo::{FineTuneMethod, Modality};
+use transfergraph::{report::Table, EvalOptions, Representation, Workbench};
+
+/// Builds the *full* (non-LOO) graph inputs for a modality.
+fn full_inputs(wb: &mut Workbench, modality: Modality) -> GraphInputs {
+    let zoo = wb.zoo();
+    let datasets = zoo.datasets_of(modality);
+    let models = zoo.models_of(modality);
+    let mut dd_similarity = Vec::new();
+    for (i, &a) in datasets.iter().enumerate() {
+        for &b in &datasets[i + 1..] {
+            let sim = wb.similarity(a, b, Representation::DomainSimilarity);
+            dd_similarity.push((a, b, sim));
+        }
+    }
+    let history = wb.zoo().full_history(modality, FineTuneMethod::Full);
+    let md_accuracy = history
+        .records()
+        .iter()
+        .map(|r| (r.model, r.dataset, r.accuracy))
+        .collect();
+    let mut md_transferability = Vec::new();
+    for &m in &models {
+        for &d in &wb.zoo().targets_of(modality) {
+            md_transferability.push((m, d, wb.logme(m, d)));
+        }
+    }
+    GraphInputs {
+        datasets,
+        models,
+        dd_similarity,
+        md_accuracy,
+        md_transferability,
+    }
+}
+
+fn main() {
+    let zoo = zoo_from_env();
+    let _opts = EvalOptions::default();
+    println!("Table II — graph properties (full graphs)\n");
+    let config = GraphConfig::default();
+    println!(
+        "thresholds: accuracy {:.1}, transferability {:.1}, D-D similarity {:.1}\n",
+        config.accuracy_threshold, config.transferability_threshold, config.similarity_threshold
+    );
+    for modality in [Modality::Image, Modality::Text] {
+        let mut wb = Workbench::new(&zoo);
+        let inputs = full_inputs(&mut wb, modality);
+        let graph = build_graph(&inputs, &config);
+        let stats = GraphStats::compute(&graph);
+        println!("{}\n", stats.table_rows(&modality.to_string()));
+    }
+
+    // Ablation: edge-pruning thresholds vs graph density (image).
+    println!("Ablation — pruning thresholds vs density (image):\n");
+    let mut wb = Workbench::new(&zoo);
+    let inputs = full_inputs(&mut wb, Modality::Image);
+    let mut table = Table::new(vec![
+        "acc/transf threshold",
+        "sim threshold",
+        "M-D acc edges",
+        "M-D transf edges",
+        "D-D edges (directed)",
+        "avg degree",
+        "components",
+    ]);
+    for th in [0.3, 0.5, 0.7] {
+        for sim_th in [0.0, 0.6, 0.75] {
+            let cfg = GraphConfig {
+                accuracy_threshold: th,
+                transferability_threshold: th,
+                similarity_threshold: sim_th,
+            };
+            let g = build_graph(&inputs, &cfg);
+            let s = GraphStats::compute(&g);
+            table.row(vec![
+                format!("{th:.1}"),
+                format!("{sim_th:.2}"),
+                format!("{}", s.md_accuracy_edges),
+                format!("{}", s.md_transferability_edges),
+                format!("{}", s.dd_edges_directed),
+                format!("{:.1}", s.avg_degree),
+                format!("{}", s.components),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,39 @@
+//! **Table III**: properties of the target datasets used for evaluation —
+//! sample and class counts mirror the paper exactly for the Table III
+//! datasets.
+
+use tg_bench::zoo_from_env;
+use tg_zoo::Modality;
+use transfergraph::report::Table;
+
+fn main() {
+    let zoo = zoo_from_env();
+    for modality in [Modality::Image, Modality::Text] {
+        println!("Table III ({modality}) — target dataset properties\n");
+        let mut table = Table::new(vec!["dataset", "samples", "classes", "domain"]);
+        for d in zoo.targets_of(modality) {
+            let info = zoo.dataset(d);
+            let domains: &[&str] = match modality {
+                Modality::Image => tg_zoo::datasets::IMAGE_DOMAINS,
+                Modality::Text => tg_zoo::datasets::TEXT_DOMAINS,
+            };
+            table.row(vec![
+                info.name.clone(),
+                info.num_samples.to_string(),
+                info.num_classes.to_string(),
+                domains[info.domain].to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "source datasets: {} image, {} text (used for pre-training and similarity)",
+        zoo.sources_of(Modality::Image).len(),
+        zoo.sources_of(Modality::Text).len()
+    );
+    println!(
+        "models: {} image, {} text",
+        zoo.models_of(Modality::Image).len(),
+        zoo.models_of(Modality::Text).len()
+    );
+}

@@ -1,0 +1,150 @@
+//! Shared harness code for the experiment binaries (one per paper
+//! table/figure) and the Criterion benches.
+//!
+//! Every binary accepts two optional environment variables:
+//! * `TG_SEED` — world seed (default 2024, the paper's venue year);
+//! * `TG_SCALE` — `paper` (default; 185 + 163 models) or `small` (fast
+//!   smoke-test scale).
+
+use std::sync::Mutex;
+use tg_zoo::{Modality, ModelZoo, ZooConfig};
+use transfergraph::{evaluate, EvalOptions, EvalOutcome, Strategy, Workbench};
+
+/// Default world seed used by all experiment binaries.
+pub const DEFAULT_SEED: u64 = 2024;
+
+/// Reads the world seed from `TG_SEED`.
+pub fn seed_from_env() -> u64 {
+    std::env::var("TG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Builds the zoo at the scale requested via `TG_SCALE`.
+pub fn zoo_from_env() -> ModelZoo {
+    let seed = seed_from_env();
+    let config = match std::env::var("TG_SCALE").as_deref() {
+        Ok("small") => ZooConfig::small(seed),
+        _ => ZooConfig::paper(seed),
+    };
+    ModelZoo::build(&config)
+}
+
+/// The datasets the paper reports on: targets whose fine-tune accuracy
+/// actually varies (§VII-A drops near-constant datasets like eurosat),
+/// ordered by descending standard deviation as in Fig. 6.
+pub fn reported_targets(zoo: &ModelZoo, modality: Modality) -> Vec<tg_zoo::DatasetId> {
+    let models = zoo.models_of(modality);
+    let mut with_std: Vec<(tg_zoo::DatasetId, f64)> = zoo
+        .targets_of(modality)
+        .into_iter()
+        .map(|d| {
+            let accs: Vec<f64> = models
+                .iter()
+                .map(|&m| zoo.fine_tune(m, d, tg_zoo::FineTuneMethod::Full))
+                .collect();
+            (d, tg_linalg::stats::std_dev(&accs))
+        })
+        .collect();
+    with_std.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    with_std
+        .into_iter()
+        .filter(|&(_, s)| s > 0.02)
+        .map(|(d, _)| d)
+        .collect()
+}
+
+/// Evaluates one strategy over a list of targets in parallel (one thread
+/// per target), preserving input order.
+pub fn evaluate_over_targets(
+    zoo: &ModelZoo,
+    strategy: &Strategy,
+    targets: &[tg_zoo::DatasetId],
+    opts: &EvalOptions,
+) -> Vec<EvalOutcome> {
+    // Warm the expensive shared artefacts (LogME over every model × target
+    // pair) once, then hand cache clones to the workers.
+    let mut warm = Workbench::new(zoo);
+    if let Some(&first) = targets.first() {
+        warm.warm_logme(zoo.dataset(first).modality);
+    }
+    let results: Mutex<Vec<Option<EvalOutcome>>> = Mutex::new(vec![None; targets.len()]);
+    std::thread::scope(|scope| {
+        for (i, &t) in targets.iter().enumerate() {
+            let results = &results;
+            let strategy = strategy.clone();
+            let opts = opts.clone();
+            let mut wb = warm.clone();
+            scope.spawn(move || {
+                let out = evaluate(&mut wb, &strategy, t, &opts);
+                results.lock().unwrap()[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("worker finished"))
+        .collect()
+}
+
+/// Mean Pearson correlation over outcomes (missing correlations count 0,
+/// matching how a degenerate prediction contributes nothing).
+pub fn mean_pearson(outcomes: &[EvalOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes
+        .iter()
+        .map(|o| o.pearson.unwrap_or(0.0))
+        .sum::<f64>()
+        / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(pearson: Option<f64>) -> EvalOutcome {
+        EvalOutcome {
+            dataset: tg_zoo::DatasetId(0),
+            strategy: "test".to_string(),
+            predictions: vec![0.0, 1.0],
+            ground_truth: vec![0.0, 1.0],
+            models: vec![tg_zoo::ModelId(0), tg_zoo::ModelId(1)],
+            pearson,
+            spearman: pearson,
+            top5_accuracy: 0.5,
+        }
+    }
+
+    #[test]
+    fn mean_pearson_averages_and_defaults_missing_to_zero() {
+        let outs = vec![outcome(Some(0.8)), outcome(None), outcome(Some(0.4))];
+        assert!((mean_pearson(&outs) - 0.4).abs() < 1e-12);
+        assert_eq!(mean_pearson(&[]), 0.0);
+    }
+
+    #[test]
+    fn seed_default() {
+        std::env::remove_var("TG_SEED");
+        assert_eq!(seed_from_env(), DEFAULT_SEED);
+    }
+
+    #[test]
+    fn reported_targets_excludes_low_variance() {
+        let zoo = ModelZoo::build(&ZooConfig::small(3));
+        let reported = reported_targets(&zoo, Modality::Image);
+        let all = zoo.targets_of(Modality::Image);
+        assert!(reported.len() < all.len(), "low-variance targets dropped");
+        // mnist-like datasets (spread 0.02-0.04) must be excluded.
+        let names: Vec<&str> = reported
+            .iter()
+            .map(|&d| zoo.dataset(d).name.as_str())
+            .collect();
+        assert!(!names.contains(&"mnist"));
+        assert!(names.contains(&"stanfordcars"));
+    }
+}

@@ -1,0 +1,139 @@
+//! The [`Workbench`]: cached expensive artefacts of the feature-collection
+//! stage (Fig. 5, steps ①–④).
+//!
+//! LogME scores, probe embeddings and pairwise similarities are pure
+//! functions of the zoo, so they are computed once and shared by every
+//! strategy/target combination in an experiment run — mirroring the paper's
+//! observation that collection "can be achieved offline".
+
+use std::collections::HashMap;
+use tg_transfer::log_me;
+use tg_zoo::{DatasetId, Modality, ModelId, ModelZoo};
+
+use crate::config::Representation;
+
+/// Shared caches over one zoo.
+///
+/// Cloning copies the caches: experiment harnesses warm one workbench
+/// (e.g. [`Workbench::warm_logme`]) and hand clones to worker threads.
+#[derive(Clone)]
+pub struct Workbench<'z> {
+    zoo: &'z ModelZoo,
+    logme: HashMap<(ModelId, DatasetId), f64>,
+    ds_embed: HashMap<DatasetId, Vec<f64>>,
+    t2v_embed: HashMap<DatasetId, Vec<f64>>,
+    similarity: HashMap<(Representation, DatasetId, DatasetId), f64>,
+}
+
+impl<'z> Workbench<'z> {
+    /// New workbench over a zoo.
+    pub fn new(zoo: &'z ModelZoo) -> Self {
+        Workbench {
+            zoo,
+            logme: HashMap::new(),
+            ds_embed: HashMap::new(),
+            t2v_embed: HashMap::new(),
+            similarity: HashMap::new(),
+        }
+    }
+
+    /// The underlying zoo.
+    pub fn zoo(&self) -> &'z ModelZoo {
+        self.zoo
+    }
+
+    /// LogME score of model `m` on dataset `d` (forward pass + evidence
+    /// maximisation), cached.
+    pub fn logme(&mut self, m: ModelId, d: DatasetId) -> f64 {
+        if let Some(&s) = self.logme.get(&(m, d)) {
+            return s;
+        }
+        let fp = self.zoo.forward_pass(m, d);
+        let s = log_me(&fp.features, &fp.labels, fp.num_classes);
+        self.logme.insert((m, d), s);
+        s
+    }
+
+    /// Dataset representation under the chosen scheme, cached.
+    pub fn representation(&mut self, d: DatasetId, rep: Representation) -> &[f64] {
+        let zoo = self.zoo;
+        match rep {
+            Representation::DomainSimilarity => self
+                .ds_embed
+                .entry(d)
+                .or_insert_with(|| zoo.domain_similarity_embedding(d)),
+            Representation::Task2Vec => self
+                .t2v_embed
+                .entry(d)
+                .or_insert_with(|| zoo.task2vec_embedding(d)),
+        }
+    }
+
+    /// Similarity `φ` between two datasets under the chosen representation
+    /// (correlation similarity of the embeddings), cached and symmetric.
+    pub fn similarity(&mut self, a: DatasetId, b: DatasetId, rep: Representation) -> f64 {
+        let key = if a.0 <= b.0 { (rep, a, b) } else { (rep, b, a) };
+        if let Some(&s) = self.similarity.get(&key) {
+            return s;
+        }
+        let ea = self.representation(a, rep).to_vec();
+        let eb = self.representation(b, rep).to_vec();
+        let s = tg_linalg::distance::correlation_similarity(&ea, &eb);
+        self.similarity.insert(key, s);
+        s
+    }
+
+    /// Pre-computes LogME for every (model, target-dataset) pair of a
+    /// modality. Called by experiment binaries to front-load the expensive
+    /// part before timing the pipeline.
+    pub fn warm_logme(&mut self, modality: Modality) {
+        for m in self.zoo.models_of(modality) {
+            for d in self.zoo.targets_of(modality) {
+                self.logme(m, d);
+            }
+        }
+    }
+
+    /// Number of cached LogME entries (diagnostic).
+    pub fn logme_cache_len(&self) -> usize {
+        self.logme.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_zoo::ZooConfig;
+
+    #[test]
+    fn logme_is_cached_and_stable() {
+        let zoo = ModelZoo::build(&ZooConfig::small(1));
+        let mut wb = Workbench::new(&zoo);
+        let m = zoo.models_of(Modality::Image)[0];
+        let d = zoo.targets_of(Modality::Image)[0];
+        let s1 = wb.logme(m, d);
+        let s2 = wb.logme(m, d);
+        assert_eq!(s1, s2);
+        assert_eq!(wb.logme_cache_len(), 1);
+    }
+
+    #[test]
+    fn similarity_symmetric_via_cache() {
+        let zoo = ModelZoo::build(&ZooConfig::small(2));
+        let mut wb = Workbench::new(&zoo);
+        let ds = zoo.targets_of(Modality::Image);
+        let s1 = wb.similarity(ds[0], ds[1], Representation::DomainSimilarity);
+        let s2 = wb.similarity(ds[1], ds[0], Representation::DomainSimilarity);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn representations_differ_by_scheme() {
+        let zoo = ModelZoo::build(&ZooConfig::small(3));
+        let mut wb = Workbench::new(&zoo);
+        let d = zoo.targets_of(Modality::Image)[0];
+        let a = wb.representation(d, Representation::DomainSimilarity).to_vec();
+        let b = wb.representation(d, Representation::Task2Vec).to_vec();
+        assert_ne!(a.len(), b.len());
+    }
+}

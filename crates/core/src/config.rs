@@ -1,0 +1,137 @@
+//! Configuration types for strategies and evaluation.
+
+use tg_zoo::FineTuneMethod;
+
+/// Which feature blocks the prediction model sees (Fig. 8's ablation axes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FeatureSet {
+    /// Basic metadata of models and datasets only (the Amazon LR baseline).
+    MetadataOnly,
+    /// Metadata + dataset similarity + LogME score (the `LR{all, LogME}`
+    /// baseline).
+    MetadataSimLogme,
+    /// Graph embeddings only.
+    GraphOnly,
+    /// Metadata + dataset similarity + graph embeddings — the paper's most
+    /// competitive configuration (`TG:…, all`).
+    All,
+}
+
+impl FeatureSet {
+    /// Whether the set includes the basic metadata block.
+    pub fn has_metadata(&self) -> bool {
+        !matches!(self, FeatureSet::GraphOnly)
+    }
+
+    /// Whether the set includes the source→target dataset-similarity
+    /// feature.
+    pub fn has_similarity(&self) -> bool {
+        matches!(self, FeatureSet::MetadataSimLogme | FeatureSet::All)
+    }
+
+    /// Whether the set includes the LogME score feature.
+    pub fn has_logme(&self) -> bool {
+        matches!(self, FeatureSet::MetadataSimLogme)
+    }
+
+    /// Whether the set includes graph embeddings.
+    pub fn has_graph(&self) -> bool {
+        matches!(self, FeatureSet::GraphOnly | FeatureSet::All)
+    }
+
+    /// Label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FeatureSet::MetadataOnly => "basic",
+            FeatureSet::MetadataSimLogme => "all,LogME",
+            FeatureSet::GraphOnly => "graph",
+            FeatureSet::All => "all",
+        }
+    }
+}
+
+/// Which model–dataset edge types enter the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeSource {
+    /// Training-history accuracy edges and transferability edges (default).
+    Both,
+    /// Accuracy edges only.
+    AccuracyOnly,
+    /// Transferability edges only — the §VII-C "scenarios without training
+    /// history" setting.
+    TransferabilityOnly,
+}
+
+/// Dataset representation used for similarity and GNN node features
+/// (appendix Fig. 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Domain Similarity probe embeddings (Eq. 3) — the default.
+    DomainSimilarity,
+    /// Task2Vec diagonal-FIM embeddings (Eq. 6).
+    Task2Vec,
+}
+
+/// Options of one leave-one-out evaluation.
+#[derive(Clone, Debug)]
+pub struct EvalOptions {
+    /// Fine-tuning method that produced the training history (graph edges
+    /// and regression labels).
+    pub train_method: FineTuneMethod,
+    /// Fine-tuning method used as ground truth on the target (Fig. 11b
+    /// mixes `Full` history with `Lora` ground truth).
+    pub eval_method: FineTuneMethod,
+    /// Fraction of the training history kept (Fig. 13). 1.0 = everything.
+    pub history_ratio: f64,
+    /// Edge types entering the graph.
+    pub edge_source: EdgeSource,
+    /// Dataset representation.
+    pub representation: Representation,
+    /// Node-embedding dimension (the paper uses 128).
+    pub embed_dim: usize,
+    /// Evaluation seed: drives graph-learner initialisation, walk sampling,
+    /// regressor randomness and the Random baseline.
+    pub seed: u64,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            train_method: FineTuneMethod::Full,
+            eval_method: FineTuneMethod::Full,
+            history_ratio: 1.0,
+            edge_source: EdgeSource::Both,
+            representation: Representation::DomainSimilarity,
+            embed_dim: 128,
+            seed: 0x7261_6e64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_set_flags_consistent() {
+        assert!(FeatureSet::MetadataOnly.has_metadata());
+        assert!(!FeatureSet::MetadataOnly.has_graph());
+        assert!(!FeatureSet::MetadataOnly.has_logme());
+        assert!(FeatureSet::MetadataSimLogme.has_logme());
+        assert!(FeatureSet::MetadataSimLogme.has_similarity());
+        assert!(!FeatureSet::MetadataSimLogme.has_graph());
+        assert!(FeatureSet::GraphOnly.has_graph());
+        assert!(!FeatureSet::GraphOnly.has_metadata());
+        assert!(FeatureSet::All.has_graph());
+        assert!(FeatureSet::All.has_similarity());
+        assert!(!FeatureSet::All.has_logme());
+    }
+
+    #[test]
+    fn default_options_match_paper() {
+        let o = EvalOptions::default();
+        assert_eq!(o.embed_dim, 128);
+        assert_eq!(o.history_ratio, 1.0);
+        assert_eq!(o.edge_source, EdgeSource::Both);
+    }
+}

@@ -1,0 +1,72 @@
+//! Evaluation metrics: Pearson correlation (Eq. 1), Spearman, and the
+//! top-k realised accuracy of Fig. 2.
+
+pub use tg_linalg::stats::{pearson, spearman};
+use tg_linalg::stats::top_k_indices;
+
+/// Mean *true* accuracy of the `k` models ranked highest by `scores` —
+/// what a practitioner actually obtains after fine-tuning the top-k
+/// recommendations (Fig. 2).
+pub fn top_k_accuracy(scores: &[f64], true_accuracy: &[f64], k: usize) -> f64 {
+    assert_eq!(
+        scores.len(),
+        true_accuracy.len(),
+        "top_k_accuracy: length mismatch"
+    );
+    assert!(k > 0, "top_k_accuracy: k must be positive");
+    let idx = top_k_indices(scores, k);
+    let vals: Vec<f64> = idx.iter().map(|&i| true_accuracy[i]).collect();
+    tg_linalg::stats::mean(&vals)
+}
+
+/// Regret@k: gap between the best achievable accuracy and the best within
+/// the top-k recommendations. 0 means the recommender found the optimum.
+pub fn regret_at_k(scores: &[f64], true_accuracy: &[f64], k: usize) -> f64 {
+    assert_eq!(scores.len(), true_accuracy.len(), "regret_at_k: length mismatch");
+    let best = true_accuracy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let idx = top_k_indices(scores, k);
+    let best_in_k = idx
+        .iter()
+        .map(|&i| true_accuracy[i])
+        .fold(f64::NEG_INFINITY, f64::max);
+    best - best_in_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_perfect_ranking() {
+        let truth = [0.1, 0.9, 0.5, 0.7];
+        // Scores align with truth.
+        assert!((top_k_accuracy(&truth, &truth, 2) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_inverted_ranking() {
+        let truth = [0.1, 0.9, 0.5, 0.7];
+        let scores = [0.9, 0.1, 0.5, 0.3];
+        assert!((top_k_accuracy(&scores, &truth, 2) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regret_zero_when_best_found() {
+        let truth = [0.2, 0.95, 0.4];
+        let scores = [0.0, 1.0, 0.5];
+        assert_eq!(regret_at_k(&scores, &truth, 1), 0.0);
+    }
+
+    #[test]
+    fn regret_positive_when_best_missed() {
+        let truth = [0.2, 0.95, 0.4];
+        let scores = [1.0, 0.0, 0.5];
+        assert!((regret_at_k(&scores, &truth, 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_pool_uses_everything() {
+        let truth = [0.5, 0.7];
+        assert!((top_k_accuracy(&[1.0, 0.0], &truth, 10) - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,217 @@
+//! Budget-aware model recommendation — the deployment stage the paper's
+//! §II-A attributes to systems like SHiFT: a user has a GPU-hour budget and
+//! wants the best fine-tuned model they can afford, not just a ranking.
+//!
+//! Two selection policies over a strategy's predicted scores:
+//! * [`greedy_top_k`] — fully fine-tune the `k` highest-scored models that
+//!   fit the budget;
+//! * [`successive_halving`] — start many candidates at a small epoch
+//!   fraction, repeatedly halve the field based on observed partial
+//!   accuracy, and finish the survivors — typically finds a better model
+//!   for the same budget when the predictor is imperfect.
+
+use crate::evaluate::EvalOutcome;
+use tg_zoo::{DatasetId, FineTuneMethod, ModelId, ModelZoo};
+
+/// Result of spending a fine-tuning budget.
+#[derive(Clone, Debug)]
+pub struct BudgetOutcome {
+    /// Models that received any fine-tuning, with the accuracy observed at
+    /// their final (possibly partial) budget fraction.
+    pub tried: Vec<(ModelId, f64)>,
+    /// The best *fully fine-tuned* accuracy achieved (None when the budget
+    /// did not complete any model).
+    pub best_accuracy: Option<f64>,
+    /// Budget actually spent (same units as [`ModelZoo::fine_tune_cost`]).
+    pub spent: f64,
+    /// Gap to the best model in the zoo (0 = found the optimum).
+    pub regret: f64,
+}
+
+fn best_in_zoo(zoo: &ModelZoo, models: &[ModelId], d: DatasetId, method: FineTuneMethod) -> f64 {
+    models
+        .iter()
+        .map(|&m| zoo.fine_tune(m, d, method))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Fully fine-tunes models in descending predicted-score order until the
+/// budget runs out.
+pub fn greedy_top_k(
+    zoo: &ModelZoo,
+    outcome: &EvalOutcome,
+    method: FineTuneMethod,
+    budget: f64,
+) -> BudgetOutcome {
+    let d = outcome.dataset;
+    let order = tg_linalg::stats::top_k_indices(&outcome.predictions, outcome.models.len());
+    let mut tried = Vec::new();
+    let mut spent = 0.0;
+    let mut best: Option<f64> = None;
+    for idx in order {
+        let m = outcome.models[idx];
+        let cost = zoo.fine_tune_cost(m, d, 1.0);
+        if spent + cost > budget {
+            continue; // a cheaper lower-ranked model may still fit
+        }
+        spent += cost;
+        let acc = zoo.fine_tune(m, d, method);
+        tried.push((m, acc));
+        best = Some(best.map_or(acc, |b: f64| b.max(acc)));
+    }
+    let regret = best_in_zoo(zoo, &outcome.models, d, method) - best.unwrap_or(0.0);
+    BudgetOutcome {
+        tried,
+        best_accuracy: best,
+        spent,
+        regret,
+    }
+}
+
+/// Successive halving over the top candidates: start the `2^rounds` best
+/// predictions at fraction `1/2^rounds`, keep the better half at each rung,
+/// and fully fine-tune the finalists. Stops early when the budget is
+/// exhausted.
+pub fn successive_halving(
+    zoo: &ModelZoo,
+    outcome: &EvalOutcome,
+    method: FineTuneMethod,
+    budget: f64,
+    rounds: u32,
+) -> BudgetOutcome {
+    assert!(rounds >= 1, "successive_halving: need at least one round");
+    let d = outcome.dataset;
+    let field_size = (1usize << rounds).min(outcome.models.len());
+    let order = tg_linalg::stats::top_k_indices(&outcome.predictions, field_size);
+    let mut field: Vec<ModelId> = order.iter().map(|&i| outcome.models[i]).collect();
+
+    let mut spent = 0.0;
+    let mut tried: Vec<(ModelId, f64)> = Vec::new();
+    let mut best_full: Option<f64> = None;
+    for round in 0..=rounds {
+        let fraction = 1.0 / (1 << (rounds - round)) as f64;
+        let mut scored: Vec<(ModelId, f64)> = Vec::new();
+        for &m in &field {
+            // Incremental cost: we pay only the additional epochs beyond the
+            // previous rung (half of this rung's fraction).
+            let prev_fraction = if round == 0 { 0.0 } else { fraction / 2.0 };
+            let cost = zoo.fine_tune_cost(m, d, fraction - prev_fraction);
+            if spent + cost > budget {
+                break;
+            }
+            spent += cost;
+            let acc = zoo.fine_tune_partial(m, d, method, fraction);
+            scored.push((m, acc));
+            if fraction >= 1.0 {
+                best_full = Some(best_full.map_or(acc, |b: f64| b.max(acc)));
+            }
+        }
+        tried.extend(scored.iter().copied());
+        if scored.len() <= 1 {
+            field = scored.into_iter().map(|(m, _)| m).collect();
+        } else {
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            scored.truncate((scored.len() / 2).max(1));
+            field = scored.into_iter().map(|(m, _)| m).collect();
+        }
+        if field.is_empty() {
+            break;
+        }
+    }
+    let regret = best_in_zoo(zoo, &outcome.models, d, method) - best_full.unwrap_or(0.0);
+    BudgetOutcome {
+        tried,
+        best_accuracy: best_full,
+        spent,
+        regret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, EvalOptions, Strategy, Workbench};
+    use tg_zoo::{Modality, ModelZoo, ZooConfig};
+
+    fn setup() -> (ModelZoo, EvalOutcome) {
+        let zoo = ModelZoo::build(&ZooConfig::small(31));
+        let target = zoo.targets_of(Modality::Image)[0];
+        let mut wb = Workbench::new(&zoo);
+        let outcome = evaluate(
+            &mut wb,
+            &Strategy::lr_all_logme(),
+            target,
+            &EvalOptions {
+                embed_dim: 16,
+                ..Default::default()
+            },
+        );
+        (zoo, outcome)
+    }
+
+    #[test]
+    fn greedy_respects_budget() {
+        let (zoo, outcome) = setup();
+        let budget = 5.0;
+        let out = greedy_top_k(&zoo, &outcome, FineTuneMethod::Full, budget);
+        assert!(out.spent <= budget + 1e-9);
+        assert!(!out.tried.is_empty());
+        assert!(out.best_accuracy.is_some());
+        assert!(out.regret >= -1e-12);
+    }
+
+    #[test]
+    fn zero_budget_tries_nothing() {
+        let (zoo, outcome) = setup();
+        let out = greedy_top_k(&zoo, &outcome, FineTuneMethod::Full, 0.0);
+        assert!(out.tried.is_empty());
+        assert_eq!(out.best_accuracy, None);
+    }
+
+    #[test]
+    fn bigger_budget_never_worse_for_greedy() {
+        let (zoo, outcome) = setup();
+        let small = greedy_top_k(&zoo, &outcome, FineTuneMethod::Full, 3.0);
+        let large = greedy_top_k(&zoo, &outcome, FineTuneMethod::Full, 30.0);
+        assert!(
+            large.best_accuracy.unwrap_or(0.0) >= small.best_accuracy.unwrap_or(0.0)
+        );
+        assert!(large.regret <= small.regret + 1e-12);
+    }
+
+    #[test]
+    fn halving_explores_more_models_than_greedy() {
+        let (zoo, outcome) = setup();
+        // Tight budget: roughly three full fine-tunes.
+        let mean_cost = {
+            let costs: Vec<f64> = outcome
+                .models
+                .iter()
+                .map(|&m| zoo.fine_tune_cost(m, outcome.dataset, 1.0))
+                .collect();
+            tg_linalg::stats::mean(&costs)
+        };
+        let budget = mean_cost * 2.0;
+        let greedy = greedy_top_k(&zoo, &outcome, FineTuneMethod::Full, budget);
+        let halving = successive_halving(&zoo, &outcome, FineTuneMethod::Full, budget, 4);
+        let greedy_models: std::collections::HashSet<_> =
+            greedy.tried.iter().map(|(m, _)| *m).collect();
+        let halving_models: std::collections::HashSet<_> =
+            halving.tried.iter().map(|(m, _)| *m).collect();
+        assert!(
+            halving_models.len() >= greedy_models.len(),
+            "halving should triage a wider field ({} vs {})",
+            halving_models.len(),
+            greedy_models.len()
+        );
+        assert!(halving.spent <= budget + 1e-9);
+    }
+
+    #[test]
+    fn halving_finishes_at_least_one_model_given_ample_budget() {
+        let (zoo, outcome) = setup();
+        let out = successive_halving(&zoo, &outcome, FineTuneMethod::Full, 1e6, 3);
+        assert!(out.best_accuracy.is_some());
+        assert!(out.regret >= -1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text report rendering for the experiment binaries: aligned tables
+//! and simple horizontal bar charts, so every figure of the paper can be
+//! regenerated on a terminal.
+
+/// A column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "Table::row: expected {} cells",
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a labelled horizontal bar chart of values in `[-1, 1]` (Pearson
+/// correlations) or `[0, 1]` (accuracies).
+pub fn bar_chart(items: &[(String, f64)], max_width: usize) -> String {
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let clamped = v.clamp(-1.0, 1.0);
+        let bars = ((clamped.abs() * max_width as f64).round() as usize).min(max_width);
+        let bar: String = "█".repeat(bars);
+        let sign = if *v < 0.0 { "-" } else { " " };
+        out.push_str(&format!(
+            "{:<width$}  {sign}{bar:<bw$} {v:+.3}\n",
+            label,
+            width = label_w,
+            bw = max_width,
+        ));
+    }
+    out
+}
+
+impl Table {
+    /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes or newlines), for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        fn cell(c: &str) -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String]| -> String {
+            cells.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file.
+    pub fn save_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats an optional correlation for a table cell.
+pub fn fmt_corr(c: Option<f64>) -> String {
+    match c {
+        Some(v) => format!("{v:+.3}"),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1.0"]);
+        t.row(vec!["longer-name", "2.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // "value" column starts at the same offset in all data lines.
+        let off = lines[2].find("1.0").unwrap();
+        assert_eq!(lines[3].find("2.0").unwrap(), off);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 cells")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let items = vec![("x".to_string(), 1.0), ("y".to_string(), 0.5)];
+        let s = bar_chart(&items, 10);
+        let x_bars = s.lines().next().unwrap().matches('█').count();
+        let y_bars = s.lines().nth(1).unwrap().matches('█').count();
+        assert_eq!(x_bars, 10);
+        assert_eq!(y_bars, 5);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["plain", "has,comma"]);
+        t.row(vec!["has\"quote", "x"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"has,comma\"");
+        assert_eq!(lines[2], "\"has\"\"quote\",x");
+    }
+
+    #[test]
+    fn csv_roundtrip_row_count() {
+        let mut t = Table::new(vec!["x"]);
+        for i in 0..5 {
+            t.row(vec![format!("{i}")]);
+        }
+        assert_eq!(t.to_csv().lines().count(), 6);
+    }
+
+    #[test]
+    fn fmt_corr_handles_none() {
+        assert_eq!(fmt_corr(None), "n/a");
+        assert_eq!(fmt_corr(Some(0.5)), "+0.500");
+    }
+}

@@ -1,0 +1,254 @@
+//! Graph attention network (Veličković et al., ICLR 2018) — the paper's
+//! Eq. 5 — with masked self-attention, trained full-batch for link
+//! prediction.
+
+use crate::learner::GraphLearner;
+use crate::linkpred::build_linkpred_set;
+use tg_autograd::{xavier_init, Adam, Optimizer, ParamStore, Tape, Var};
+use tg_graph::Graph;
+use tg_linalg::Matrix;
+use tg_rng::Rng;
+
+/// GAT configuration. The first layer uses `heads` attention heads with
+/// concatenated outputs (as in the original GAT); the output layer uses a
+/// single head.
+#[derive(Clone, Debug)]
+pub struct Gat {
+    /// Output embedding dimension.
+    pub dim: usize,
+    /// Hidden width *per head* of the first layer.
+    pub hidden: usize,
+    /// Attention heads in the first layer.
+    pub heads: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// LeakyReLU slope in the attention logits (0.2 in the original GAT).
+    pub leaky_slope: f64,
+}
+
+impl Gat {
+    /// Default configuration with the given output dimension: 4 heads of
+    /// `dim/4` hidden units each (so the concatenated width stays `dim`).
+    pub fn with_dim(dim: usize) -> Self {
+        let heads = 4;
+        Gat {
+            dim,
+            hidden: (dim / heads).max(4),
+            heads,
+            epochs: 120,
+            lr: 0.005,
+            leaky_slope: 0.2,
+        }
+    }
+}
+
+/// Attention mask: 1 where an edge exists, plus self-loops (standard GAT).
+fn attention_mask(graph: &Graph) -> Matrix {
+    let n = graph.num_nodes();
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        m.set(i, i, 1.0);
+        for (j, _) in graph.neighbors(i) {
+            m.set(i, j, 1.0);
+        }
+    }
+    m
+}
+
+struct GatLayer {
+    w: tg_autograd::ParamId,
+    a_src: tg_autograd::ParamId,
+    a_dst: tg_autograd::ParamId,
+}
+
+impl GatLayer {
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        name: &str,
+        fan_in: usize,
+        fan_out: usize,
+    ) -> Self {
+        GatLayer {
+            w: store.add(format!("{name}.w"), xavier_init(rng, fan_in, fan_out)),
+            a_src: store.add(format!("{name}.a_src"), xavier_init(rng, fan_out, 1)),
+            a_dst: store.add(format!("{name}.a_dst"), xavier_init(rng, fan_out, 1)),
+        }
+    }
+
+    /// One masked self-attention layer (Eq. 5):
+    /// `α_ij = softmax_j(LeakyReLU(aᵀ[Wh_i ‖ Wh_j]))`, out `= α (W H)`.
+    /// The bilinear form `aᵀ[x‖y]` decomposes as `a_srcᵀx + a_dstᵀy`, which
+    /// is the `add_outer` of two projected column vectors.
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        h: Var,
+        mask: &Matrix,
+        slope: f64,
+    ) -> Var {
+        let w = tape.param(store, self.w);
+        let a1 = tape.param(store, self.a_src);
+        let a2 = tape.param(store, self.a_dst);
+        let hp = tape.matmul(h, w);
+        let s = tape.matmul(hp, a1);
+        let t = tape.matmul(hp, a2);
+        let e = tape.add_outer(s, t);
+        let e = tape.leaky_relu(e, slope);
+        let e = tape.masked_fill(e, mask.clone(), -1e30);
+        let alpha = tape.row_softmax(e);
+        tape.matmul(alpha, hp)
+    }
+}
+
+impl GraphLearner for Gat {
+    fn name(&self) -> &'static str {
+        "GAT"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, graph: &Graph, features: &Matrix, rng: &mut Rng) -> Matrix {
+        let n = graph.num_nodes();
+        assert_eq!(features.rows(), n, "Gat: feature rows != nodes");
+        let mask = attention_mask(graph);
+        let set = build_linkpred_set(graph, rng);
+        if set.is_empty() {
+            return Matrix::zeros(n, self.dim);
+        }
+        let targets = Matrix::from_vec(set.len(), 1, set.labels.clone());
+
+        let mut store = ParamStore::new();
+        let heads: Vec<GatLayer> = (0..self.heads.max(1))
+            .map(|h| {
+                GatLayer::new(
+                    &mut store,
+                    rng,
+                    &format!("gat.l1.h{h}"),
+                    features.cols(),
+                    self.hidden,
+                )
+            })
+            .collect();
+        let l2 = GatLayer::new(&mut store, rng, "gat.l2", self.hidden * heads.len(), self.dim);
+        let mut opt = Adam::new(self.lr);
+
+        let mut final_emb = Matrix::zeros(n, self.dim);
+        for epoch in 0..=self.epochs {
+            let mut tape = Tape::new();
+            let x = tape.constant(features.clone());
+            // Multi-head layer 1: concatenate per-head outputs.
+            let mut h1 = heads[0].forward(&mut tape, &store, x, &mask, self.leaky_slope);
+            for head in &heads[1..] {
+                let hh = head.forward(&mut tape, &store, x, &mask, self.leaky_slope);
+                h1 = tape.concat_cols(h1, hh);
+            }
+            let h1 = tape.relu(h1);
+            let h2 = l2.forward(&mut tape, &store, h1, &mask, self.leaky_slope);
+            let emb = tape.row_l2_normalize(h2);
+
+            if epoch == self.epochs {
+                final_emb = tape.value(emb).clone();
+                break;
+            }
+
+            let eu = tape.gather_rows(emb, set.us.clone());
+            let ev = tape.gather_rows(emb, set.vs.clone());
+            let prod = tape.mul_elem(eu, ev);
+            let raw = tape.row_sum(prod);
+            let logits = tape.scalar_mul(raw, 5.0);
+            let loss = tape.bce_with_logits(logits, &targets);
+            tape.backward(loss);
+            store.zero_grads();
+            tape.accumulate_grads(&mut store);
+            store.clip_grad_norm(5.0);
+            opt.step(&mut store);
+        }
+        final_emb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::{EdgeKind, NodeKind};
+    use tg_linalg::distance::cosine_similarity;
+    use tg_zoo::ModelId;
+
+    fn two_cliques() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..8 {
+            g.add_node(NodeKind::Model(ModelId(i)));
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b, 1.0, EdgeKind::DatasetDataset);
+                g.add_edge(a + 4, b + 4, 1.0, EdgeKind::DatasetDataset);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn attention_mask_has_self_loops_and_edges() {
+        let g = two_cliques();
+        let m = attention_mask(&g);
+        for i in 0..8 {
+            assert_eq!(m.get(i, i), 1.0);
+        }
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 5), 0.0);
+    }
+
+    #[test]
+    fn multi_head_and_single_head_both_work() {
+        let g = two_cliques();
+        let features = Matrix::from_fn(8, 4, |r, c| ((r + c) as f64 * 0.61).sin());
+        for heads in [1, 2, 4] {
+            let gat = Gat {
+                heads,
+                hidden: 4,
+                epochs: 20,
+                ..Gat::with_dim(8)
+            };
+            let emb = gat.embed(&g, &features, &mut Rng::seed_from_u64(3));
+            assert_eq!(emb.shape(), (8, 8), "heads={heads}");
+            assert!(!emb.has_non_finite(), "heads={heads}");
+        }
+    }
+
+    #[test]
+    fn embedding_shape_and_finite() {
+        let g = two_cliques();
+        let features = Matrix::from_fn(8, 4, |r, c| ((r * 3 + c) as f64 * 0.41).cos());
+        let gat = Gat {
+            epochs: 30,
+            ..Gat::with_dim(8)
+        };
+        let emb = gat.embed(&g, &features, &mut Rng::seed_from_u64(1));
+        assert_eq!(emb.shape(), (8, 8));
+        assert!(!emb.has_non_finite());
+    }
+
+    #[test]
+    fn clique_members_embed_together() {
+        let g = two_cliques();
+        let features = Matrix::from_fn(8, 4, |r, c| {
+            let side = if r < 4 { 1.0 } else { -1.0 };
+            side * 0.5 + ((r * 4 + c) as f64 * 1.3).sin() * 0.3
+        });
+        let gat = Gat {
+            epochs: 80,
+            ..Gat::with_dim(8)
+        };
+        let emb = gat.embed(&g, &features, &mut Rng::seed_from_u64(2));
+        let within = cosine_similarity(emb.row(0), emb.row(1));
+        let cross = cosine_similarity(emb.row(0), emb.row(5));
+        assert!(within > cross, "within {within} cross {cross}");
+    }
+}

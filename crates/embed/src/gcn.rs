@@ -1,0 +1,196 @@
+//! GCN (Kipf & Welling, ICLR 2017) — the representative convolutional
+//! graph learner the paper's related work (§VIII-B2) cites alongside
+//! GraphSAGE. Included so the learner comparison covers the full family.
+//!
+//! Layer rule: `H' = σ(D̂^{-1/2} Â D̂^{-1/2} H W)` with `Â = A + I`
+//! (self-loops) and `D̂` its degree matrix. Trained with the same
+//! link-prediction head as the other GNNs.
+
+use crate::learner::GraphLearner;
+use crate::linkpred::build_linkpred_set;
+use tg_autograd::{xavier_init, Adam, Optimizer, ParamStore, Tape};
+use tg_graph::Graph;
+use tg_linalg::Matrix;
+use tg_rng::Rng;
+
+/// GCN configuration.
+#[derive(Clone, Debug)]
+pub struct Gcn {
+    /// Output embedding dimension.
+    pub dim: usize,
+    /// Hidden width of the first layer.
+    pub hidden: usize,
+    /// Training epochs (full-batch Adam).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+}
+
+impl Gcn {
+    /// Default configuration with the given output dimension.
+    pub fn with_dim(dim: usize) -> Self {
+        Gcn {
+            dim,
+            hidden: dim,
+            epochs: 120,
+            lr: 0.01,
+        }
+    }
+}
+
+/// Symmetrically normalised adjacency with self-loops:
+/// `D̂^{-1/2} (A + I) D̂^{-1/2}`, weighted.
+pub(crate) fn normalized_adjacency(graph: &Graph) -> Matrix {
+    let n = graph.num_nodes();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a.set(i, i, 1.0); // self-loop
+        for (j, w) in graph.neighbors(i) {
+            a.set(i, j, a.get(i, j) + w.max(1e-9));
+        }
+    }
+    let deg: Vec<f64> = (0..n).map(|i| a.row(i).iter().sum()).collect();
+    Matrix::from_fn(n, n, |i, j| {
+        let d = (deg[i] * deg[j]).sqrt();
+        if d > 0.0 {
+            a.get(i, j) / d
+        } else {
+            0.0
+        }
+    })
+}
+
+impl GraphLearner for Gcn {
+    fn name(&self) -> &'static str {
+        "GCN"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, graph: &Graph, features: &Matrix, rng: &mut Rng) -> Matrix {
+        let n = graph.num_nodes();
+        assert_eq!(features.rows(), n, "Gcn: feature rows != nodes");
+        let a_norm = normalized_adjacency(graph);
+        let set = build_linkpred_set(graph, rng);
+        if set.is_empty() {
+            return Matrix::zeros(n, self.dim);
+        }
+        let targets = Matrix::from_vec(set.len(), 1, set.labels.clone());
+
+        let mut store = ParamStore::new();
+        let w1 = store.add("gcn.w1", xavier_init(rng, features.cols(), self.hidden));
+        let w2 = store.add("gcn.w2", xavier_init(rng, self.hidden, self.dim));
+        let mut opt = Adam::new(self.lr);
+
+        let mut final_emb = Matrix::zeros(n, self.dim);
+        for epoch in 0..=self.epochs {
+            let mut tape = Tape::new();
+            let x = tape.constant(features.clone());
+            let adj = tape.constant(a_norm.clone());
+            let w1v = tape.param(&store, w1);
+            let w2v = tape.param(&store, w2);
+            // Layer 1: ReLU(Â X W1).
+            let ax = tape.matmul(adj, x);
+            let h1 = tape.matmul(ax, w1v);
+            let h1 = tape.relu(h1);
+            // Layer 2: Â H W2, row-normalised for the dot-product head.
+            let ah = tape.matmul(adj, h1);
+            let h2 = tape.matmul(ah, w2v);
+            let emb = tape.row_l2_normalize(h2);
+
+            if epoch == self.epochs {
+                final_emb = tape.value(emb).clone();
+                break;
+            }
+            let eu = tape.gather_rows(emb, set.us.clone());
+            let ev = tape.gather_rows(emb, set.vs.clone());
+            let prod = tape.mul_elem(eu, ev);
+            let raw = tape.row_sum(prod);
+            let logits = tape.scalar_mul(raw, 5.0);
+            let loss = tape.bce_with_logits(logits, &targets);
+            tape.backward(loss);
+            store.zero_grads();
+            tape.accumulate_grads(&mut store);
+            store.clip_grad_norm(5.0);
+            opt.step(&mut store);
+        }
+        final_emb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::{EdgeKind, NodeKind};
+    use tg_linalg::distance::cosine_similarity;
+    use tg_zoo::ModelId;
+
+    fn two_cliques() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..8 {
+            g.add_node(NodeKind::Model(ModelId(i)));
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b, 1.0, EdgeKind::DatasetDataset);
+                g.add_edge(a + 4, b + 4, 1.0, EdgeKind::DatasetDataset);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_with_self_loops() {
+        let g = two_cliques();
+        let a = normalized_adjacency(&g);
+        for i in 0..8 {
+            assert!(a.get(i, i) > 0.0, "self-loop at {i}");
+            for j in 0..8 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_bounds_spectral_radius() {
+        // Row sums of D^{-1/2} Â D^{-1/2} are ≤ 1 for regular-ish graphs.
+        let g = two_cliques();
+        let a = normalized_adjacency(&g);
+        for i in 0..8 {
+            let s: f64 = a.row(i).iter().sum();
+            assert!(s <= 1.0 + 1e-9, "row {i} sums {s}");
+        }
+    }
+
+    #[test]
+    fn embedding_shape_and_finite() {
+        let g = two_cliques();
+        let features = Matrix::from_fn(8, 4, |r, c| ((r * 2 + c) as f64 * 0.53).sin());
+        let gcn = Gcn {
+            epochs: 30,
+            ..Gcn::with_dim(8)
+        };
+        let emb = gcn.embed(&g, &features, &mut Rng::seed_from_u64(1));
+        assert_eq!(emb.shape(), (8, 8));
+        assert!(!emb.has_non_finite());
+    }
+
+    #[test]
+    fn clique_members_embed_together() {
+        let g = two_cliques();
+        let features = Matrix::from_fn(8, 4, |r, c| {
+            let side = if r < 4 { 1.0 } else { -1.0 };
+            side * 0.5 + ((r * 4 + c) as f64 * 0.7).sin() * 0.3
+        });
+        let gcn = Gcn {
+            epochs: 80,
+            ..Gcn::with_dim(8)
+        };
+        let emb = gcn.embed(&g, &features, &mut Rng::seed_from_u64(2));
+        let within = cosine_similarity(emb.row(0), emb.row(1));
+        let cross = cosine_similarity(emb.row(0), emb.row(5));
+        assert!(within > cross, "within {within} cross {cross}");
+    }
+}

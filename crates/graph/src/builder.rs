@@ -1,0 +1,258 @@
+//! Graph construction from zoo artefacts, following the paper's heuristics
+//! (§V-A, Table II).
+
+use crate::graph::{EdgeKind, Graph, NodeKind};
+use std::collections::BTreeMap;
+use tg_linalg::stats::min_max_normalize;
+use tg_zoo::{DatasetId, ModelId};
+
+/// Thresholds controlling pruning and positive/negative labelling
+/// (Table II uses 0.5 for all three).
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Threshold on the *normalised* fine-tune/training accuracy for a
+    /// positive model–dataset accuracy edge.
+    pub accuracy_threshold: f64,
+    /// Threshold on the *normalised* transferability score for a positive
+    /// model–dataset transferability edge.
+    pub transferability_threshold: f64,
+    /// Minimum similarity for a dataset–dataset edge. §III-B: "instead of
+    /// having a fully connected graph, a pruning threshold will be used to
+    /// decide the existence of the edges". Our similarity is calibrated so
+    /// 0.5 = uncorrelated embeddings; the default 0.6 keeps only positively
+    /// related dataset pairs (the graph-construction ablation in `table2`
+    /// sweeps this).
+    pub similarity_threshold: f64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            accuracy_threshold: 0.5,
+            transferability_threshold: 0.5,
+            similarity_threshold: 0.6,
+        }
+    }
+}
+
+/// Raw material for the graph.
+#[derive(Clone, Debug, Default)]
+pub struct GraphInputs {
+    /// Dataset nodes to create.
+    pub datasets: Vec<DatasetId>,
+    /// Model nodes to create.
+    pub models: Vec<ModelId>,
+    /// Dataset–dataset similarity `φ` per unordered pair.
+    pub dd_similarity: Vec<(DatasetId, DatasetId, f64)>,
+    /// Raw training/fine-tune accuracies from the history.
+    pub md_accuracy: Vec<(ModelId, DatasetId, f64)>,
+    /// Raw transferability scores (e.g. LogME; arbitrary scale).
+    pub md_transferability: Vec<(ModelId, DatasetId, f64)>,
+}
+
+/// Builds the graph:
+/// * one node per dataset and per model;
+/// * D-D edges weighted by similarity (pruned below
+///   [`GraphConfig::similarity_threshold`]);
+/// * M-D edges from accuracies and transferability scores, min-max
+///   normalised **per dataset** (scores are only comparable within a
+///   dataset), thresholded into positive edges vs negative labelled pairs.
+///
+/// Edge weights store the normalised value so downstream learners see a
+/// consistent `[0, 1]` scale.
+pub fn build_graph(inputs: &GraphInputs, config: &GraphConfig) -> Graph {
+    let mut g = Graph::new();
+    for &d in &inputs.datasets {
+        g.add_node(NodeKind::Dataset(d));
+    }
+    for &m in &inputs.models {
+        g.add_node(NodeKind::Model(m));
+    }
+
+    for &(a, b, sim) in &inputs.dd_similarity {
+        if a == b {
+            continue;
+        }
+        let (Some(ia), Some(ib)) = (
+            g.node_index(NodeKind::Dataset(a)),
+            g.node_index(NodeKind::Dataset(b)),
+        ) else {
+            continue;
+        };
+        if sim >= config.similarity_threshold && !g.has_edge(ia, ib) {
+            g.add_edge(ia, ib, sim.clamp(0.0, 1.0), EdgeKind::DatasetDataset);
+        }
+    }
+
+    add_md_edges(
+        &mut g,
+        &inputs.md_accuracy,
+        config.accuracy_threshold,
+        EdgeKind::ModelDatasetAccuracy,
+    );
+    add_md_edges(
+        &mut g,
+        &inputs.md_transferability,
+        config.transferability_threshold,
+        EdgeKind::ModelDatasetTransferability,
+    );
+    g
+}
+
+fn add_md_edges(
+    g: &mut Graph,
+    records: &[(ModelId, DatasetId, f64)],
+    threshold: f64,
+    kind: EdgeKind,
+) {
+    // Group record indices per dataset for per-dataset normalisation.
+    // BTreeMap: deterministic iteration order keeps edge insertion (and
+    // therefore downstream RNG consumption) reproducible.
+    let mut per_dataset: BTreeMap<DatasetId, Vec<usize>> = BTreeMap::new();
+    for (i, &(_, d, _)) in records.iter().enumerate() {
+        per_dataset.entry(d).or_default().push(i);
+    }
+    for (d, idxs) in per_dataset {
+        let raw: Vec<f64> = idxs.iter().map(|&i| records[i].2).collect();
+        let normed = min_max_normalize(&raw);
+        let Some(id_node) = g.node_index(NodeKind::Dataset(d)) else {
+            continue;
+        };
+        for (&i, &w) in idxs.iter().zip(&normed) {
+            let (m, _, _) = records[i];
+            let Some(im) = g.node_index(NodeKind::Model(m)) else {
+                continue;
+            };
+            if w >= threshold {
+                g.add_edge(im, id_node, w, kind);
+            } else {
+                g.add_negative(im, id_node, w, kind);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> GraphInputs {
+        GraphInputs {
+            datasets: vec![DatasetId(0), DatasetId(1), DatasetId(2)],
+            models: vec![ModelId(0), ModelId(1), ModelId(2), ModelId(3)],
+            dd_similarity: vec![
+                (DatasetId(0), DatasetId(1), 0.8),
+                (DatasetId(0), DatasetId(2), 0.3),
+                (DatasetId(1), DatasetId(2), 0.5),
+            ],
+            md_accuracy: vec![
+                (ModelId(0), DatasetId(0), 0.9),
+                (ModelId(1), DatasetId(0), 0.7),
+                (ModelId(2), DatasetId(0), 0.5),
+                (ModelId(3), DatasetId(0), 0.3),
+                (ModelId(0), DatasetId(1), 0.6),
+                (ModelId(1), DatasetId(1), 0.4),
+            ],
+            md_transferability: vec![
+                (ModelId(0), DatasetId(2), 1.5),
+                (ModelId(1), DatasetId(2), -0.5),
+                (ModelId(2), DatasetId(2), 0.5),
+            ],
+        }
+    }
+
+    #[test]
+    fn builds_all_nodes() {
+        let g = build_graph(&inputs(), &GraphConfig::default());
+        assert_eq!(g.num_nodes(), 7);
+    }
+
+    #[test]
+    fn dd_edges_pruned_by_default_threshold() {
+        // Default threshold 0.6 keeps only the 0.8 pair.
+        let g = build_graph(&inputs(), &GraphConfig::default());
+        let dd = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::DatasetDataset)
+            .count();
+        assert_eq!(dd, 1);
+        // Threshold 0 keeps all pairs.
+        let cfg = GraphConfig {
+            similarity_threshold: 0.0,
+            ..Default::default()
+        };
+        let g0 = build_graph(&inputs(), &cfg);
+        let dd0 = g0
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::DatasetDataset)
+            .count();
+        assert_eq!(dd0, 3);
+    }
+
+    #[test]
+    fn similarity_threshold_prunes() {
+        let cfg = GraphConfig {
+            similarity_threshold: 0.45,
+            ..Default::default()
+        };
+        let g = build_graph(&inputs(), &cfg);
+        let dd = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::DatasetDataset)
+            .count();
+        assert_eq!(dd, 2); // 0.3 pruned
+    }
+
+    #[test]
+    fn accuracy_normalised_per_dataset_and_thresholded() {
+        let g = build_graph(&inputs(), &GraphConfig::default());
+        // Dataset 0: raw 0.9/0.7/0.5/0.3 → normalised 1.0/0.67/0.33/0.0.
+        // Positive: models 0, 1. Negative: 2, 3.
+        let acc_edges: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::ModelDatasetAccuracy)
+            .collect();
+        // Dataset 1: raw 0.6/0.4 → 1.0/0.0 → one positive.
+        assert_eq!(acc_edges.len(), 3);
+        let negs = g
+            .negatives()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::ModelDatasetAccuracy)
+            .count();
+        assert_eq!(negs, 3);
+    }
+
+    #[test]
+    fn transferability_arbitrary_scale_is_normalised() {
+        let g = build_graph(&inputs(), &GraphConfig::default());
+        let tr: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::ModelDatasetTransferability)
+            .collect();
+        // raw 1.5/-0.5/0.5 → 1.0/0.0/0.5 → positives: 1.0 and 0.5.
+        assert_eq!(tr.len(), 2);
+        assert!(tr.iter().all(|e| (0.0..=1.0).contains(&e.weight)));
+    }
+
+    #[test]
+    fn weights_in_unit_interval() {
+        let g = build_graph(&inputs(), &GraphConfig::default());
+        for e in g.edges() {
+            assert!((0.0..=1.0).contains(&e.weight), "weight {}", e.weight);
+        }
+    }
+
+    #[test]
+    fn missing_nodes_are_skipped_gracefully() {
+        let mut inp = inputs();
+        inp.md_accuracy.push((ModelId(99), DatasetId(0), 0.8));
+        inp.dd_similarity.push((DatasetId(5), DatasetId(6), 0.9));
+        let g = build_graph(&inp, &GraphConfig::default());
+        assert_eq!(g.num_nodes(), 7); // unchanged
+    }
+}

@@ -1,0 +1,237 @@
+//! The weighted typed graph structure.
+
+use std::collections::HashMap;
+use tg_zoo::{DatasetId, ModelId};
+
+/// What a node represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A pre-trained model.
+    Model(ModelId),
+    /// A dataset (target or source).
+    Dataset(DatasetId),
+}
+
+impl NodeKind {
+    /// True for model nodes.
+    pub fn is_model(&self) -> bool {
+        matches!(self, NodeKind::Model(_))
+    }
+}
+
+/// Semantic type of an edge (§V-A3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Dataset–dataset similarity edge, weight `φ`.
+    DatasetDataset,
+    /// Model–dataset edge weighted by (normalised) training accuracy.
+    ModelDatasetAccuracy,
+    /// Model–dataset edge weighted by (normalised) transferability score.
+    ModelDatasetTransferability,
+}
+
+/// An undirected edge.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// First endpoint (node index).
+    pub a: usize,
+    /// Second endpoint (node index).
+    pub b: usize,
+    /// Edge weight in `[0, 1]`.
+    pub weight: f64,
+    /// Semantic type.
+    pub kind: EdgeKind,
+}
+
+/// Undirected weighted multigraph over model/dataset nodes, plus the
+/// *negative* labelled pairs that fell below the pruning threshold.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<NodeKind>,
+    index: HashMap<NodeKind, usize>,
+    edges: Vec<Edge>,
+    /// adjacency: per node, (neighbor, edge index).
+    adj: Vec<Vec<(usize, usize)>>,
+    /// Model–dataset pairs labelled negative (below threshold), with their
+    /// normalised weight. Not part of the adjacency.
+    negatives: Vec<Edge>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or finds) a node and returns its index.
+    pub fn add_node(&mut self, kind: NodeKind) -> usize {
+        if let Some(&i) = self.index.get(&kind) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(kind);
+        self.index.insert(kind, i);
+        self.adj.push(Vec::new());
+        i
+    }
+
+    /// Node index lookup.
+    pub fn node_index(&self, kind: NodeKind) -> Option<usize> {
+        self.index.get(&kind).copied()
+    }
+
+    /// Node kind by index.
+    pub fn node(&self, i: usize) -> NodeKind {
+        self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[NodeKind] {
+        &self.nodes
+    }
+
+    /// Adds an undirected positive edge.
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: f64, kind: EdgeKind) {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "add_edge: node out of range");
+        assert!(a != b, "add_edge: self-loops not allowed");
+        assert!(weight.is_finite(), "add_edge: non-finite weight");
+        let e = self.edges.len();
+        self.edges.push(Edge { a, b, weight, kind });
+        self.adj[a].push((b, e));
+        self.adj[b].push((a, e));
+    }
+
+    /// Records a negative labelled pair (below threshold; not in adjacency).
+    pub fn add_negative(&mut self, a: usize, b: usize, weight: f64, kind: EdgeKind) {
+        self.negatives.push(Edge { a, b, weight, kind });
+    }
+
+    /// All positive edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// All negative labelled pairs.
+    pub fn negatives(&self) -> &[Edge] {
+        &self.negatives
+    }
+
+    /// Neighbors of node `i` as (neighbor, weight) pairs.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.adj[i].iter().map(move |&(n, e)| (n, self.edges[e].weight))
+    }
+
+    /// Degree of node `i` (counting parallel edges).
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Weighted degree (sum of incident edge weights).
+    pub fn weighted_degree(&self, i: usize) -> f64 {
+        self.adj[i].iter().map(|&(_, e)| self.edges[e].weight).sum()
+    }
+
+    /// True if `a` and `b` share at least one edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].iter().any(|&(n, _)| n == b)
+    }
+
+    /// Number of connected components (BFS over the positive edges).
+    pub fn connected_components(&self) -> usize {
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            seen[start] = true;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &(v, _) in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: usize) -> NodeKind {
+        NodeKind::Model(ModelId(i))
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut g = Graph::new();
+        let a = g.add_node(node(0));
+        let b = g.add_node(node(0));
+        assert_eq!(a, b);
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn edges_are_undirected() {
+        let mut g = Graph::new();
+        let a = g.add_node(node(0));
+        let b = g.add_node(NodeKind::Dataset(DatasetId(0)));
+        g.add_edge(a, b, 0.9, EdgeKind::ModelDatasetAccuracy);
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(b, a));
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(b), 1);
+    }
+
+    #[test]
+    fn weighted_degree_sums() {
+        let mut g = Graph::new();
+        let a = g.add_node(node(0));
+        let b = g.add_node(node(1));
+        let c = g.add_node(node(2));
+        g.add_edge(a, b, 0.5, EdgeKind::DatasetDataset);
+        g.add_edge(a, c, 0.25, EdgeKind::DatasetDataset);
+        assert!((g.weighted_degree(a) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negatives_do_not_enter_adjacency() {
+        let mut g = Graph::new();
+        let a = g.add_node(node(0));
+        let b = g.add_node(node(1));
+        g.add_negative(a, b, 0.1, EdgeKind::ModelDatasetAccuracy);
+        assert!(!g.has_edge(a, b));
+        assert_eq!(g.negatives().len(), 1);
+    }
+
+    #[test]
+    fn connected_components_counts() {
+        let mut g = Graph::new();
+        let a = g.add_node(node(0));
+        let b = g.add_node(node(1));
+        let _c = g.add_node(node(2));
+        g.add_edge(a, b, 1.0, EdgeKind::DatasetDataset);
+        assert_eq!(g.connected_components(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        let mut g = Graph::new();
+        let a = g.add_node(node(0));
+        g.add_edge(a, a, 1.0, EdgeKind::DatasetDataset);
+    }
+}

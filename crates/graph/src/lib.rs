@@ -1,0 +1,27 @@
+//! Graph construction for TransferGraph (§V).
+//!
+//! Nodes are models and datasets; edges carry three kinds of prior
+//! knowledge:
+//!
+//! 1. **Dataset–Dataset** — probe-embedding similarity `φ` (§V-A3);
+//! 2. **Model–Dataset accuracy** — training-history performance;
+//! 3. **Model–Dataset transferability** — estimator scores (e.g. LogME).
+//!
+//! Following the paper's heuristics (Table II), model–dataset weights are
+//! min-max normalised per dataset and thresholded at 0.5: pairs at or above
+//! the threshold become *positive* edges (present in the graph), pairs below
+//! become *negative* labelled pairs used as negatives by the link-prediction
+//! objective.
+//!
+//! The crate also hosts the biased second-order random-walk engine used by
+//! Node2Vec (structure-only) and Node2Vec+ (edge-weight aware).
+
+pub mod builder;
+pub mod graph;
+pub mod stats;
+pub mod walks;
+
+pub use builder::{build_graph, GraphConfig, GraphInputs};
+pub use graph::{EdgeKind, Graph, NodeKind};
+pub use stats::GraphStats;
+pub use walks::{generate_walks, WalkConfig};

@@ -1,0 +1,144 @@
+//! Graph statistics — the quantities reported in the paper's Table II.
+
+use crate::graph::{EdgeKind, Graph};
+
+/// Summary statistics of a constructed graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Total node count (models + datasets).
+    pub num_nodes: usize,
+    /// Model nodes.
+    pub num_model_nodes: usize,
+    /// Dataset nodes.
+    pub num_dataset_nodes: usize,
+    /// Average node degree.
+    pub avg_degree: f64,
+    /// Dataset–dataset edges, counted as *ordered* pairs (2× the undirected
+    /// count) to match the paper's Table II convention, where 73 image
+    /// datasets yield 5256 = 73·72 D-D edges.
+    pub dd_edges_directed: usize,
+    /// Model–dataset edges with accuracy weight (undirected count).
+    pub md_accuracy_edges: usize,
+    /// Model–dataset edges with transferability weight (undirected count).
+    pub md_transferability_edges: usize,
+    /// Negative labelled pairs (below threshold).
+    pub negative_pairs: usize,
+    /// Connected components.
+    pub components: usize,
+}
+
+impl GraphStats {
+    /// Computes the statistics of a graph.
+    pub fn compute(g: &Graph) -> Self {
+        let num_nodes = g.num_nodes();
+        let num_model_nodes = g.nodes().iter().filter(|n| n.is_model()).count();
+        let mut dd = 0;
+        let mut acc = 0;
+        let mut tr = 0;
+        for e in g.edges() {
+            match e.kind {
+                EdgeKind::DatasetDataset => dd += 1,
+                EdgeKind::ModelDatasetAccuracy => acc += 1,
+                EdgeKind::ModelDatasetTransferability => tr += 1,
+            }
+        }
+        let degree_sum: usize = (0..num_nodes).map(|i| g.degree(i)).sum();
+        GraphStats {
+            num_nodes,
+            num_model_nodes,
+            num_dataset_nodes: num_nodes - num_model_nodes,
+            avg_degree: if num_nodes == 0 {
+                0.0
+            } else {
+                degree_sum as f64 / num_nodes as f64
+            },
+            dd_edges_directed: dd * 2,
+            md_accuracy_edges: acc,
+            md_transferability_edges: tr,
+            negative_pairs: g.negatives().len(),
+            components: g.connected_components(),
+        }
+    }
+
+    /// Renders the Table II row block for one modality.
+    pub fn table_rows(&self, modality: &str) -> String {
+        format!(
+            "modality: {}\n\
+             graph type: homogenous\n\
+             number of nodes: {}\n\
+             (model nodes: {}, dataset nodes: {})\n\
+             average node degree: {:.1}\n\
+             number of dataset-dataset edges (directed): {}\n\
+             number of model-dataset edges with accuracy weight: {}\n\
+             number of model-dataset edges with transferability weight: {}\n\
+             negative labelled pairs: {}\n\
+             connected components: {}",
+            modality,
+            self.num_nodes,
+            self.num_model_nodes,
+            self.num_dataset_nodes,
+            self.avg_degree,
+            self.dd_edges_directed,
+            self.md_accuracy_edges,
+            self.md_transferability_edges,
+            self.negative_pairs,
+            self.components,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use tg_zoo::{DatasetId, ModelId};
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        let d0 = g.add_node(NodeKind::Dataset(DatasetId(0)));
+        let d1 = g.add_node(NodeKind::Dataset(DatasetId(1)));
+        let m0 = g.add_node(NodeKind::Model(ModelId(0)));
+        let m1 = g.add_node(NodeKind::Model(ModelId(1)));
+        g.add_edge(d0, d1, 0.7, EdgeKind::DatasetDataset);
+        g.add_edge(m0, d0, 0.9, EdgeKind::ModelDatasetAccuracy);
+        g.add_edge(m0, d1, 0.6, EdgeKind::ModelDatasetTransferability);
+        g.add_negative(m1, d0, 0.2, EdgeKind::ModelDatasetAccuracy);
+        g
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let s = GraphStats::compute(&sample_graph());
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_model_nodes, 2);
+        assert_eq!(s.num_dataset_nodes, 2);
+        assert_eq!(s.dd_edges_directed, 2);
+        assert_eq!(s.md_accuracy_edges, 1);
+        assert_eq!(s.md_transferability_edges, 1);
+        assert_eq!(s.negative_pairs, 1);
+    }
+
+    #[test]
+    fn avg_degree_and_components() {
+        let s = GraphStats::compute(&sample_graph());
+        // Degrees: d0=2, d1=2, m0=2, m1=0 → avg 1.5. m1 isolated → 2 comps.
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+        assert_eq!(s.components, 2);
+    }
+
+    #[test]
+    fn table_rows_mentions_all_counts() {
+        let s = GraphStats::compute(&sample_graph());
+        let t = s.table_rows("image");
+        assert!(t.contains("image"));
+        assert!(t.contains("number of nodes: 4"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = GraphStats::compute(&Graph::new());
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.components, 0);
+    }
+}

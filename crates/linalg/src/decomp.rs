@@ -1,0 +1,536 @@
+//! Matrix decompositions: Cholesky, symmetric eigendecomposition (cyclic
+//! Jacobi), and thin SVD.
+//!
+//! These are the numeric workhorses of the reproduction:
+//! * ridge regression (`tg-predict`) solves normal equations with
+//!   [`cholesky_solve`];
+//! * LogME (`tg-transfer`) projects labels onto the right singular basis of
+//!   the feature matrix, obtained with [`thin_svd`];
+//! * PARC and dataset-similarity computations use the eigen routines
+//!   indirectly through correlation matrices.
+
+use crate::matrix::Matrix;
+
+/// Errors from decomposition routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompError {
+    /// The matrix is not square where a square matrix is required.
+    NotSquare,
+    /// Cholesky failed: the matrix is not (numerically) positive definite.
+    NotPositiveDefinite,
+    /// Jacobi sweep did not converge within the iteration budget.
+    NoConvergence,
+}
+
+impl std::fmt::Display for DecompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompError::NotSquare => write!(f, "matrix is not square"),
+            DecompError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            DecompError::NoConvergence => write!(f, "iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for DecompError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// `A` must be symmetric positive definite.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, DecompError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(DecompError::NotSquare);
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(DecompError::NotPositiveDefinite);
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, DecompError> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    assert_eq!(b.len(), n, "cholesky_solve: rhs length mismatch");
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l.get(i, k) * y[k];
+        }
+        y[i] = s / l.get(i, i);
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l.get(k, i) * x[k];
+        }
+        x[i] = s / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Symmetric eigendecomposition by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted in
+/// descending order; eigenvector `k` is column `k` of the returned matrix.
+pub fn symmetric_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), DecompError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(DecompError::NotSquare);
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 64;
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm: convergence criterion.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off.sqrt() < 1e-12 * (1.0 + m.frobenius_norm()) {
+            return Ok(sorted_eigen(&m, &v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/cols p and q of M.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(DecompError::NoConvergence)
+}
+
+fn sorted_eigen(m: &Matrix, v: &Matrix) -> (Vec<f64>, Matrix) {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| m.get(b, b).partial_cmp(&m.get(a, a)).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v.get(r, order[c]));
+    (values, vectors)
+}
+
+/// Thin singular value decomposition of an `n x d` matrix.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `n x k` (columns are u_i).
+    pub u: Matrix,
+    /// Singular values, descending, length `k = min(n, d)` (small values may
+    /// be clamped to 0).
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `d x k` (columns are v_i).
+    pub v: Matrix,
+}
+
+/// Thin SVD via eigendecomposition of the smaller Gram matrix.
+///
+/// For `n >= d` we decompose `AᵀA = V Σ² Vᵀ` and recover `U = A V Σ⁻¹`; for
+/// `n < d` the roles are swapped. This is accurate enough for the
+/// conditioning encountered here (feature matrices with moderate dynamic
+/// range) and keeps the implementation compact.
+pub fn thin_svd(a: &Matrix) -> Result<Svd, DecompError> {
+    let (n, d) = a.shape();
+    if n >= d {
+        let (mut evals, v) = symmetric_eigen(&a.gram())?;
+        for e in &mut evals {
+            *e = e.max(0.0);
+        }
+        let sigma: Vec<f64> = evals.iter().map(|e| e.sqrt()).collect();
+        // U = A V Σ⁻¹ (columns with σ≈0 are left as zero vectors).
+        let av = a.matmul(&v);
+        let u = Matrix::from_fn(n, d, |r, c| {
+            if sigma[c] > 1e-12 {
+                av.get(r, c) / sigma[c]
+            } else {
+                0.0
+            }
+        });
+        Ok(Svd { u, sigma, v })
+    } else {
+        let at = a.transpose();
+        let sv = thin_svd(&at)?;
+        Ok(Svd {
+            u: sv.v,
+            sigma: sv.sigma,
+            v: sv.u,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]);
+        let l = cholesky(&a).unwrap();
+        let rec = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx(rec.get(i, j), a.get(i, j), 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky(&a), Err(DecompError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(cholesky(&a), Err(DecompError::NotSquare));
+    }
+
+    #[test]
+    fn cholesky_solve_known_system() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = [1.0, 2.0];
+        let x = cholesky_solve(&a, &b).unwrap();
+        // Verify A x = b.
+        let ax = a.matvec(&x);
+        assert!(approx(ax[0], 1.0, 1e-12));
+        assert!(approx(ax[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn eigen_diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 7.0]]);
+        let (vals, _) = symmetric_eigen(&a).unwrap();
+        assert!(approx(vals[0], 7.0, 1e-10));
+        assert!(approx(vals[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn eigen_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (vals, vecs) = symmetric_eigen(&a).unwrap();
+        assert!(approx(vals[0], 3.0, 1e-10));
+        assert!(approx(vals[1], 1.0, 1e-10));
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = (vecs.get(0, 0), vecs.get(1, 0));
+        assert!(approx(v0.0.abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-8));
+        assert!(approx((v0.0 - v0.1).abs(), 0.0, 1e-8));
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 1.0, 0.5, 0.2],
+            &[1.0, 4.0, 0.3, 0.1],
+            &[0.5, 0.3, 3.0, 0.4],
+            &[0.2, 0.1, 0.4, 2.0],
+        ]);
+        let (vals, vecs) = symmetric_eigen(&a).unwrap();
+        // A = V diag(λ) Vᵀ
+        let lam = Matrix::from_fn(4, 4, |r, c| if r == c { vals[r] } else { 0.0 });
+        let rec = vecs.matmul(&lam).matmul(&vecs.transpose());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(approx(rec.get(i, j), a.get(i, j), 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_fn(5, 5, |r, c| 1.0 / (1.0 + (r as f64 - c as f64).abs()));
+        let (_, vecs) = symmetric_eigen(&a).unwrap();
+        let vtv = vecs.transpose().matmul(&vecs);
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(vtv.get(i, j), expect, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_matrix() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 8.0],
+        ]);
+        let svd = thin_svd(&a).unwrap();
+        // A = U Σ Vᵀ
+        let sig = Matrix::from_fn(2, 2, |r, c| if r == c { svd.sigma[r] } else { 0.0 });
+        let rec = svd.u.matmul(&sig).matmul(&svd.v.transpose());
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!(approx(rec.get(i, j), a.get(i, j), 1e-8), "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_wide_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0, -1.0], &[0.5, 3.0, 1.0, 0.0]]);
+        let svd = thin_svd(&a).unwrap();
+        let k = svd.sigma.len();
+        let sig = Matrix::from_fn(k, k, |r, c| if r == c { svd.sigma[r] } else { 0.0 });
+        let rec = svd.u.matmul(&sig).matmul(&svd.v.transpose());
+        for i in 0..2 {
+            for j in 0..4 {
+                assert!(approx(rec.get(i, j), a.get(i, j), 1e-8), "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_singular_values_descending_nonnegative() {
+        let a = Matrix::from_fn(6, 4, |r, c| ((r * 4 + c) as f64 * 0.7).cos());
+        let svd = thin_svd(&a).unwrap();
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Second column is 2x the first: rank 1.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.sigma[1] < 1e-8, "second singular value {}", svd.sigma[1]);
+        let sig = Matrix::from_fn(2, 2, |r, c| if r == c { svd.sigma[r] } else { 0.0 });
+        let rec = svd.u.matmul(&sig).matmul(&svd.v.transpose());
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!(approx(rec.get(i, j), a.get(i, j), 1e-7));
+            }
+        }
+    }
+}
+
+/// QR decomposition via Householder reflections.
+///
+/// Returns `(Q, R)` with `A = QR`, `Q` orthogonal (`m × m`) and `R` upper
+/// triangular (`m × n`). Used for numerically robust least squares when the
+/// normal equations of ridge regression would be too ill-conditioned.
+pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Householder vector for column k below the diagonal.
+        let mut norm_x = 0.0;
+        for i in k..m {
+            norm_x += r.get(i, k) * r.get(i, k);
+        }
+        let norm_x = norm_x.sqrt();
+        if norm_x < 1e-300 {
+            continue;
+        }
+        let alpha = -r.get(k, k).signum() * norm_x;
+        let mut v = vec![0.0; m];
+        for i in k..m {
+            v[i] = r.get(i, k);
+        }
+        v[k] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 < 1e-300 {
+            continue;
+        }
+        // R ← (I − 2vvᵀ/‖v‖²) R
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r.get(i, j);
+            }
+            let s = 2.0 * dot / vnorm2;
+            for i in k..m {
+                r.set(i, j, r.get(i, j) - s * v[i]);
+            }
+        }
+        // Q ← Q (I − 2vvᵀ/‖v‖²)
+        for i in 0..m {
+            let mut dot = 0.0;
+            for j in k..m {
+                dot += q.get(i, j) * v[j];
+            }
+            let s = 2.0 * dot / vnorm2;
+            for j in k..m {
+                q.set(i, j, q.get(i, j) - s * v[j]);
+            }
+        }
+    }
+    // Clean tiny sub-diagonal residue.
+    for i in 0..m {
+        for j in 0..n.min(i) {
+            r.set(i, j, 0.0);
+        }
+    }
+    (q, r)
+}
+
+/// Least-squares solution of `A x ≈ b` via QR (minimises `‖Ax − b‖₂`).
+/// Requires `A` to have full column rank (`m ≥ n`).
+pub fn qr_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, DecompError> {
+    let (m, n) = a.shape();
+    assert_eq!(m, b.len(), "qr_least_squares: rhs length mismatch");
+    if m < n {
+        return Err(DecompError::NotSquare);
+    }
+    let (q, r) = qr(a);
+    // x solves R[..n,..n] x = (Qᵀ b)[..n].
+    let qtb: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| q.get(i, j) * b[i]).sum())
+        .collect();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = qtb[i];
+        for k in (i + 1)..n {
+            s -= r.get(i, k) * x[k];
+        }
+        let d = r.get(i, i);
+        if d.abs() < 1e-12 {
+            return Err(DecompError::NotPositiveDefinite);
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod qr_tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[1.0, 3.0, -2.0],
+            &[0.0, 1.0, 4.0],
+            &[-1.0, 0.5, 1.0],
+        ]);
+        let (q, r) = qr(&a);
+        let rec = q.matmul(&r);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!(approx(rec.get(i, j), a.get(i, j), 1e-10), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f64 * 0.77).sin());
+        let (q, _) = qr(&a);
+        let qtq = q.transpose().matmul(&q);
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(qtq.get(i, j), expect, 1e-10), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(4, 4, |r, c| ((r + 2 * c) as f64).cos());
+        let (_, r) = qr(&a);
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // Overdetermined consistent system.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]);
+        let x_true = [3.0, -2.0];
+        let b: Vec<f64> = (0..4)
+            .map(|i| a.get(i, 0) * x_true[0] + a.get(i, 1) * x_true[1])
+            .collect();
+        let x = qr_least_squares(&a, &b).unwrap();
+        assert!(approx(x[0], 3.0, 1e-10));
+        assert!(approx(x[1], -2.0, 1e-10));
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Full-column-rank design: polynomial basis in r.
+        let a = Matrix::from_fn(8, 3, |r, c| (r as f64 + 1.0).powi(c as i32));
+        let b: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).cos()).collect();
+        let x_qr = qr_least_squares(&a, &b).unwrap();
+        // Normal equations via Cholesky.
+        let atb = a.transpose().matvec(&b);
+        let x_ne = cholesky_solve(&a.gram(), &atb).unwrap();
+        for (p, q_) in x_qr.iter().zip(&x_ne) {
+            assert!(approx(*p, *q_, 1e-8), "{p} vs {q_}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(qr_least_squares(&a, &[0.0, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Vector distances and similarities used for dataset–dataset edges.
+//!
+//! The paper quantifies dataset similarity as the *correlation distance*
+//! between probe-network embeddings (§IV-B2) and turns `1 − distance` into
+//! the weight of the dataset–dataset edges.
+
+use crate::matrix::{dot, norm};
+use crate::stats::mean;
+
+/// Euclidean distance.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; 0 for zero vectors.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Correlation distance `1 − corr(a, b)` in `[0, 2]`.
+///
+/// This is SciPy's `correlation` metric: the cosine distance between the
+/// mean-centred vectors. Returns 1 (maximal uncertainty) when either vector
+/// is constant.
+pub fn correlation_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation_distance: length mismatch");
+    let ma = mean(a);
+    let mb = mean(b);
+    let ca: Vec<f64> = a.iter().map(|x| x - ma).collect();
+    let cb: Vec<f64> = b.iter().map(|x| x - mb).collect();
+    let na = norm(&ca);
+    let nb = norm(&cb);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - (dot(&ca, &cb) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Similarity derived from correlation distance, mapped into `[0, 1]`:
+/// `1 − dist/2` so identical vectors score 1 and anti-correlated score 0.
+pub fn correlation_similarity(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - correlation_distance(a, b) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn euclidean_known() {
+        assert!(approx(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0));
+        assert!(approx(euclidean(&[1.0], &[1.0]), 0.0));
+    }
+
+    #[test]
+    fn cosine_parallel_and_orthogonal() {
+        assert!(approx(cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]), 1.0));
+        assert!(approx(cosine_similarity(&[1.0, 0.0], &[0.0, 5.0]), 0.0));
+        assert!(approx(cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]), -1.0));
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert!(approx(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0));
+    }
+
+    #[test]
+    fn correlation_distance_identical_is_zero() {
+        let a = [1.0, 5.0, 3.0, 2.0];
+        assert!(approx(correlation_distance(&a, &a), 0.0));
+        // Affine transforms of a vector are perfectly correlated.
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 7.0).collect();
+        assert!(approx(correlation_distance(&a, &b), 0.0));
+    }
+
+    #[test]
+    fn correlation_distance_anticorrelated_is_two() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!(approx(correlation_distance(&a, &b), 2.0));
+    }
+
+    #[test]
+    fn correlation_distance_constant_is_one() {
+        assert!(approx(correlation_distance(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 1.0));
+    }
+
+    #[test]
+    fn correlation_similarity_in_unit_interval() {
+        let a = [1.0, -2.0, 0.5, 4.0];
+        let b = [0.3, 1.1, -0.7, 2.0];
+        let s = correlation_similarity(&a, &b);
+        assert!((0.0..=1.0).contains(&s));
+        assert!(approx(correlation_similarity(&a, &a), 1.0));
+    }
+}

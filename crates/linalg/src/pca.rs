@@ -1,0 +1,116 @@
+//! Principal component analysis, via the symmetric eigendecomposition of
+//! the covariance matrix. Used to project 128-d node embeddings to 2-D for
+//! the embedding-map diagnostics.
+
+use crate::decomp::{symmetric_eigen, DecompError};
+use crate::matrix::Matrix;
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means of the training data.
+    pub means: Vec<f64>,
+    /// Principal axes, `d × k` (columns are components, descending
+    /// variance).
+    pub components: Matrix,
+    /// Variance explained by each component.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a `k`-component PCA on the rows of `x`.
+    pub fn fit(x: &Matrix, k: usize) -> Result<Pca, DecompError> {
+        let (n, d) = x.shape();
+        assert!(n > 1, "Pca::fit: need at least two rows");
+        let k = k.min(d);
+        let centred = x.center_columns();
+        let cov = centred.gram().scale(1.0 / (n as f64 - 1.0));
+        let (evals, evecs) = symmetric_eigen(&cov)?;
+        let components = Matrix::from_fn(d, k, |r, c| evecs.get(r, c));
+        Ok(Pca {
+            means: x.col_means(),
+            components,
+            explained_variance: evals.into_iter().take(k).map(|e| e.max(0.0)).collect(),
+        })
+    }
+
+    /// Projects rows of `x` onto the fitted components (`n × k`).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "Pca::transform: width mismatch");
+        let centred = Matrix::from_fn(x.rows(), x.cols(), |r, c| x.get(r, c) - self.means[c]);
+        centred.matmul(&self.components)
+    }
+
+    /// Fraction of total variance captured by the kept components.
+    pub fn explained_ratio(&self, total_variance: f64) -> f64 {
+        if total_variance <= 0.0 {
+            return 0.0;
+        }
+        self.explained_variance.iter().sum::<f64>() / total_variance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched along a known direction.
+    fn anisotropic(n: usize) -> Matrix {
+        Matrix::from_fn(n, 3, |r, c| {
+            let t = r as f64 / n as f64 * 20.0 - 10.0;
+            let noise = ((r * 7 + c * 13) % 11) as f64 / 11.0 - 0.5;
+            match c {
+                0 => t + noise * 0.1,         // dominant direction
+                1 => t * 0.5 + noise * 0.1,   // correlated
+                _ => noise,                   // pure noise
+            }
+        })
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let x = anisotropic(100);
+        let pca = Pca::fit(&x, 2).unwrap();
+        // The first axis should load mostly on columns 0 and 1.
+        let a0 = pca.components.get(0, 0).abs();
+        let a1 = pca.components.get(1, 0).abs();
+        let a2 = pca.components.get(2, 0).abs();
+        assert!(a0 > a2 * 5.0, "a0 {a0} a2 {a2}");
+        assert!(a1 > a2 * 2.0, "a1 {a1} a2 {a2}");
+    }
+
+    #[test]
+    fn explained_variance_descending() {
+        let x = anisotropic(80);
+        let pca = Pca::fit(&x, 3).unwrap();
+        for w in pca.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_shape_and_centering() {
+        let x = anisotropic(50);
+        let pca = Pca::fit(&x, 2).unwrap();
+        let z = pca.transform(&x);
+        assert_eq!(z.shape(), (50, 2));
+        // Projections of centred data have ~zero mean.
+        let means = z.col_means();
+        assert!(means.iter().all(|m| m.abs() < 1e-9), "{means:?}");
+    }
+
+    #[test]
+    fn reconstruction_possible_with_all_components() {
+        let x = anisotropic(40);
+        let pca = Pca::fit(&x, 3).unwrap();
+        let z = pca.transform(&x);
+        // x ≈ z Wᵀ + mean.
+        let rec = z.matmul(&pca.components.transpose());
+        for r in 0..40 {
+            for c in 0..3 {
+                let val = rec.get(r, c) + pca.means[c];
+                assert!((val - x.get(r, c)).abs() < 1e-8);
+            }
+        }
+    }
+}

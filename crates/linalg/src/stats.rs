@@ -1,0 +1,206 @@
+//! Statistics: means, variances, ranks, and the correlation coefficients the
+//! paper evaluates with (Pearson's τ, Eq. 1; Spearman as a robustness check).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum and maximum of a non-empty slice.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Some((lo, hi))
+}
+
+/// Pearson's correlation coefficient (the paper's Eq. 1).
+///
+/// Returns `None` when either input is constant (the coefficient is
+/// undefined) or the lengths differ / are below 2.
+pub fn pearson(t: &[f64], s: &[f64]) -> Option<f64> {
+    if t.len() != s.len() || t.len() < 2 {
+        return None;
+    }
+    let mt = mean(t);
+    let ms = mean(s);
+    let mut num = 0.0;
+    let mut dt = 0.0;
+    let mut ds = 0.0;
+    for (&a, &b) in t.iter().zip(s) {
+        let xa = a - mt;
+        let xb = b - ms;
+        num += xa * xb;
+        dt += xa * xa;
+        ds += xb * xb;
+    }
+    if dt <= 0.0 || ds <= 0.0 {
+        return None;
+    }
+    Some(num / (dt * ds).sqrt())
+}
+
+/// Fractional ranks with mid-rank tie handling (1-based).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Tied block [i, j]: assign the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on fractional ranks).
+pub fn spearman(t: &[f64], s: &[f64]) -> Option<f64> {
+    if t.len() != s.len() || t.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(t), &ranks(s))
+}
+
+/// Min-max normalisation into `[0, 1]`. Constant slices map to all-0.5.
+pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
+    match min_max(xs) {
+        Some((lo, hi)) if hi > lo => xs.iter().map(|x| (x - lo) / (hi - lo)).collect(),
+        Some(_) => vec![0.5; xs.len()],
+        None => Vec::new(),
+    }
+}
+
+/// Indices of the `k` largest values, descending. Ties resolve to the lower
+/// index first (deterministic).
+pub fn top_k_indices(xs: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| {
+        xs[b].partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k.min(xs.len()));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(approx(mean(&xs), 5.0));
+        assert!(approx(variance(&xs), 4.0));
+        assert!(approx(std_dev(&xs), 2.0));
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!(approx(pearson(&x, &y).unwrap(), 1.0));
+        let z: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!(approx(pearson(&x, &z).unwrap(), -1.0));
+    }
+
+    #[test]
+    fn pearson_constant_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[5.0, 5.0]), None);
+    }
+
+    #[test]
+    fn pearson_length_mismatch_is_none() {
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn pearson_bounded() {
+        // Deterministic pseudo-random-ish data.
+        let x: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| ((i * 11) % 17) as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn ranks_simple() {
+        assert_eq!(ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_midrank() {
+        // 10 appears twice at ranks 1 and 2 → both get 1.5.
+        assert_eq!(ranks(&[10.0, 10.0, 20.0]), vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| v.exp()).collect();
+        assert!(approx(spearman(&x, &y).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn min_max_normalize_range() {
+        let out = min_max_normalize(&[5.0, 10.0, 7.5]);
+        assert!(approx(out[0], 0.0));
+        assert!(approx(out[1], 1.0));
+        assert!(approx(out[2], 0.5));
+    }
+
+    #[test]
+    fn min_max_normalize_constant() {
+        assert_eq!(min_max_normalize(&[3.0, 3.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn top_k_indices_ordering() {
+        let xs = [0.1, 0.9, 0.5, 0.9, 0.2];
+        assert_eq!(top_k_indices(&xs, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&xs, 10).len(), 5);
+    }
+
+    #[test]
+    fn min_max_empty() {
+        assert_eq!(min_max(&[]), None);
+    }
+}

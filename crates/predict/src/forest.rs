@@ -1,0 +1,145 @@
+//! Random forest regressor: bagged [`DecisionTree`]s with per-node feature
+//! subsampling. The paper sets 100 trees and max depth 5 (§VI-C).
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Regressor;
+use tg_linalg::Matrix;
+use tg_rng::Rng;
+
+/// Random forest hyperparameters.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    /// Number of bagged trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    trees: Vec<DecisionTree>,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest {
+            n_trees: 100,
+            max_depth: 5,
+            min_samples_leaf: 2,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl RandomForest {
+    /// Forest with explicit size/depth.
+    pub fn new(n_trees: usize, max_depth: usize) -> Self {
+        RandomForest {
+            n_trees,
+            max_depth,
+            ..Default::default()
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+
+    fn fit(&mut self, x: &Matrix, y: &[f64], rng: &mut Rng) {
+        let n = x.rows();
+        assert_eq!(n, y.len(), "RandomForest::fit: row/target mismatch");
+        assert!(n > 0, "RandomForest::fit: empty input");
+        // f/3 features per split — Breiman's regression default (√f, the
+        // classification default, drowns the informative metadata columns
+        // when 2×128 embedding dimensions dominate the feature width).
+        let max_features = (x.cols() / 3).max(1);
+        let config = TreeConfig {
+            max_depth: self.max_depth,
+            min_samples_leaf: self.min_samples_leaf,
+            max_features: Some(max_features),
+        };
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // Bootstrap sample with replacement.
+                let rows: Vec<usize> = (0..n).map(|_| rng.index(n)).collect();
+                let mut tree = DecisionTree::new(config.clone());
+                tree.fit_rows(x, y, &rows, rng);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "RandomForest::predict called before fit");
+        let mut acc = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict(x)) {
+                *a += p;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{friedmanish, r2};
+
+    #[test]
+    fn fits_and_generalises() {
+        let mut rng = Rng::seed_from_u64(1);
+        let (x, y) = friedmanish(&mut rng, 400);
+        let (xt, yt) = friedmanish(&mut rng, 200);
+        let mut rf = RandomForest::default();
+        rf.fit(&x, &y, &mut rng);
+        assert_eq!(rf.num_trees(), 100);
+        let score = r2(&yt, &rf.predict(&xt));
+        assert!(score > 0.6, "r2 {score}");
+    }
+
+    #[test]
+    fn averaging_reduces_variance_vs_single_tree() {
+        let mut rng = Rng::seed_from_u64(2);
+        let (x, y) = friedmanish(&mut rng, 300);
+        let (xt, yt) = friedmanish(&mut rng, 200);
+        let mut rf = RandomForest::new(60, 5);
+        rf.fit(&x, &y, &mut rng);
+        let rf_score = r2(&yt, &rf.predict(&xt));
+        let mut single = RandomForest::new(1, 5);
+        single.fit(&x, &y, &mut rng);
+        let single_score = r2(&yt, &single.predict(&xt));
+        assert!(rf_score > single_score, "rf {rf_score} single {single_score}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = Rng::seed_from_u64(3);
+        let mut r2_ = Rng::seed_from_u64(3);
+        let (x, y) = friedmanish(&mut Rng::seed_from_u64(4), 100);
+        let mut a = RandomForest::new(10, 4);
+        let mut b = RandomForest::new(10, 4);
+        a.fit(&x, &y, &mut r1);
+        b.fit(&x, &y, &mut r2_);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn constant_target() {
+        let mut rng = Rng::seed_from_u64(5);
+        let x = Matrix::from_fn(50, 3, |_, _| rng.uniform());
+        let y = vec![2.5; 50];
+        let mut rf = RandomForest::new(10, 3);
+        rf.fit(&x, &y, &mut rng);
+        assert!(rf.predict(&x).iter().all(|&p| (p - 2.5).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,155 @@
+//! Prediction models for TransferGraph (§VI-C): the tabular regressors that
+//! learn *(metadata ⊕ similarity ⊕ graph features) → fine-tune accuracy*.
+//!
+//! * [`RidgeRegression`] — the paper's "linear regression" (LR) prediction
+//!   model, with a small ridge term for the collinear one-hot blocks;
+//! * [`RandomForest`] — 100 trees, max depth 5 (§VI-C);
+//! * [`Gbdt`] — XGBoost-style second-order gradient boosting with histogram
+//!   splits, 500 trees, max depth 5 (§VI-C).
+//!
+//! All models implement [`Regressor`].
+//!
+//! # Example
+//!
+//! ```
+//! use tg_predict::{Regressor, RidgeRegression};
+//! use tg_linalg::Matrix;
+//! use tg_rng::Rng;
+//!
+//! let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+//! let y = [1.0, 3.0, 5.0, 7.0]; // y = 2x + 1
+//! let mut lr = RidgeRegression::default();
+//! lr.fit(&x, &y, &mut Rng::seed_from_u64(0));
+//! let pred = lr.predict(&Matrix::from_rows(&[&[4.0]]));
+//! assert!((pred[0] - 9.0).abs() < 0.1);
+//! ```
+
+pub mod forest;
+pub mod gbdt;
+pub mod linear;
+pub mod tree;
+
+pub use forest::RandomForest;
+pub use gbdt::Gbdt;
+pub use linear::RidgeRegression;
+pub use tree::DecisionTree;
+
+use tg_linalg::Matrix;
+use tg_rng::Rng;
+
+/// A supervised regressor over dense tabular features.
+pub trait Regressor {
+    /// Short name used in experiment tables ("LR", "RF", "XGB").
+    fn name(&self) -> &'static str;
+
+    /// Fits the model to `x` (`n × f`) and targets `y` (`n`).
+    fn fit(&mut self, x: &Matrix, y: &[f64], rng: &mut Rng);
+
+    /// Predicts targets for new rows. Panics if called before `fit`.
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+}
+
+/// The paper's three prediction models, for experiment dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegressorKind {
+    /// Linear (ridge) regression.
+    Linear,
+    /// Random forest (100 × depth 5).
+    RandomForest,
+    /// Gradient boosting (500 × depth 5).
+    Xgb,
+}
+
+impl RegressorKind {
+    /// All prediction models in the paper's order.
+    pub const ALL: [RegressorKind; 3] = [
+        RegressorKind::Linear,
+        RegressorKind::RandomForest,
+        RegressorKind::Xgb,
+    ];
+
+    /// Display name matching the paper's plots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegressorKind::Linear => "LR",
+            RegressorKind::RandomForest => "RF",
+            RegressorKind::Xgb => "XGB",
+        }
+    }
+
+    /// Instantiates the regressor with the paper's hyperparameters.
+    pub fn build(&self) -> Box<dyn Regressor> {
+        match self {
+            RegressorKind::Linear => Box::new(RidgeRegression::default()),
+            RegressorKind::RandomForest => Box::new(RandomForest::default()),
+            RegressorKind::Xgb => Box::new(Gbdt::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use tg_linalg::Matrix;
+    use tg_rng::Rng;
+
+    /// Nonlinear synthetic regression task.
+    pub fn friedmanish(rng: &mut Rng, n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 5, |_, _| rng.uniform());
+        let y = (0..n)
+            .map(|i| {
+                let r = x.row(i);
+                (std::f64::consts::PI * r[0] * r[1]).sin() * 10.0
+                    + 20.0 * (r[2] - 0.5).powi(2)
+                    + 10.0 * r[3]
+                    + 5.0 * r[4]
+                    + rng.normal(0.0, 0.5)
+            })
+            .collect();
+        (x, y)
+    }
+
+    pub fn r2(y: &[f64], pred: &[f64]) -> f64 {
+        let mean = tg_linalg::stats::mean(y);
+        let ss_res: f64 = y.iter().zip(pred).map(|(a, b)| (a - b) * (a - b)).sum();
+        let ss_tot: f64 = y.iter().map(|a| (a - mean) * (a - mean)).sum();
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::{friedmanish, r2};
+
+    #[test]
+    fn all_kinds_fit_nonlinear_data_reasonably() {
+        let mut rng = Rng::seed_from_u64(1);
+        let (x, y) = friedmanish(&mut rng, 500);
+        let (xt, yt) = friedmanish(&mut rng, 200);
+        for kind in RegressorKind::ALL {
+            let mut model = kind.build();
+            model.fit(&x, &y, &mut rng);
+            let pred = model.predict(&xt);
+            let score = r2(&yt, &pred);
+            let floor = match kind {
+                RegressorKind::Linear => 0.5, // linear can't capture the sin term
+                _ => 0.6,
+            };
+            assert!(score > floor, "{} r2={score}", kind.name());
+        }
+    }
+
+    #[test]
+    fn tree_models_beat_linear_on_nonlinear_data() {
+        let mut rng = Rng::seed_from_u64(2);
+        let (x, y) = friedmanish(&mut rng, 600);
+        let (xt, yt) = friedmanish(&mut rng, 300);
+        let mut scores = std::collections::HashMap::new();
+        for kind in RegressorKind::ALL {
+            let mut model = kind.build();
+            model.fit(&x, &y, &mut rng);
+            scores.insert(kind, r2(&yt, &model.predict(&xt)));
+        }
+        assert!(scores[&RegressorKind::Xgb] > scores[&RegressorKind::Linear]);
+    }
+}

@@ -1,0 +1,307 @@
+//! A CART-style regression tree with exact greedy variance-reduction
+//! splits, per-node feature subsampling, and mean-value leaves.
+//!
+//! Used directly and as the base learner of [`crate::RandomForest`].
+
+use crate::Regressor;
+use tg_linalg::Matrix;
+use tg_rng::Rng;
+
+/// Regression tree hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required in each child.
+    pub min_samples_leaf: usize,
+    /// Features considered per split: `None` = all, `Some(k)` = random k
+    /// (the forest's decorrelation knob).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 5,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree (arena representation).
+#[derive(Clone, Debug, Default)]
+pub struct DecisionTree {
+    /// Hyperparameters.
+    pub config: TreeConfig,
+    nodes: Vec<Node>,
+}
+
+
+impl DecisionTree {
+    /// Tree with the given configuration.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fits on a subset of rows (used by bagging). `rows` may contain
+    /// duplicates (bootstrap).
+    pub fn fit_rows(&mut self, x: &Matrix, y: &[f64], rows: &[usize], rng: &mut Rng) {
+        assert!(!rows.is_empty(), "DecisionTree: empty row set");
+        self.nodes.clear();
+        let mut rows = rows.to_vec();
+        self.build(x, y, &mut rows, 0, rng);
+    }
+
+    fn build(&mut self, x: &Matrix, y: &[f64], rows: &mut [usize], depth: usize, rng: &mut Rng) -> usize {
+        let n = rows.len();
+        let sum: f64 = rows.iter().map(|&i| y[i]).sum();
+        let mean = sum / n as f64;
+        if depth >= self.config.max_depth || n < 2 * self.config.min_samples_leaf {
+            return self.push_leaf(mean);
+        }
+        let Some((feature, threshold)) = self.best_split(x, y, rows, rng) else {
+            return self.push_leaf(mean);
+        };
+        // Partition in place.
+        let mut lo = 0;
+        let mut hi = n;
+        while lo < hi {
+            if x.get(rows[lo], feature) <= threshold {
+                lo += 1;
+            } else {
+                hi -= 1;
+                rows.swap(lo, hi);
+            }
+        }
+        if lo < self.config.min_samples_leaf || n - lo < self.config.min_samples_leaf {
+            return self.push_leaf(mean);
+        }
+        // Reserve the split node index before recursing.
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        let (left_rows, right_rows) = rows.split_at_mut(lo);
+        let left = self.build(x, y, left_rows, depth + 1, rng);
+        let right = self.build(x, y, right_rows, depth + 1, rng);
+        self.nodes[idx] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        idx
+    }
+
+    fn push_leaf(&mut self, value: f64) -> usize {
+        self.nodes.push(Node::Leaf { value });
+        self.nodes.len() - 1
+    }
+
+    /// Best variance-reduction split over the (possibly subsampled)
+    /// features. Returns `None` when no split improves on the parent.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        rows: &[usize],
+        rng: &mut Rng,
+    ) -> Option<(usize, f64)> {
+        let f = x.cols();
+        let candidates: Vec<usize> = match self.config.max_features {
+            Some(k) if k < f => rng.sample_indices(f, k),
+            _ => (0..f).collect(),
+        };
+        let n = rows.len() as f64;
+        let total_sum: f64 = rows.iter().map(|&i| y[i]).sum();
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(rows.len());
+        for &feat in &candidates {
+            pairs.clear();
+            pairs.extend(rows.iter().map(|&i| (x.get(i, feat), y[i])));
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut left_sum = 0.0;
+            let mut left_n = 0.0;
+            for w in 0..pairs.len() - 1 {
+                left_sum += pairs[w].1;
+                left_n += 1.0;
+                if pairs[w].0 == pairs[w + 1].0 {
+                    continue; // can't split between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let right_n = n - left_n;
+                if left_n < self.config.min_samples_leaf as f64
+                    || right_n < self.config.min_samples_leaf as f64
+                {
+                    continue;
+                }
+                // Maximising Σ n_c mean_c² is equivalent to minimising
+                // within-node variance.
+                let score = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
+                    best = Some((feat, threshold, score));
+                }
+            }
+        }
+        // Require strict improvement over the parent score.
+        let parent_score = total_sum * total_sum / n;
+        best.and_then(|(feat, th, score)| {
+            if score > parent_score + 1e-12 {
+                Some((feat, th))
+            } else {
+                None
+            }
+        })
+    }
+
+    fn predict_row(&self, x: &Matrix, row: usize) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x.get(row, *feature) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn name(&self) -> &'static str {
+        "Tree"
+    }
+
+    fn fit(&mut self, x: &Matrix, y: &[f64], rng: &mut Rng) {
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        self.fit_rows(x, y, &rows, rng);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.nodes.is_empty(), "DecisionTree::predict called before fit");
+        (0..x.rows()).map(|r| self.predict_row(x, r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let x = Matrix::from_fn(20, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 2,
+            ..Default::default()
+        });
+        let mut rng = Rng::seed_from_u64(1);
+        t.fit(&x, &y, &mut rng);
+        let pred = t.predict(&x);
+        assert_eq!(pred[0], 1.0);
+        assert_eq!(pred[19], 5.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x = Matrix::from_fn(10, 2, |i, j| (i * 2 + j) as f64);
+        let y = vec![3.0; 10];
+        let mut t = DecisionTree::default();
+        let mut rng = Rng::seed_from_u64(2);
+        t.fit(&x, &y, &mut rng);
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.predict(&x).iter().all(|&p| p == 3.0));
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = Rng::seed_from_u64(3);
+        let x = Matrix::from_fn(256, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..256).map(|_| rng.uniform()).collect();
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 1,
+            max_features: None,
+        });
+        t.fit(&x, &y, &mut rng);
+        // Depth-3 binary tree has at most 2^4 − 1 nodes.
+        assert!(t.num_nodes() <= 15, "{} nodes", t.num_nodes());
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let x = Matrix::from_fn(6, 1, |i, _| i as f64);
+        let y = vec![0.0, 0.0, 0.0, 10.0, 10.0, 10.0];
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 5,
+            min_samples_leaf: 3,
+            max_features: None,
+        });
+        let mut rng = Rng::seed_from_u64(4);
+        t.fit(&x, &y, &mut rng);
+        // Exactly one split possible (3 | 3).
+        assert_eq!(t.num_nodes(), 3);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let mut rng = Rng::seed_from_u64(5);
+        let x = Matrix::from_fn(200, 4, |_, _| rng.uniform());
+        let y: Vec<f64> = (0..200).map(|i| if x.get(i, 2) > 0.5 { 1.0 } else { 0.0 }).collect();
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 6,
+            min_samples_leaf: 2,
+            max_features: Some(2),
+        });
+        t.fit(&x, &y, &mut rng);
+        let pred = t.predict(&x);
+        let correct = pred
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| (*p - *t).abs() < 0.5)
+            .count();
+        assert!(correct > 160, "only {correct}/200 correct");
+    }
+
+    #[test]
+    fn bootstrap_rows_with_duplicates() {
+        let x = Matrix::from_fn(10, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let rows = vec![0, 0, 1, 1, 5, 5, 9, 9];
+        let mut t = DecisionTree::default();
+        let mut rng = Rng::seed_from_u64(6);
+        t.fit_rows(&x, &y, &rows, &mut rng);
+        assert!(t.predict(&x)[0] < t.predict(&x)[9]);
+    }
+}

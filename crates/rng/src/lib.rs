@@ -1,0 +1,342 @@
+//! Deterministic pseudo-random number generation for the TransferGraph
+//! reproduction.
+//!
+//! Every stochastic component of the workspace (the synthetic model zoo,
+//! random walks, SGNS negative sampling, neural-network initialisation,
+//! bootstrap sampling in the random forest, ...) draws from the generators in
+//! this crate, so that an entire experiment is bit-reproducible from a single
+//! `u64` seed. We intentionally avoid the `rand` crate in library code: its
+//! stream is not guaranteed stable across versions, while the generators here
+//! are frozen reference algorithms (SplitMix64 and Xoshiro256++).
+//!
+//! # Example
+//!
+//! ```
+//! use tg_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let u = rng.uniform();          // U[0, 1)
+//! let z = rng.normal(0.0, 1.0);   // N(0, 1)
+//! assert!((0.0..1.0).contains(&u));
+//! assert!(z.is_finite());
+//! ```
+
+mod sampling;
+
+pub use sampling::AliasTable;
+
+/// SplitMix64 step: used for seeding and as a standalone mixer.
+///
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Xoshiro256++ generator with convenience distribution methods.
+///
+/// The raw stream is the reference xoshiro256++ 1.0 algorithm by Blackman and
+/// Vigna. All floating-point helpers derive from that stream in a fixed way,
+/// so the sequence of values produced by any method chain is stable.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the Box-Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed by expanding it with SplitMix64,
+    /// as recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator. Used to give each parallel
+    /// worker / model / dataset its own stream without correlation.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let mut sm = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform_range: lo must be <= hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Uses Lemire's multiply-shift with a
+    /// rejection step to avoid modulo bias.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: n must be positive");
+        let n = n as u64;
+        // Lemire's multiply-shift: accept when the low word clears the bias
+        // threshold (-n mod n).
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn index_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "index_range: empty range");
+        lo + self.index(hi - lo)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal via the Box-Muller transform. Caches the second output
+    /// for the next call.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid log(0) by nudging u1 away from zero.
+        let u1 = self.uniform().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0, "normal: std_dev must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Vector of i.i.d. normals.
+    pub fn normal_vec(&mut self, n: usize, mean: f64, std_dev: f64) -> Vec<f64> {
+        (0..n).map(|_| self.normal(mean, std_dev)).collect()
+    }
+
+    /// Samples an index from an (unnormalised) non-negative weight vector.
+    ///
+    /// Linear scan; for repeated sampling from the same weights build an
+    /// [`AliasTable`] instead.
+    pub fn categorical(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "categorical: weights must have a positive finite sum"
+        );
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0, "categorical: negative weight");
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1 // floating point slack: fall back to the last index
+    }
+
+    /// Fisher-Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (partial Fisher-Yates).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k must be <= n");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.index_range(i, n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Uniformly chooses one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        &items[self.index(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_close_to_half() {
+        let mut rng = Rng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn index_respects_bound_and_covers() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let i = rng.index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(6);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = Rng::seed_from_u64(8);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.categorical(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical")]
+    fn categorical_rejects_zero_weights() {
+        let mut rng = Rng::seed_from_u64(8);
+        rng.categorical(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely to be identity
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Rng::seed_from_u64(10);
+        let s = rng.sample_indices(20, 8);
+        assert_eq!(s.len(), 8);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 8);
+        assert!(s.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from_u64(11);
+        let mut a = parent.fork(0);
+        let mut b = parent.fork(1);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Rng::seed_from_u64(12);
+        assert!((0..100).all(|_| !rng.bernoulli(0.0)));
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+    }
+}

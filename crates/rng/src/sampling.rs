@@ -1,0 +1,133 @@
+//! Weighted sampling helpers.
+
+use crate::Rng;
+
+/// Walker's alias method for O(1) sampling from a fixed discrete
+/// distribution.
+///
+/// Node2Vec-style random walks and SGNS negative sampling repeatedly draw
+/// from the same weight vectors; the alias table makes each draw two random
+/// numbers and one comparison, independent of the support size.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights. Panics if the weights do not
+    /// have a positive finite sum.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "AliasTable: empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "AliasTable: weights must have a positive finite sum"
+        );
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        // Scaled probabilities: average exactly 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            assert!(p >= 0.0, "AliasTable: negative weight at {i}");
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let Some(s) = small.pop() {
+            let Some(l) = large.pop() else {
+                // Rounding left a "small" cell with no large partner: its
+                // scaled probability is ~1.
+                prob[s] = 1.0;
+                alias[s] = s;
+                continue;
+            };
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains has probability ~1 up to rounding.
+        for i in large {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no categories (never constructible; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.uniform() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_matches_weights() {
+        let weights = [0.1, 0.2, 0.3, 0.4];
+        let table = AliasTable::new(&weights);
+        let mut rng = Rng::seed_from_u64(99);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - w).abs() < 0.01, "cat {i}: freq {freq} vs {w}");
+        }
+    }
+
+    #[test]
+    fn alias_zero_weight_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = Rng::seed_from_u64(100);
+        for _ in 0..10_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = Rng::seed_from_u64(101);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "AliasTable")]
+    fn alias_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! LogME: practical assessment of pre-trained models for transfer learning
+//! (You et al., ICML 2021).
+//!
+//! LogME scores a feature matrix `F` by the maximum marginal evidence of a
+//! Bayesian linear regression from `F` to each one-vs-rest label column,
+//! optimised over the prior precision `α` and noise precision `β` with
+//! MacKay's fixed-point updates. The SVD of `F` makes each iteration O(D).
+
+use tg_linalg::decomp::thin_svd;
+use tg_linalg::Matrix;
+
+/// Number of fixed-point iterations; the original implementation uses 11
+/// and observes convergence well before that.
+const FIXED_POINT_ITERS: usize = 11;
+
+/// LogME score of features (`n × D`) against integer labels in
+/// `0..num_classes`. Higher is better. Returns the mean per-class log
+/// evidence per sample.
+pub fn log_me(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+    let n = features.rows();
+    assert_eq!(n, labels.len(), "log_me: feature/label count mismatch");
+    assert!(num_classes >= 2, "log_me: need at least two classes");
+    let d = features.cols();
+
+    let svd = thin_svd(features).expect("log_me: SVD failed");
+    // σ² spectrum (zero-padded to D when rank-deficient).
+    let sigma2: Vec<f64> = svd.sigma.iter().map(|s| s * s).collect();
+    let k = sigma2.len();
+
+    let mut total = 0.0;
+    for class in 0..num_classes {
+        // One-vs-rest target column.
+        let y: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l == class { 1.0 } else { 0.0 })
+            .collect();
+        let y_sq: f64 = y.iter().map(|v| v * v).sum();
+        // Projections z = Uᵀ y.
+        let z: Vec<f64> = (0..k)
+            .map(|i| {
+                let mut s = 0.0;
+                for r in 0..n {
+                    s += svd.u.get(r, i) * y[r];
+                }
+                s
+            })
+            .collect();
+        let z_sq: Vec<f64> = z.iter().map(|v| v * v).collect();
+        // Residual outside the column space of F.
+        let r0 = (y_sq - z_sq.iter().sum::<f64>()).max(0.0);
+
+        let mut alpha = 1.0f64;
+        let mut beta = 1.0f64;
+        for _ in 0..FIXED_POINT_ITERS {
+            let mut gamma = 0.0;
+            let mut m2 = 0.0;
+            let mut res2 = r0;
+            for i in 0..k {
+                let denom = alpha + beta * sigma2[i];
+                gamma += beta * sigma2[i] / denom;
+                m2 += beta * beta * sigma2[i] * z_sq[i] / (denom * denom);
+                res2 += z_sq[i] * (alpha / denom) * (alpha / denom);
+            }
+            let new_alpha = if m2 > 1e-12 { gamma / m2 } else { alpha };
+            let new_beta = if res2 > 1e-12 {
+                (n as f64 - gamma) / res2
+            } else {
+                beta
+            };
+            if !new_alpha.is_finite() || !new_beta.is_finite() {
+                break;
+            }
+            alpha = new_alpha.clamp(1e-9, 1e12);
+            beta = new_beta.clamp(1e-9, 1e12);
+        }
+
+        // Evidence at the optimum.
+        let mut m2 = 0.0;
+        let mut res2 = r0;
+        let mut logdet = 0.0;
+        for i in 0..k {
+            let denom = alpha + beta * sigma2[i];
+            m2 += beta * beta * sigma2[i] * z_sq[i] / (denom * denom);
+            res2 += z_sq[i] * (alpha / denom) * (alpha / denom);
+            logdet += denom.ln();
+        }
+        // Dimensions beyond the numerical rank contribute ln α each.
+        logdet += (d.saturating_sub(k)) as f64 * alpha.ln();
+        let nf = n as f64;
+        let evidence = 0.5
+            * (d as f64 * alpha.ln() + nf * beta.ln()
+                - beta * res2
+                - alpha * m2
+                - logdet
+                - nf * (2.0 * std::f64::consts::PI).ln());
+        total += evidence / nf;
+    }
+    total / num_classes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::clustered_features;
+    use tg_rng::Rng;
+
+    #[test]
+    fn separable_scores_higher_than_noise() {
+        let mut rng = Rng::seed_from_u64(1);
+        let (f_good, y) = clustered_features(&mut rng, 200, 16, 4, 3.0);
+        let (f_bad, _) = clustered_features(&mut rng, 200, 16, 4, 0.0);
+        let good = log_me(&f_good, &y, 4);
+        let bad = log_me(&f_bad, &y, 4);
+        assert!(good > bad, "good {good} should beat bad {bad}");
+    }
+
+    #[test]
+    fn monotone_in_separation() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut last = f64::NEG_INFINITY;
+        for sep in [0.0, 1.0, 2.0, 4.0] {
+            let (f, y) = clustered_features(&mut rng, 240, 12, 3, sep);
+            let s = log_me(&f, &y, 3);
+            assert!(s > last, "sep {sep}: {s} <= {last}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn scale_invariance_is_mild() {
+        // LogME is not exactly scale-invariant but must not explode under
+        // feature rescaling (the evidence adapts α, β).
+        let mut rng = Rng::seed_from_u64(3);
+        let (f, y) = clustered_features(&mut rng, 150, 8, 3, 2.0);
+        let s1 = log_me(&f, &y, 3);
+        let s2 = log_me(&f.scale(10.0), &y, 3);
+        assert!((s1 - s2).abs() < 1.0, "s1 {s1} s2 {s2}");
+    }
+
+    #[test]
+    fn handles_rank_deficient_features() {
+        // Duplicate columns: rank D/2.
+        let mut rng = Rng::seed_from_u64(4);
+        let (half, y) = clustered_features(&mut rng, 120, 6, 3, 2.0);
+        let f = half.hstack(&half);
+        let s = log_me(&f, &y, 3);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn binary_case_works() {
+        let mut rng = Rng::seed_from_u64(5);
+        let (f, y) = clustered_features(&mut rng, 160, 10, 2, 2.5);
+        assert!(log_me(&f, &y, 2).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "log_me")]
+    fn rejects_mismatched_labels() {
+        let f = Matrix::zeros(10, 4);
+        log_me(&f, &[0, 1], 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Simulated forward passes: the features transferability estimators
+//! consume.
+//!
+//! In the paper, feature-based model selection runs model `m` on target
+//! dataset `d` and scores how well the extracted representations predict the
+//! target labels (LogME, LEEP, …). Here a forward pass yields per-class
+//! Gaussian features whose class separation tracks the model's latent skill
+//! *imperfectly* — reproducing the estimators' signal-plus-noise channel.
+
+use crate::datasets::DatasetInfo;
+use crate::models::ModelInfo;
+use tg_linalg::Matrix;
+use tg_rng::{splitmix64, Rng};
+
+/// Result of running a model over a dataset.
+#[derive(Debug, Clone)]
+pub struct ForwardPass {
+    /// Feature matrix, `n × feature_dim` (the penultimate-layer activations).
+    pub features: Matrix,
+    /// Target labels, length `n`, in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of target classes.
+    pub num_classes: usize,
+    /// Soft predictions of the model's *source* head, `n × num_source_classes`
+    /// (rows sum to 1). LEEP and NCE consume these.
+    pub source_probs: Matrix,
+    /// Number of source classes.
+    pub num_source_classes: usize,
+}
+
+impl ForwardPass {
+    /// Hard source pseudo-labels (argmax of [`ForwardPass::source_probs`]).
+    pub fn source_labels(&self) -> Vec<usize> {
+        (0..self.source_probs.rows())
+            .map(|r| {
+                let row = self.source_probs.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Number of samples drawn for a forward pass: enough per class for the
+/// estimators, capped for speed.
+pub fn sample_count(num_classes: usize) -> usize {
+    (6 * num_classes).clamp(160, 800)
+}
+
+/// Unit-norm class prototype, deterministic in `(dataset, class)`.
+fn class_prototype(dataset: &DatasetInfo, class: usize, dim: usize) -> Vec<f64> {
+    let mut state = (dataset.id.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(class as u64);
+    let seed = splitmix64(&mut state);
+    let mut rng = Rng::seed_from_u64(seed);
+    let v = rng.normal_vec(dim, 0.0, 1.0);
+    let n = tg_linalg::matrix::norm(&v).max(1e-12);
+    v.into_iter().map(|x| x / n).collect()
+}
+
+/// Simulates one forward pass.
+///
+/// * representation quality `ρ = clamp(skill + ε)` with its own noise
+///   stream, so estimator scores correlate with — but do not equal — the
+///   fine-tune outcome;
+/// * features: `ρ · sep · prototype(class) + N(0, 1)` per dimension;
+/// * source-head probabilities: concentrated on a deterministic
+///   class-to-source-class mapping with confidence growing in `ρ`.
+pub fn simulate_forward_pass(
+    model: &ModelInfo,
+    source: &DatasetInfo,
+    target: &DatasetInfo,
+    skill: f64,
+    feature_dim: usize,
+    rng: &mut Rng,
+) -> ForwardPass {
+    let num_classes = target.num_classes;
+    let n = sample_count(num_classes);
+    let rho = (skill + rng.normal(0.0, 0.07)).clamp(0.02, 1.0);
+    let sep = 2.2;
+
+    // Pre-compute prototypes.
+    let protos: Vec<Vec<f64>> = (0..num_classes)
+        .map(|c| class_prototype(target, c, feature_dim))
+        .collect();
+
+    // Source head size: cap so LEEP's joint stays tractable.
+    let num_source_classes = source.num_classes.clamp(2, 64);
+    // Deterministic target-class → source-class mapping (depends on the
+    // source dataset so models sharing a source agree).
+    let mapping: Vec<usize> = (0..num_classes)
+        .map(|c| {
+            let mut st = (source.id.0 as u64)
+                .wrapping_mul(0xD134_2543_DE82_EF95)
+                .wrapping_add(c as u64);
+            (splitmix64(&mut st) % num_source_classes as u64) as usize
+        })
+        .collect();
+
+    let mut features = Matrix::zeros(n, feature_dim);
+    let mut labels = Vec::with_capacity(n);
+    let mut source_probs = Matrix::zeros(n, num_source_classes);
+    for i in 0..n {
+        let c = i % num_classes; // balanced classes
+        labels.push(c);
+        for j in 0..feature_dim {
+            features.set(i, j, rho * sep * protos[c][j] + rng.normal(0.0, 1.0));
+        }
+        // Source-head distribution: peak on mapping[c] with confidence
+        // growing in rho; rest is a noisy uniform floor.
+        let conf = 0.15 + 0.7 * rho;
+        let peak = mapping[c];
+        let mut total = 0.0;
+        for k in 0..num_source_classes {
+            let base = if k == peak { conf } else { (1.0 - conf) / num_source_classes as f64 };
+            let val = (base * rng.uniform_range(0.6, 1.4)).max(1e-6);
+            source_probs.set(i, k, val);
+            total += val;
+        }
+        for k in 0..num_source_classes {
+            source_probs.set(i, k, source_probs.get(i, k) / total);
+        }
+    }
+
+    // The model's capacity mildly widens or narrows the feature scale —
+    // heterogeneity estimators must cope with.
+    let scale = 0.7 + 0.6 * model.capacity;
+    let features = features.scale(scale);
+
+    ForwardPass {
+        features,
+        labels,
+        num_classes,
+        source_probs,
+        num_source_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::build_datasets;
+    use crate::models::build_models;
+    use crate::Modality;
+
+    fn fixtures() -> (Vec<DatasetInfo>, Vec<ModelInfo>) {
+        let mut rng = Rng::seed_from_u64(21);
+        let ds = build_datasets(Modality::Image, 16, &mut rng, 0);
+        let ms = build_models(Modality::Image, 10, &ds, 16, &mut rng, 0);
+        (ds, ms)
+    }
+
+    fn fp(skill: f64) -> ForwardPass {
+        let (ds, ms) = fixtures();
+        let m = &ms[0];
+        let src = &ds[m.source_dataset.0];
+        let target = &ds[3]; // flowers: 10 classes
+        let mut rng = Rng::seed_from_u64(1);
+        simulate_forward_pass(m, src, target, skill, 16, &mut rng)
+    }
+
+    #[test]
+    fn shapes_consistent() {
+        let p = fp(0.5);
+        assert_eq!(p.features.rows(), p.labels.len());
+        assert_eq!(p.features.cols(), 16);
+        assert_eq!(p.source_probs.rows(), p.labels.len());
+        assert_eq!(p.source_probs.cols(), p.num_source_classes);
+        assert!(p.labels.iter().all(|&l| l < p.num_classes));
+    }
+
+    #[test]
+    fn source_probs_are_distributions() {
+        let p = fp(0.6);
+        for r in 0..p.source_probs.rows() {
+            let s: f64 = p.source_probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+            assert!(p.source_probs.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn higher_skill_gives_more_separable_features() {
+        // Fisher-ish criterion: between-class over within-class scatter.
+        fn separability(p: &ForwardPass) -> f64 {
+            let dim = p.features.cols();
+            let mut means = vec![vec![0.0; dim]; p.num_classes];
+            let mut counts = vec![0usize; p.num_classes];
+            for (i, &c) in p.labels.iter().enumerate() {
+                for j in 0..dim {
+                    means[c][j] += p.features.get(i, j);
+                }
+                counts[c] += 1;
+            }
+            for (m, &cnt) in means.iter_mut().zip(&counts) {
+                for x in m.iter_mut() {
+                    *x /= cnt.max(1) as f64;
+                }
+            }
+            let mut within = 0.0;
+            for (i, &c) in p.labels.iter().enumerate() {
+                for j in 0..dim {
+                    within += (p.features.get(i, j) - means[c][j]).powi(2);
+                }
+            }
+            let grand: Vec<f64> = (0..dim)
+                .map(|j| means.iter().map(|m| m[j]).sum::<f64>() / p.num_classes as f64)
+                .collect();
+            let mut between = 0.0;
+            for m in &means {
+                for j in 0..dim {
+                    between += (m[j] - grand[j]).powi(2);
+                }
+            }
+            between / (within / p.labels.len() as f64)
+        }
+        let low = separability(&fp(0.1));
+        let high = separability(&fp(0.9));
+        assert!(high > 2.0 * low, "low {low} high {high}");
+    }
+
+    #[test]
+    fn source_labels_match_argmax() {
+        let p = fp(0.7);
+        let hard = p.source_labels();
+        assert_eq!(hard.len(), p.labels.len());
+        for (r, &h) in hard.iter().enumerate() {
+            let row = p.source_probs.row(r);
+            assert!(row.iter().all(|&x| x <= row[h]));
+        }
+    }
+
+    #[test]
+    fn sample_count_bounds() {
+        assert_eq!(sample_count(2), 160);
+        assert_eq!(sample_count(50), 300);
+        assert_eq!(sample_count(196), 800);
+    }
+
+    #[test]
+    fn prototypes_deterministic_and_distinct() {
+        let (ds, _) = fixtures();
+        let a = class_prototype(&ds[0], 0, 16);
+        let b = class_prototype(&ds[0], 0, 16);
+        assert_eq!(a, b);
+        let c = class_prototype(&ds[0], 1, 16);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,79 @@
+//! A simulated heterogeneous model zoo.
+//!
+//! The paper's substrate is a real HuggingFace zoo: 185 image and 163 text
+//! classification models fine-tuned (1178 GPU-hours per dataset!) on 16
+//! target datasets. That substrate is a hardware/data gate for a laptop-scale
+//! reproduction, so this crate replaces it with a **generative latent-space
+//! world** that reproduces the *information structure* the selection methods
+//! operate on:
+//!
+//! * every dataset carries a latent task vector drawn from a domain cluster
+//!   (flowers is near pets, far from svhn — §IV-B2's semantic similarity);
+//! * every model has an architecture family with an inductive-bias vector, a
+//!   source dataset, a capacity and a pre-training quality (§II-B1's
+//!   heterogeneity);
+//! * fine-tuning accuracy `T[m, d]` is a fixed function of source–target
+//!   affinity, bias–task match, capacity fit, and quality, plus noise
+//!   (§VII-A's ground truth);
+//! * a forward pass of model `m` on dataset `d` yields class-structured
+//!   features whose separability tracks `T[m, d]` imperfectly — the channel
+//!   feature-based estimators (LogME, LEEP, …) consume;
+//! * probe-network embeddings (Domain Similarity, Eq. 3; Task2Vec, Eq. 6)
+//!   expose dataset semantics with noise.
+//!
+//! Everything is deterministic given the [`ZooConfig::seed`].
+//!
+//! # Example
+//!
+//! ```
+//! use tg_zoo::{ModelZoo, ZooConfig, FineTuneMethod, Modality};
+//!
+//! let zoo = ModelZoo::build(&ZooConfig::small(7));
+//! let m = zoo.models_of(Modality::Image)[0];
+//! let d = zoo.targets_of(Modality::Image)[0];
+//! let acc = zoo.fine_tune(m, d, FineTuneMethod::Full);
+//! assert!((0.0..=1.0).contains(&acc));
+//! // Deterministic: same query, same answer.
+//! assert_eq!(acc, zoo.fine_tune(m, d, FineTuneMethod::Full));
+//! ```
+
+pub mod datasets;
+pub mod features;
+pub mod finetune;
+pub mod history;
+pub mod models;
+pub mod probe;
+pub mod world;
+
+pub use datasets::{DatasetInfo, DatasetRole};
+pub use features::ForwardPass;
+pub use finetune::FineTuneMethod;
+pub use history::{FineTuneRecord, TrainingHistory};
+pub use models::ModelInfo;
+pub use world::{ModelZoo, ZooConfig};
+
+/// Data modality of a dataset or model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modality {
+    /// Image classification.
+    Image,
+    /// Text classification.
+    Text,
+}
+
+impl std::fmt::Display for Modality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Modality::Image => write!(f, "image"),
+            Modality::Text => write!(f, "text"),
+        }
+    }
+}
+
+/// Index of a dataset in the zoo registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub usize);
+
+/// Index of a model in the zoo registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(pub usize);

@@ -1,0 +1,321 @@
+//! Model registry: heterogeneous pre-trained models across architecture
+//! families, mirroring the paper's zoo of 185 image / 163 text models.
+
+use crate::datasets::{DatasetInfo, DatasetRole};
+use crate::{DatasetId, Modality, ModelId};
+use tg_rng::Rng;
+
+/// An architecture family with its inductive bias.
+#[derive(Clone, Debug)]
+pub struct Family {
+    /// Family name, e.g. "vit".
+    pub name: &'static str,
+    /// Variant labels and their capacity in `[0, 1]` plus parameter count in
+    /// millions.
+    pub variants: &'static [(&'static str, f64, f64)],
+    /// Modality the family belongs to.
+    pub modality: Modality,
+}
+
+/// Image families (§VII-A lists ViT, Swin Transformer, ConvNeXT among
+/// others; we add the classic CNN families the related work restricts to).
+pub const IMAGE_FAMILIES: &[Family] = &[
+    Family {
+        name: "resnet",
+        variants: &[("18", 0.30, 11.7), ("34", 0.40, 21.8), ("50", 0.55, 25.6), ("101", 0.70, 44.5)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "vit",
+        variants: &[("small", 0.50, 22.0), ("base", 0.70, 86.6), ("large", 0.90, 304.0)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "swin",
+        variants: &[("tiny", 0.55, 28.3), ("small", 0.70, 49.6), ("base", 0.85, 87.8)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "convnext",
+        variants: &[("tiny", 0.55, 28.6), ("base", 0.80, 88.6)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "mobilenet",
+        variants: &[("v2", 0.20, 3.5), ("v3-small", 0.15, 2.5), ("v3-large", 0.30, 5.5)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "efficientnet",
+        variants: &[("b0", 0.35, 5.3), ("b2", 0.50, 9.1), ("b4", 0.65, 19.3)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "densenet",
+        variants: &[("121", 0.40, 8.0), ("201", 0.55, 20.0)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "deit",
+        variants: &[("tiny", 0.35, 5.7), ("small", 0.55, 22.1), ("base", 0.75, 86.6)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "beit",
+        variants: &[("base", 0.75, 86.5), ("large", 0.92, 304.4)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "regnet",
+        variants: &[("y-400mf", 0.25, 4.3), ("y-8gf", 0.60, 39.2)],
+        modality: Modality::Image,
+    },
+    Family {
+        name: "mixer",
+        variants: &[("b16", 0.60, 59.9)],
+        modality: Modality::Image,
+    },
+];
+
+/// Text families (BERT, FNet and ELECTRA are named in §VII-A).
+pub const TEXT_FAMILIES: &[Family] = &[
+    Family {
+        name: "bert",
+        variants: &[("base", 0.60, 110.0), ("large", 0.85, 340.0)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "roberta",
+        variants: &[("base", 0.65, 125.0), ("large", 0.90, 355.0)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "distilbert",
+        variants: &[("base", 0.40, 66.0)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "albert",
+        variants: &[("base", 0.45, 12.0), ("large", 0.60, 18.0)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "electra",
+        variants: &[("small", 0.35, 14.0), ("base", 0.65, 110.0)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "fnet",
+        variants: &[("base", 0.50, 83.0)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "deberta",
+        variants: &[("base", 0.70, 139.0), ("large", 0.92, 405.0)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "xlnet",
+        variants: &[("base", 0.65, 117.0)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "minilm",
+        variants: &[("l6", 0.30, 22.7), ("l12", 0.45, 33.4)],
+        modality: Modality::Text,
+    },
+    Family {
+        name: "gpt2",
+        variants: &[("small", 0.55, 124.0)],
+        modality: Modality::Text,
+    },
+];
+
+/// A pre-trained model in the zoo.
+#[derive(Clone, Debug)]
+pub struct ModelInfo {
+    /// Registry index.
+    pub id: ModelId,
+    /// Unique name, e.g. `vit-base/food101/2`.
+    pub name: String,
+    /// Family index into [`IMAGE_FAMILIES`] / [`TEXT_FAMILIES`].
+    pub family: usize,
+    /// Architecture string, e.g. `vit-base` (metadata feature §IV-A2).
+    pub architecture: String,
+    /// Image or text.
+    pub modality: Modality,
+    /// Dataset the model was pre-trained on.
+    pub source_dataset: DatasetId,
+    /// Capacity in `[0, 1]` — how much signal the model can absorb.
+    pub capacity: f64,
+    /// Parameter count (metadata feature §IV-A2).
+    pub num_params: u64,
+    /// Input resolution for images / max sequence length for text
+    /// (metadata feature §IV-A2).
+    pub input_size: u32,
+    /// Approximate memory consumption in MB (metadata feature §IV-A2).
+    pub memory_mb: f64,
+    /// Pre-training quality in `[0, 1]`: how well the run converged.
+    pub quality: f64,
+    /// Accuracy reached on the source dataset (metadata feature §IV-A2,
+    /// "model performance").
+    pub pretrain_accuracy: f64,
+    /// Family inductive-bias vector in latent space (shared within a
+    /// family).
+    pub bias: Vec<f64>,
+}
+
+/// Builds `n` models of a modality, rotating families/variants and sampling
+/// a source dataset for each.
+///
+/// Source sampling favours the first few (generic, large) sources — in the
+/// real zoo most models are pre-trained on ImageNet-like corpora — while
+/// still covering the specialised sources.
+pub fn build_models(
+    modality: Modality,
+    n: usize,
+    datasets: &[DatasetInfo],
+    latent_dim: usize,
+    rng: &mut Rng,
+    id_offset: usize,
+) -> Vec<ModelInfo> {
+    let families = match modality {
+        Modality::Image => IMAGE_FAMILIES,
+        Modality::Text => TEXT_FAMILIES,
+    };
+    // Per-family inductive bias vectors, fixed for the whole zoo.
+    let biases: Vec<Vec<f64>> = (0..families.len())
+        .map(|_| rng.normal_vec(latent_dim, 0.0, 1.0))
+        .collect();
+
+    let sources: Vec<&DatasetInfo> = datasets
+        .iter()
+        .filter(|d| d.modality == modality && d.role == DatasetRole::Source)
+        .collect();
+    assert!(!sources.is_empty(), "build_models: no source datasets");
+    // Zipf-ish source weights: generic sources dominate.
+    let weights: Vec<f64> = (0..sources.len()).map(|i| 1.0 / (1.0 + i as f64 * 0.35)).collect();
+
+    let input_sizes: &[u32] = match modality {
+        Modality::Image => &[224, 224, 224, 256, 288, 384],
+        Modality::Text => &[128, 128, 256, 512],
+    };
+
+    let mut out = Vec::with_capacity(n);
+    let mut counter = std::collections::HashMap::<String, usize>::new();
+    for i in 0..n {
+        let fi = i % families.len();
+        let fam = &families[fi];
+        let (variant, capacity, params_m) = fam.variants[rng.index(fam.variants.len())];
+        let src = sources[rng.categorical(&weights)];
+        let quality = rng.uniform_range(0.35, 1.0);
+        // Pre-train accuracy is a *weak* proxy for quality: accuracies on
+        // different source corpora are barely comparable (a 0.7 on
+        // ImageNet-21k and a 0.7 on a 2-class corpus mean different
+        // things), which is why metadata-only selection saturates (§II-B2).
+        let pretrain_accuracy = (0.45 + 0.18 * quality + 0.12 * capacity
+            - 0.30 * src.difficulty
+            + rng.normal(0.0, 0.09))
+        .clamp(0.05, 0.99);
+        let arch = format!("{}-{}", fam.name, variant);
+        let key = format!("{arch}/{}", src.name);
+        let c = counter.entry(key.clone()).or_insert(0);
+        let name = format!("{key}/{c}");
+        *c += 1;
+        out.push(ModelInfo {
+            id: ModelId(id_offset + i),
+            name,
+            family: fi,
+            architecture: arch,
+            modality,
+            source_dataset: src.id,
+            capacity,
+            num_params: (params_m * 1.0e6) as u64,
+            input_size: *rng.choose(input_sizes),
+            memory_mb: params_m * 4.0 * rng.uniform_range(1.0, 1.3),
+            quality,
+            pretrain_accuracy,
+            bias: biases[fi].clone(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::build_datasets;
+
+    fn setup(n: usize) -> Vec<ModelInfo> {
+        let mut rng = Rng::seed_from_u64(11);
+        let ds = build_datasets(Modality::Image, 16, &mut rng, 0);
+        build_models(Modality::Image, n, &ds, 16, &mut rng, 0)
+    }
+
+    #[test]
+    fn builds_requested_count_with_unique_names() {
+        let models = setup(185);
+        assert_eq!(models.len(), 185);
+        let mut names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 185, "model names must be unique");
+    }
+
+    #[test]
+    fn all_families_represented() {
+        let models = setup(185);
+        let fams: std::collections::HashSet<usize> = models.iter().map(|m| m.family).collect();
+        assert_eq!(fams.len(), IMAGE_FAMILIES.len());
+    }
+
+    #[test]
+    fn models_share_family_bias() {
+        let models = setup(60);
+        let a = models.iter().find(|m| m.family == 1).unwrap();
+        let b = models.iter().filter(|m| m.family == 1).nth(1).unwrap();
+        assert_eq!(a.bias, b.bias);
+        let c = models.iter().find(|m| m.family == 2).unwrap();
+        assert_ne!(a.bias, c.bias);
+    }
+
+    #[test]
+    fn metadata_in_valid_ranges() {
+        let models = setup(100);
+        for m in &models {
+            assert!((0.0..=1.0).contains(&m.capacity), "{}", m.name);
+            assert!((0.0..=1.0).contains(&m.quality));
+            assert!((0.0..=1.0).contains(&m.pretrain_accuracy));
+            assert!(m.num_params > 1_000_000);
+            assert!(m.memory_mb > 0.0);
+            assert!(m.input_size >= 128);
+        }
+    }
+
+    #[test]
+    fn sources_are_skewed_towards_generic() {
+        let models = setup(185);
+        // The most common source should appear far more often than uniform
+        // (185/61 ≈ 3).
+        let mut counts = std::collections::HashMap::<DatasetId, usize>::new();
+        for m in &models {
+            *counts.entry(m.source_dataset).or_insert(0) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        assert!(*max >= 8, "max source count {max} should be skewed");
+    }
+
+    #[test]
+    fn text_models_use_text_sources() {
+        let mut rng = Rng::seed_from_u64(12);
+        let mut ds = build_datasets(Modality::Image, 16, &mut rng, 0);
+        let off = ds.len();
+        ds.extend(build_datasets(Modality::Text, 16, &mut rng, off));
+        let models = build_models(Modality::Text, 40, &ds, 16, &mut rng, 0);
+        for m in &models {
+            let src = &ds[m.source_dataset.0];
+            assert_eq!(src.modality, Modality::Text);
+            assert_eq!(src.role, DatasetRole::Source);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Probe-network dataset representations: Domain Similarity (Eq. 3) and
+//! Task2Vec (appendix Eq. 6).
+
+use crate::datasets::DatasetInfo;
+use tg_autograd::{Adam, Mlp, Optimizer, ParamStore, Tape};
+use tg_linalg::Matrix;
+use tg_rng::{splitmix64, Rng};
+
+/// Number of simulated samples aggregated in the Domain Similarity
+/// embedding.
+const DS_SAMPLES: usize = 48;
+
+/// Domain Similarity embedding (Eq. 3): `Ẽ_k = Σ_j g(x_j)` — the sum of
+/// probe features over dataset samples, here the probe projection of the
+/// latent task vector plus per-sample observation noise, L2-normalised so
+/// that similarity comparisons are scale-free.
+pub fn domain_similarity_embedding(
+    dataset: &DatasetInfo,
+    projection: &Matrix,
+    seed: u64,
+) -> Vec<f64> {
+    let mut state = seed ^ (dataset.id.0 as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut rng = Rng::seed_from_u64(splitmix64(&mut state));
+    let base = projection.matvec(&dataset.latent);
+    let mut acc = vec![0.0; base.len()];
+    for _ in 0..DS_SAMPLES {
+        for (a, &b) in acc.iter_mut().zip(&base) {
+            *a += b + rng.normal(0.0, 0.35);
+        }
+    }
+    let n = tg_linalg::matrix::norm(&acc).max(1e-12);
+    acc.into_iter().map(|x| x / n).collect()
+}
+
+/// Width of the Task2Vec probe's hidden layer.
+const T2V_HIDDEN: usize = 24;
+/// Input dimension of the probe (a fixed projection of the latent space).
+const T2V_INPUT: usize = 12;
+/// Training epochs for the probe head.
+const T2V_EPOCHS: usize = 120;
+/// Samples per class fed to the probe.
+const T2V_PER_CLASS: usize = 8;
+/// Class cap: Task2Vec only needs the FIM of the *feature-extractor*
+/// parameters, so a capped head keeps probe training cheap for 100+-class
+/// datasets.
+const T2V_MAX_CLASSES: usize = 16;
+
+/// Task2Vec embedding (Eq. 6): train a small probe MLP on simulated dataset
+/// samples, then return the diagonal Fisher Information Matrix of the
+/// *first-layer* (feature-extractor) parameters.
+///
+/// This runs the genuine Task2Vec computation — probe training followed by
+/// `E[(∂ log p(y|x) / ∂w)²]` — on the simulated substrate. The embedding has
+/// fixed length `T2V_INPUT × T2V_HIDDEN + T2V_HIDDEN`, independent of the
+/// dataset's class count, exactly because the FIM is taken over the shared
+/// extractor and not the task-specific head.
+pub fn task2vec_embedding(dataset: &DatasetInfo, seed: u64) -> Vec<f64> {
+    let classes = dataset.num_classes.clamp(2, T2V_MAX_CLASSES);
+    let mut state = seed ^ (dataset.id.0 as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let mut rng = Rng::seed_from_u64(splitmix64(&mut state));
+
+    // Fixed input projection shared across datasets (the frozen probe
+    // backbone): latent → T2V_INPUT.
+    let mut probe_state = seed ^ 0x7A5B_2EC8;
+    let mut probe_rng = Rng::seed_from_u64(splitmix64(&mut probe_state));
+    let proj = Matrix::from_fn(T2V_INPUT, dataset.latent.len(), |_, _| {
+        probe_rng.normal(0.0, 1.0 / (dataset.latent.len() as f64).sqrt())
+    });
+    let base = proj.matvec(&dataset.latent);
+
+    // Simulated training set: class prototypes around the dataset's latent
+    // image, plus noise.
+    let n = classes * T2V_PER_CLASS;
+    let mut x = Matrix::zeros(n, T2V_INPUT);
+    let mut labels = Vec::with_capacity(n);
+    let mut offsets: Vec<Vec<f64>> = Vec::with_capacity(classes);
+    for _ in 0..classes {
+        offsets.push(rng.normal_vec(T2V_INPUT, 0.0, 0.8));
+    }
+    for i in 0..n {
+        let c = i % classes;
+        labels.push(c);
+        for j in 0..T2V_INPUT {
+            x.set(i, j, base[j] + offsets[c][j] + rng.normal(0.0, 0.4));
+        }
+    }
+
+    // Train the probe.
+    let mut store = ParamStore::new();
+    let mut init_rng = Rng::seed_from_u64(splitmix64(&mut state));
+    let mlp = Mlp::new(&mut store, &mut init_rng, "t2v", &[T2V_INPUT, T2V_HIDDEN, classes]);
+    let mut opt = Adam::new(0.02);
+    for _ in 0..T2V_EPOCHS {
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let logits = mlp.forward(&mut tape, &store, xv);
+        let loss = tape.cross_entropy_logits(logits, &labels);
+        tape.backward(loss);
+        store.zero_grads();
+        tape.accumulate_grads(&mut store);
+        opt.step(&mut store);
+    }
+
+    // Diagonal FIM of the first layer: average squared per-sample gradient
+    // of log p(y|x).
+    let ids = mlp.param_ids();
+    let (w1, b1) = (ids[0], ids[1]);
+    let mut fim = vec![0.0; T2V_INPUT * T2V_HIDDEN + T2V_HIDDEN];
+    for i in 0..n {
+        let xi = Matrix::from_fn(1, T2V_INPUT, |_, j| x.get(i, j));
+        let mut tape = Tape::new();
+        let xv = tape.constant(xi);
+        let logits = mlp.forward(&mut tape, &store, xv);
+        // NLL of the observed label = −log p(y|x); its gradient squared is
+        // the FIM contribution.
+        let loss = tape.cross_entropy_logits(logits, &labels[i..=i]);
+        tape.backward(loss);
+        store.zero_grads();
+        tape.accumulate_grads(&mut store);
+        let gw = store.grad(w1);
+        let gb = store.grad(b1);
+        for (f, g) in fim
+            .iter_mut()
+            .zip(gw.as_slice().iter().chain(gb.as_slice()))
+        {
+            *f += g * g;
+        }
+    }
+    for f in &mut fim {
+        *f /= n as f64;
+    }
+    fim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::build_datasets;
+    use crate::Modality;
+
+    fn fixtures() -> Vec<DatasetInfo> {
+        let mut rng = Rng::seed_from_u64(31);
+        build_datasets(Modality::Image, 16, &mut rng, 0)
+    }
+
+    fn projection() -> Matrix {
+        let mut rng = Rng::seed_from_u64(32);
+        Matrix::from_fn(32, 16, |_, _| rng.normal(0.0, 0.25))
+    }
+
+    #[test]
+    fn domain_similarity_unit_norm_and_deterministic() {
+        let ds = fixtures();
+        let p = projection();
+        let e1 = domain_similarity_embedding(&ds[0], &p, 9);
+        let e2 = domain_similarity_embedding(&ds[0], &p, 9);
+        assert_eq!(e1, e2);
+        let n = tg_linalg::matrix::norm(&e1);
+        assert!((n - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn domain_similarity_reflects_latent_distance() {
+        let ds = fixtures();
+        let p = projection();
+        // Two fine-grained (domain 1) targets vs a digits (domain 3) target.
+        let flowers = ds.iter().find(|d| d.name == "flowers").unwrap();
+        let pets = ds.iter().find(|d| d.name == "pets").unwrap();
+        let svhn = ds.iter().find(|d| d.name == "svhn").unwrap();
+        let ef = domain_similarity_embedding(flowers, &p, 9);
+        let ep = domain_similarity_embedding(pets, &p, 9);
+        let es = domain_similarity_embedding(svhn, &p, 9);
+        let near = tg_linalg::distance::correlation_distance(&ef, &ep);
+        let far = tg_linalg::distance::correlation_distance(&ef, &es);
+        assert!(near < far, "near {near} far {far}");
+    }
+
+    #[test]
+    fn task2vec_fixed_length_across_class_counts() {
+        let ds = fixtures();
+        let cars = ds.iter().find(|d| d.name == "stanfordcars").unwrap(); // 196 classes
+        let svhn = ds.iter().find(|d| d.name == "svhn").unwrap(); // 10 classes
+        let e1 = task2vec_embedding(cars, 9);
+        let e2 = task2vec_embedding(svhn, 9);
+        assert_eq!(e1.len(), e2.len());
+        assert_eq!(e1.len(), T2V_INPUT * T2V_HIDDEN + T2V_HIDDEN);
+    }
+
+    #[test]
+    fn task2vec_nonnegative_and_informative() {
+        let ds = fixtures();
+        let e = task2vec_embedding(&ds[0], 9);
+        assert!(e.iter().all(|&x| x >= 0.0), "FIM diagonal must be >= 0");
+        assert!(e.iter().any(|&x| x > 0.0), "FIM must not be all-zero");
+    }
+
+    #[test]
+    fn task2vec_deterministic() {
+        let ds = fixtures();
+        assert_eq!(task2vec_embedding(&ds[1], 5), task2vec_embedding(&ds[1], 5));
+    }
+}

@@ -1,0 +1,26 @@
+//! Workspace root crate for the TransferGraph reproduction.
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`. It re-exports every subsystem so examples
+//! can use a single dependency:
+//!
+//! ```
+//! use transfergraph_repro::prelude::*;
+//! let mut rng = Rng::seed_from_u64(1);
+//! assert!(rng.uniform() < 1.0);
+//! ```
+
+pub use tg_autograd as autograd;
+pub use tg_embed as embed;
+pub use tg_graph as graph;
+pub use tg_linalg as linalg;
+pub use tg_predict as predict;
+pub use tg_rng as rng;
+pub use tg_transfer as transfer;
+pub use tg_zoo as zoo;
+pub use transfergraph as core;
+
+/// Commonly used items across examples and integration tests.
+pub mod prelude {
+    pub use tg_rng::Rng;
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: the full TransferGraph pipeline on a
+//! small zoo, exercising every subsystem together.
+
+use transfergraph_repro::core::{evaluate, EvalOptions, FeatureSet, Strategy, Workbench};
+use transfergraph_repro::embed::LearnerKind;
+use transfergraph_repro::predict::RegressorKind;
+use transfergraph_repro::zoo::{FineTuneMethod, Modality, ModelZoo, ZooConfig};
+
+fn small_zoo() -> ModelZoo {
+    ModelZoo::build(&ZooConfig::small(2024))
+}
+
+fn fast_opts() -> EvalOptions {
+    EvalOptions {
+        embed_dim: 16,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_strategy_family_runs_on_every_modality() {
+    let zoo = small_zoo();
+    let strategies = [
+        Strategy::Random,
+        Strategy::LogMe,
+        Strategy::lr_baseline(),
+        Strategy::lr_all_logme(),
+        Strategy::TransferGraph {
+            regressor: RegressorKind::Linear,
+            learner: LearnerKind::Node2Vec,
+            features: FeatureSet::All,
+        },
+    ];
+    for modality in [Modality::Image, Modality::Text] {
+        let target = zoo.targets_of(modality)[0];
+        let mut wb = Workbench::new(&zoo);
+        for s in &strategies {
+            let out = evaluate(&mut wb, s, target, &fast_opts());
+            assert_eq!(out.predictions.len(), zoo.models_of(modality).len());
+            assert!(
+                out.predictions.iter().all(|p| p.is_finite()),
+                "{} produced non-finite predictions",
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_four_graph_learners_work_end_to_end() {
+    let zoo = small_zoo();
+    let target = zoo.targets_of(Modality::Image)[1];
+    let mut wb = Workbench::new(&zoo);
+    for learner in LearnerKind::ALL {
+        let s = Strategy::TransferGraph {
+            regressor: RegressorKind::Linear,
+            learner,
+            features: FeatureSet::GraphOnly,
+        };
+        let out = evaluate(&mut wb, &s, target, &fast_opts());
+        assert!(
+            out.pearson.is_some(),
+            "{} degenerate predictions",
+            learner.name()
+        );
+    }
+}
+
+#[test]
+fn all_three_regressors_work_end_to_end() {
+    let zoo = small_zoo();
+    let target = zoo.targets_of(Modality::Text)[0];
+    let mut wb = Workbench::new(&zoo);
+    for regressor in RegressorKind::ALL {
+        let s = Strategy::TransferGraph {
+            regressor,
+            learner: LearnerKind::Node2VecPlus,
+            features: FeatureSet::All,
+        };
+        let out = evaluate(&mut wb, &s, target, &fast_opts());
+        assert!(out.predictions.iter().all(|p| p.is_finite()), "{}", s.label());
+    }
+}
+
+#[test]
+fn loo_does_not_leak_target_ground_truth() {
+    // If LOO leaked, predictions would be near-perfectly correlated. The
+    // world has irreducible noise, so a perfect correlation indicates a
+    // leak.
+    let zoo = small_zoo();
+    let mut wb = Workbench::new(&zoo);
+    for &target in &zoo.targets_of(Modality::Image) {
+        let out = evaluate(
+            &mut wb,
+            &Strategy::transfer_graph_default(),
+            target,
+            &fast_opts(),
+        );
+        if let Some(r) = out.pearson {
+            assert!(r < 0.999, "suspiciously perfect correlation: {r}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_fully_deterministic_across_workbenches() {
+    let zoo = small_zoo();
+    let target = zoo.targets_of(Modality::Image)[0];
+    let s = Strategy::TransferGraph {
+        regressor: RegressorKind::RandomForest,
+        learner: LearnerKind::Node2VecPlus,
+        features: FeatureSet::All,
+    };
+    let run = || {
+        let mut wb = Workbench::new(&zoo);
+        evaluate(&mut wb, &s, target, &fast_opts()).predictions
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn lora_and_full_histories_give_different_but_correlated_rankings() {
+    let zoo = small_zoo();
+    let target = zoo.targets_of(Modality::Text)[1];
+    let s = Strategy::lr_all_logme();
+    let full = {
+        let mut wb = Workbench::new(&zoo);
+        evaluate(&mut wb, &s, target, &fast_opts())
+    };
+    let lora = {
+        let mut wb = Workbench::new(&zoo);
+        let opts = EvalOptions {
+            train_method: FineTuneMethod::Lora,
+            eval_method: FineTuneMethod::Lora,
+            ..fast_opts()
+        };
+        evaluate(&mut wb, &s, target, &opts)
+    };
+    assert_ne!(full.predictions, lora.predictions);
+    // Ground truths of the two channels correlate strongly.
+    let r = tg_linalg::stats::pearson(&full.ground_truth, &lora.ground_truth).unwrap();
+    assert!(r > 0.6, "full/LoRA ground truths should correlate: {r}");
+}
+
+#[test]
+fn better_information_improves_mean_correlation() {
+    // The paper's central claim at small scale: averaged over targets,
+    // adding relationship information must not hurt.
+    let zoo = ModelZoo::build(&ZooConfig::small(7));
+    let opts = fast_opts();
+    let mean_tau = |s: &Strategy| {
+        let mut wb = Workbench::new(&zoo);
+        let targets = zoo.targets_of(Modality::Image);
+        targets
+            .iter()
+            .map(|&t| evaluate(&mut wb, s, t, &opts).pearson.unwrap_or(0.0))
+            .sum::<f64>()
+            / targets.len() as f64
+    };
+    let random = mean_tau(&Strategy::Random);
+    let learned = mean_tau(&Strategy::lr_all_logme());
+    assert!(
+        learned > random + 0.1,
+        "learned {learned} should clearly beat random {random}"
+    );
+}

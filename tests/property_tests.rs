@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) over cross-crate invariants.
+
+use proptest::prelude::*;
+use transfergraph_repro::linalg::{decomp, distance, stats, Matrix};
+use transfergraph_repro::rng::{AliasTable, Rng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pearson correlation is symmetric, bounded, and invariant under
+    /// positive affine transforms.
+    #[test]
+    fn pearson_invariances(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..40),
+        scale in 0.1f64..10.0,
+        shift in -100.0f64..100.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| x * 0.5 + (i as f64).sin()).collect();
+        if let (Some(r1), Some(r2)) = (stats::pearson(&xs, &ys), stats::pearson(&ys, &xs)) {
+            prop_assert!((r1 - r2).abs() < 1e-10);
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r1));
+            let zs: Vec<f64> = ys.iter().map(|y| y * scale + shift).collect();
+            if let Some(r3) = stats::pearson(&xs, &zs) {
+                prop_assert!((r1 - r3).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Spearman is invariant under any strictly monotone transform.
+    #[test]
+    fn spearman_monotone_invariance(xs in prop::collection::vec(-50f64..50.0, 4..30)) {
+        let ys: Vec<f64> = xs.iter().map(|&x| x * 2.0 + 1.0).collect();
+        // Scale into exp's comfortable range so the transform stays
+        // strictly monotone (no overflow clamping that would create ties).
+        let zs: Vec<f64> = ys.iter().map(|&y| (y / 25.0).exp()).collect();
+        if let (Some(a), Some(b)) = (stats::spearman(&xs, &ys), stats::spearman(&xs, &zs)) {
+            prop_assert!((a - b).abs() < 1e-9, "a={a} b={b}");
+        }
+    }
+
+    /// Ranks are a permutation-consistent assignment: they sum to n(n+1)/2.
+    #[test]
+    fn ranks_sum_invariant(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let r = stats::ranks(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Cholesky solve really solves SPD systems built as A = BᵀB + I.
+    #[test]
+    fn cholesky_solves_spd(
+        vals in prop::collection::vec(-2f64..2.0, 9),
+        b in prop::collection::vec(-5f64..5.0, 3),
+    ) {
+        let m = Matrix::from_vec(3, 3, vals);
+        let mut a = m.gram();
+        for i in 0..3 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let x = decomp::cholesky_solve(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8, "Ax={l} b={r}");
+        }
+    }
+
+    /// Thin SVD reconstructs arbitrary matrices.
+    #[test]
+    fn svd_reconstructs(
+        vals in prop::collection::vec(-3f64..3.0, 12),
+        tall in prop::bool::ANY,
+    ) {
+        let (r, c) = if tall { (4, 3) } else { (3, 4) };
+        let a = Matrix::from_vec(r, c, vals);
+        let svd = decomp::thin_svd(&a).unwrap();
+        let k = svd.sigma.len();
+        let sig = Matrix::from_fn(k, k, |i, j| if i == j { svd.sigma[i] } else { 0.0 });
+        let rec = svd.u.matmul(&sig).matmul(&svd.v.transpose());
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-7);
+            }
+        }
+    }
+
+    /// Correlation distance is a bounded symmetric dissimilarity.
+    #[test]
+    fn correlation_distance_properties(
+        xs in prop::collection::vec(-10f64..10.0, 4..20),
+    ) {
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| x + (i as f64) * 0.1).collect();
+        let d1 = distance::correlation_distance(&xs, &ys);
+        let d2 = distance::correlation_distance(&ys, &xs);
+        prop_assert!((d1 - d2).abs() < 1e-10);
+        prop_assert!((-1e-12..=2.0 + 1e-12).contains(&d1));
+        prop_assert!(distance::correlation_distance(&xs, &xs) < 1e-9);
+    }
+
+    /// Alias tables never emit an index with zero weight and always emit a
+    /// valid index.
+    #[test]
+    fn alias_table_support(
+        weights in prop::collection::vec(0f64..10.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight index {i}");
+        }
+    }
+
+    /// min-max normalisation maps into [0, 1] and preserves order.
+    #[test]
+    fn min_max_normalize_order_preserving(xs in prop::collection::vec(-1e3f64..1e3, 2..30)) {
+        let normed = stats::min_max_normalize(&xs);
+        prop_assert_eq!(normed.len(), xs.len());
+        for v in &normed {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] < xs[j] {
+                    prop_assert!(normed[i] <= normed[j]);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fine-tune accuracies are always valid probabilities, for any model,
+    /// dataset, and method in any seeded world.
+    #[test]
+    fn fine_tune_always_bounded(seed in 0u64..1000) {
+        use transfergraph_repro::zoo::{FineTuneMethod, Modality, ModelZoo, ZooConfig};
+        let zoo = ModelZoo::build(&ZooConfig::small(seed));
+        for modality in [Modality::Image, Modality::Text] {
+            let m = zoo.models_of(modality)[0];
+            for &d in &zoo.targets_of(modality) {
+                for method in [FineTuneMethod::Full, FineTuneMethod::Lora] {
+                    let a = zoo.fine_tune(m, d, method);
+                    prop_assert!((0.0..=1.0).contains(&a));
+                }
+            }
+        }
+    }
+}

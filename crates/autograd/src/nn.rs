@@ -62,7 +62,10 @@ impl Mlp {
     /// Builds an MLP with the given layer widths, e.g. `&[16, 32, 4]` for a
     /// 16-in, 32-hidden, 4-out network.
     pub fn new(store: &mut ParamStore, rng: &mut Rng, name: &str, widths: &[usize]) -> Self {
-        assert!(widths.len() >= 2, "Mlp: need at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "Mlp: need at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()

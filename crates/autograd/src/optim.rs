@@ -160,9 +160,7 @@ impl Optimizer for Sgd {
         self.velocity.resize_with(store.params.len(), || None);
         for (p, vel) in store.params.iter_mut().zip(&mut self.velocity) {
             if self.momentum > 0.0 {
-                let v = vel.get_or_insert_with(|| {
-                    Matrix::zeros(p.value.rows(), p.value.cols())
-                });
+                let v = vel.get_or_insert_with(|| Matrix::zeros(p.value.rows(), p.value.cols()));
                 for ((vi, &gi), xi) in v
                     .as_mut_slice()
                     .iter_mut()

@@ -31,7 +31,10 @@ enum Op {
     AddOuter(usize, usize),
     /// Where `mask` is 0 the value is replaced by a fill constant; the
     /// gradient is blocked there (the fill itself needs no record).
-    MaskedFill { a: usize, mask: Matrix },
+    MaskedFill {
+        a: usize,
+        mask: Matrix,
+    },
     /// `out[i] = a[rows[i]]` — embedding/row lookup.
     GatherRows(usize, Vec<usize>),
     /// `n×d → n×1` sum across each row.
@@ -44,11 +47,20 @@ enum Op {
     SumAll(usize),
     MeanAll(usize),
     /// Mean squared error against a constant target.
-    MseLoss { pred: usize, target: Matrix },
+    MseLoss {
+        pred: usize,
+        target: Matrix,
+    },
     /// Numerically stable binary cross-entropy on logits vs constant targets.
-    BceWithLogits { logits: usize, targets: Matrix },
+    BceWithLogits {
+        logits: usize,
+        targets: Matrix,
+    },
     /// Mean categorical cross-entropy on logits (n×C) vs constant labels.
-    CrossEntropyLogits { logits: usize, labels: Vec<usize> },
+    CrossEntropyLogits {
+        logits: usize,
+        labels: Vec<usize>,
+    },
 }
 
 struct Node {
@@ -139,7 +151,9 @@ impl Tape {
 
     /// Leaky ReLU with slope `alpha` for negative inputs.
     pub fn leaky_relu(&mut self, a: Var, alpha: f64) -> Var {
-        let value = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x });
+        let value = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { alpha * x });
         self.push(Op::LeakyRelu(a.0, alpha), value)
     }
 
@@ -282,7 +296,11 @@ impl Tape {
     /// `max(z,0) − z·y + ln(1+exp(−|z|))`.
     pub fn bce_with_logits(&mut self, logits: Var, targets: &Matrix) -> Var {
         let zv = &self.nodes[logits.0].value;
-        assert_eq!(zv.shape(), targets.shape(), "bce_with_logits: shape mismatch");
+        assert_eq!(
+            zv.shape(),
+            targets.shape(),
+            "bce_with_logits: shape mismatch"
+        );
         let n = (zv.rows() * zv.cols()) as f64;
         let loss = zv
             .as_slice()
@@ -583,7 +601,10 @@ impl Tape {
 
     /// Gradient of a specific node from the last [`Tape::backward`] call.
     pub fn grad(&self, v: Var) -> &Matrix {
-        &self.cached_grads.as_ref().expect("grad: call backward first")[v.0]
+        &self
+            .cached_grads
+            .as_ref()
+            .expect("grad: call backward first")[v.0]
     }
 }
 
@@ -618,11 +639,7 @@ mod tests {
 
     /// Finite-difference gradient check: builds the graph twice per
     /// perturbed entry and compares with the analytic gradient.
-    fn grad_check(
-        build: impl Fn(&mut Tape, &ParamStore) -> Var,
-        store: &mut ParamStore,
-        tol: f64,
-    ) {
+    fn grad_check(build: impl Fn(&mut Tape, &ParamStore) -> Var, store: &mut ParamStore, tol: f64) {
         let mut tape = Tape::new();
         let loss = build(&mut tape, store);
         tape.backward(loss);
@@ -687,7 +704,7 @@ mod tests {
         let b1 = store.add("b1", rand_matrix(&mut rng, 1, 6));
         let w2 = store.add("w2", rand_matrix(&mut rng, 6, 1));
         let x = rand_matrix(&mut rng, 7, 4);
-        let y = Matrix::from_fn(7, 1, |r, _| ((r % 2) as f64));
+        let y = Matrix::from_fn(7, 1, |r, _| (r % 2) as f64);
         grad_check(
             |t, s| {
                 let w1v = t.param(s, w1);
@@ -737,7 +754,11 @@ mod tests {
         // 4-node ring adjacency with self-loops.
         let mask = Matrix::from_fn(4, 4, |r, c| {
             let d = (r as i64 - c as i64).rem_euclid(4);
-            if d == 0 || d == 1 || d == 3 { 1.0 } else { 0.0 }
+            if d == 0 || d == 1 || d == 3 {
+                1.0
+            } else {
+                0.0
+            }
         });
         let target = rand_matrix(&mut rng, 4, 2);
         grad_check(

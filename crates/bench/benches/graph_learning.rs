@@ -4,7 +4,7 @@
 //! this graph size.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tg_embed::{GraphLearner, LearnerKind};
+use tg_embed::LearnerKind;
 use tg_graph::{generate_walks, WalkConfig};
 use tg_rng::Rng;
 use tg_zoo::{FineTuneMethod, Modality, ModelZoo, ZooConfig};
@@ -17,11 +17,10 @@ fn bench_graph_learning(c: &mut Criterion) {
         .full_history(Modality::Image, FineTuneMethod::Full)
         .excluding_dataset(target);
     let opts = EvalOptions::default();
-    let mut wb = Workbench::new(&zoo);
-    let inputs = pipeline::build_loo_graph_inputs(&mut wb, target, &history, &opts);
+    let wb = Workbench::new(&zoo);
+    let inputs = pipeline::build_loo_graph_inputs(&wb, target, &history, &opts);
     let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
-    let features =
-        transfergraph::features::node_feature_matrix(&mut wb, &graph, opts.representation);
+    let features = transfergraph::features::node_feature_matrix(&wb, &graph, opts.representation);
 
     c.bench_function("walk_generation_paper_graph", |b| {
         b.iter(|| {

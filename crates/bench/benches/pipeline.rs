@@ -29,8 +29,8 @@ fn bench_pipeline(c: &mut Criterion) {
             b.iter(|| {
                 // A fresh workbench each iteration: measures the cold path
                 // including forward passes and LogME.
-                let mut wb = Workbench::new(&zoo);
-                evaluate(&mut wb, &strategy, target, &opts)
+                let wb = Workbench::new(&zoo);
+                evaluate(&wb, &strategy, target, &opts)
             })
         });
     }

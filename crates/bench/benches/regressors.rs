@@ -4,16 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tg_linalg::Matrix;
-use tg_predict::{Regressor, RegressorKind};
+use tg_predict::RegressorKind;
 use tg_rng::Rng;
 
 fn synthetic(rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
     let mut rng = Rng::seed_from_u64(3);
     let x = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0));
     let y: Vec<f64> = (0..rows)
-        .map(|i| {
-            0.4 * x.get(i, 0) + 0.3 * x.get(i, 5) * x.get(i, 6) + rng.normal(0.0, 0.1)
-        })
+        .map(|i| 0.4 * x.get(i, 0) + 0.3 * x.get(i, 5) * x.get(i, 6) + rng.normal(0.0, 0.1))
         .collect();
     (x, y)
 }

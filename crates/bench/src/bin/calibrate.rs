@@ -20,7 +20,7 @@ fn main() {
         .iter()
         .map(|&m| zoo.fine_tune(m, cars, FineTuneMethod::Full))
         .collect();
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     let logme: Vec<f64> = models.iter().map(|&m| wb.logme(m, cars)).collect();
     let pre: Vec<f64> = models
         .iter()
@@ -60,11 +60,7 @@ fn main() {
             let mut num = 0.0;
             let mut den = 0.0;
             for &d in &others {
-                let sim = wb.similarity(
-                    d,
-                    cars,
-                    transfergraph::Representation::DomainSimilarity,
-                );
+                let sim = wb.similarity(d, cars, transfergraph::Representation::DomainSimilarity);
                 let w = (sim - 0.5).max(0.0).powi(2);
                 // normalise accuracy within dataset d
                 num += w * zoo.fine_tune(m, d, FineTuneMethod::Full);
@@ -83,7 +79,7 @@ fn main() {
         let opts = EvalOptions::default();
         let mut rng = tg_rng::Rng::seed_from_u64(123);
         let loo = transfergraph::pipeline::learn_loo_graph(
-            &mut wb,
+            &wb,
             cars,
             &history,
             tg_embed::LearnerKind::Node2VecPlus,

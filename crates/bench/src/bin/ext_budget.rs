@@ -36,10 +36,10 @@ fn main() {
         best
     );
 
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     let opts = EvalOptions::default();
-    let tg = evaluate(&mut wb, &Strategy::transfer_graph_default(), target, &opts);
-    let random = evaluate(&mut wb, &Strategy::Random, target, &opts);
+    let tg = evaluate(&wb, &Strategy::transfer_graph_default(), target, &opts);
+    let random = evaluate(&wb, &Strategy::Random, target, &opts);
 
     let mut table = Table::new(vec![
         "budget (×mean cost)",

@@ -35,8 +35,8 @@ fn main() {
     let full_history = zoo
         .full_history(Modality::Image, FineTuneMethod::Full)
         .excluding_dataset(target);
-    let mut wb = Workbench::new(&zoo);
-    let inputs = pipeline::build_loo_graph_inputs(&mut wb, target, &base_history, &opts);
+    let wb = Workbench::new(&zoo);
+    let inputs = pipeline::build_loo_graph_inputs(&wb, target, &base_history, &opts);
     let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
 
     let walk_cfg = WalkConfig {
@@ -47,7 +47,8 @@ fn main() {
 
     let mut rng = Rng::seed_from_u64(5);
     let t0 = Instant::now();
-    let mut dynamic = DynamicEmbedder::new(graph.clone(), walk_cfg.clone(), sgns_cfg.clone(), &mut rng);
+    let mut dynamic =
+        DynamicEmbedder::new(graph.clone(), walk_cfg.clone(), sgns_cfg.clone(), &mut rng);
     let initial_train = t0.elapsed();
 
     // Stream the held-out records (those in full but not base).

@@ -18,9 +18,9 @@ fn main() {
         .full_history(Modality::Image, FineTuneMethod::Full)
         .excluding_dataset(target);
     let opts = EvalOptions::default();
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     let loo = pipeline::learn_loo_graph(
-        &mut wb,
+        &wb,
         target,
         &history,
         tg_embed::LearnerKind::Node2VecPlus,

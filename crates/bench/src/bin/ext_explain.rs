@@ -10,7 +10,11 @@ fn main() {
     let zoo = zoo_from_env();
     let opts = EvalOptions::default();
     for (name, strategy, dataset) in [
-        ("LR{all,LogME} on stanfordcars", Strategy::lr_all_logme(), "stanfordcars"),
+        (
+            "LR{all,LogME} on stanfordcars",
+            Strategy::lr_all_logme(),
+            "stanfordcars",
+        ),
         (
             "TG:XGB,N2V+,all on stanfordcars",
             Strategy::transfer_graph_default(),
@@ -23,8 +27,8 @@ fn main() {
         ),
     ] {
         let target = zoo.dataset_by_name(dataset);
-        let mut wb = Workbench::new(&zoo);
-        let imp = block_importance(&mut wb, &strategy, target, &opts, 3);
+        let wb = Workbench::new(&zoo);
+        let imp = block_importance(&wb, &strategy, target, &opts, 3);
         println!("Permutation importance — {name}\n");
         let mut table = Table::new(vec!["feature block", "τ drop when permuted"]);
         for b in &imp {

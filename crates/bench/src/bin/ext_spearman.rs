@@ -28,10 +28,9 @@ fn main() {
         let mut table = Table::new(vec!["strategy", "mean Pearson τ", "mean Spearman ρ"]);
         for s in &strategies {
             let outs = evaluate_over_targets(&zoo, s, &targets, &opts);
-            let mp = outs.iter().map(|o| o.pearson.unwrap_or(0.0)).sum::<f64>()
-                / outs.len() as f64;
-            let ms = outs.iter().map(|o| o.spearman.unwrap_or(0.0)).sum::<f64>()
-                / outs.len() as f64;
+            let mp = outs.iter().map(|o| o.pearson.unwrap_or(0.0)).sum::<f64>() / outs.len() as f64;
+            let ms =
+                outs.iter().map(|o| o.spearman.unwrap_or(0.0)).sum::<f64>() / outs.len() as f64;
             table.row(vec![s.label(), format!("{mp:+.3}"), format!("{ms:+.3}")]);
         }
         println!("{}", table.render());

@@ -38,14 +38,11 @@ fn main() {
             let history = zoo
                 .full_history(Modality::Image, FineTuneMethod::Full)
                 .excluding_dataset(target);
-            let mut wb = Workbench::new(&zoo);
-            let inputs = pipeline::build_loo_graph_inputs(&mut wb, target, &history, &opts);
+            let wb = Workbench::new(&zoo);
+            let inputs = pipeline::build_loo_graph_inputs(&wb, target, &history, &opts);
             let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
-            let feats = transfergraph::features::node_feature_matrix(
-                &mut wb,
-                &graph,
-                opts.representation,
-            );
+            let feats =
+                transfergraph::features::node_feature_matrix(&wb, &graph, opts.representation);
             TargetCtx {
                 graph,
                 feats,
@@ -57,7 +54,13 @@ fn main() {
         .collect();
 
     let mut table = Table::new(vec![
-        "p", "q", "walk len", "window", "τ(stanfordcars)", "τ(pets)", "mean",
+        "p",
+        "q",
+        "walk len",
+        "window",
+        "τ(stanfordcars)",
+        "τ(pets)",
+        "mean",
     ]);
     let grid_pq = [(1.0, 1.0), (0.25, 1.0), (4.0, 1.0), (1.0, 0.25), (1.0, 4.0)];
     let grid_len = [(40usize, 5usize), (80, 10)];
@@ -79,10 +82,7 @@ fn main() {
                     },
                 };
                 let emb = learner.embed(&ctx.graph, &ctx.feats, &mut Rng::seed_from_u64(17));
-                let t_node = ctx
-                    .graph
-                    .node_index(NodeKind::Dataset(ctx.target))
-                    .unwrap();
+                let t_node = ctx.graph.node_index(NodeKind::Dataset(ctx.target)).unwrap();
                 let dots: Vec<f64> = ctx
                     .models
                     .iter()

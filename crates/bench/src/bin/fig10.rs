@@ -18,7 +18,11 @@ fn main() {
         let targets = reported_targets(&zoo, modality);
         println!("Figure 10 ({modality}) — prediction models (N2V+ graph features, all)\n");
         let mut header = vec!["dataset".to_string()];
-        header.extend(RegressorKind::ALL.iter().map(|r| format!("TG:{}", r.name())));
+        header.extend(
+            RegressorKind::ALL
+                .iter()
+                .map(|r| format!("TG:{}", r.name())),
+        );
         let mut table = report::Table::new(header);
         let outs: Vec<_> = RegressorKind::ALL
             .iter()

@@ -40,7 +40,9 @@ fn main() {
             history_ratio: ratio,
             ..Default::default()
         };
-        let m_lr = mean_pearson(&tg_bench::evaluate_over_targets(&zoo, &lr_all, &targets, &opts));
+        let m_lr = mean_pearson(&tg_bench::evaluate_over_targets(
+            &zoo, &lr_all, &targets, &opts,
+        ));
         let m_tg = mean_pearson(&tg_bench::evaluate_over_targets(&zoo, &tg, &targets, &opts));
         // Graph fragmentation diagnostic on one target.
         let cars = zoo.dataset_by_name("stanfordcars");
@@ -48,8 +50,8 @@ fn main() {
             .full_history(Modality::Image, FineTuneMethod::Full)
             .excluding_dataset(cars)
             .subsample(ratio, opts.seed ^ 0x5a5a);
-        let mut wb = Workbench::new(&zoo);
-        let inputs = pipeline::build_loo_graph_inputs(&mut wb, cars, &history, &opts);
+        let wb = Workbench::new(&zoo);
+        let inputs = pipeline::build_loo_graph_inputs(&wb, cars, &history, &opts);
         let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
         let stats = GraphStats::compute(&graph);
         table.row(vec![

@@ -34,9 +34,9 @@ fn main() {
         Strategy::transfer_graph_default(),
     ];
     let mut table = Table::new(vec!["strategy", "top-5 mean accuracy", "pearson"]);
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     for s in &strategies {
-        let out = evaluate(&mut wb, s, target, &opts);
+        let out = evaluate(&wb, s, target, &opts);
         table.row(vec![
             s.label(),
             format!("{:.3}", out.top5_accuracy),

@@ -30,7 +30,14 @@ fn main() {
             })
             .collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let mut table = Table::new(vec!["dataset", "std", "mean", "min", "max", "selection needed?"]);
+        let mut table = Table::new(vec![
+            "dataset",
+            "std",
+            "mean",
+            "min",
+            "max",
+            "selection needed?",
+        ]);
         for (name, std, mean, lo, hi) in rows {
             table.row(vec![
                 name,
@@ -38,7 +45,11 @@ fn main() {
                 format!("{mean:.3}"),
                 format!("{lo:.3}"),
                 format!("{hi:.3}"),
-                if std > 0.02 { "yes".into() } else { "no (reported excluded)".to_string() },
+                if std > 0.02 {
+                    "yes".into()
+                } else {
+                    "no (reported excluded)".to_string()
+                },
             ]);
         }
         println!("{}", table.render());

@@ -21,11 +21,13 @@ fn main() {
         let targets = reported_targets(&zoo, modality);
         for (label, features) in [
             ("all features", FeatureSet::All),
-            ("graph features only — isolates embedding quality", FeatureSet::GraphOnly),
+            (
+                "graph features only — isolates embedding quality",
+                FeatureSet::GraphOnly,
+            ),
         ] {
             println!("Figure 9 ({modality}) — graph learners (LR predictor, {label})\n");
-            let mut table =
-                report::Table::new(vec!["graph learner", "mean τ", "per-dataset τ"]);
+            let mut table = report::Table::new(vec!["graph learner", "mean τ", "per-dataset τ"]);
             for learner in LearnerKind::ALL {
                 let s = Strategy::TransferGraph {
                     regressor: RegressorKind::Linear,

@@ -21,8 +21,8 @@ fn main() {
         .excluding_dataset(cars);
     let opts = EvalOptions::default();
 
-    let mut wb = Workbench::new(&zoo);
-    let inputs = pipeline::build_loo_graph_inputs(&mut wb, cars, &history, &opts);
+    let wb = Workbench::new(&zoo);
+    let inputs = pipeline::build_loo_graph_inputs(&wb, cars, &history, &opts);
 
     for (label, sim_th) in [("simth0.0", 0.0), ("simth0.6", 0.6), ("simth0.75", 0.75)] {
         let cfg = tg_graph::GraphConfig {
@@ -30,9 +30,17 @@ fn main() {
             ..Default::default()
         };
         let graph = tg_graph::build_graph(&inputs, &cfg);
-        let feats = transfergraph::features::node_feature_matrix(&mut wb, &graph, opts.representation);
+        let feats = transfergraph::features::node_feature_matrix(&wb, &graph, opts.representation);
         for (wlabel, walks, len, window, epochs, p, q) in [
-            ("w10x40 win5 e3 p1q1", 10usize, 40usize, 5usize, 3usize, 1.0, 1.0),
+            (
+                "w10x40 win5 e3 p1q1",
+                10usize,
+                40usize,
+                5usize,
+                3usize,
+                1.0,
+                1.0,
+            ),
             ("w20x80 win10 e5 p1q1", 20, 80, 10, 5, 1.0, 1.0),
             ("w20x80 win10 e5 p4q1", 20, 80, 10, 5, 4.0, 1.0),
             ("w20x80 win3 e5 p1q0.5", 20, 80, 3, 5, 1.0, 0.5),
@@ -54,9 +62,7 @@ fn main() {
                 },
             };
             let emb = learner.embed(&graph, &feats, &mut Rng::seed_from_u64(7));
-            let tnode = graph
-                .node_index(tg_graph::NodeKind::Dataset(cars))
-                .unwrap();
+            let tnode = graph.node_index(tg_graph::NodeKind::Dataset(cars)).unwrap();
             let dots: Vec<f64> = models
                 .iter()
                 .map(|&m| {

@@ -13,7 +13,7 @@ use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{report::Table, EvalOptions, Representation, Workbench};
 
 /// Builds the *full* (non-LOO) graph inputs for a modality.
-fn full_inputs(wb: &mut Workbench, modality: Modality) -> GraphInputs {
+fn full_inputs(wb: &Workbench, modality: Modality) -> GraphInputs {
     let zoo = wb.zoo();
     let datasets = zoo.datasets_of(modality);
     let models = zoo.models_of(modality);
@@ -55,8 +55,8 @@ fn main() {
         config.accuracy_threshold, config.transferability_threshold, config.similarity_threshold
     );
     for modality in [Modality::Image, Modality::Text] {
-        let mut wb = Workbench::new(&zoo);
-        let inputs = full_inputs(&mut wb, modality);
+        let wb = Workbench::new(&zoo);
+        let inputs = full_inputs(&wb, modality);
         let graph = build_graph(&inputs, &config);
         let stats = GraphStats::compute(&graph);
         println!("{}\n", stats.table_rows(&modality.to_string()));
@@ -64,8 +64,8 @@ fn main() {
 
     // Ablation: edge-pruning thresholds vs graph density (image).
     println!("Ablation — pruning thresholds vs density (image):\n");
-    let mut wb = Workbench::new(&zoo);
-    let inputs = full_inputs(&mut wb, Modality::Image);
+    let wb = Workbench::new(&zoo);
+    let inputs = full_inputs(&wb, Modality::Image);
     let mut table = Table::new(vec![
         "acc/transf threshold",
         "sim threshold",

@@ -89,8 +89,8 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(10);
             let target = zoo.dataset_by_name(&dataset);
-            let mut wb = Workbench::new(&zoo);
-            let out = evaluate(&mut wb, &strategy, target, &EvalOptions::default());
+            let wb = Workbench::new(&zoo);
+            let out = evaluate(&wb, &strategy, target, &EvalOptions::default());
             let order = tg_linalg::stats::top_k_indices(&out.predictions, top);
             let mut table = Table::new(vec!["rank", "model", "architecture", "predicted score"]);
             for (rank, &idx) in order.iter().enumerate() {
@@ -119,8 +119,8 @@ fn main() {
             let dataset = require(&opts_map, "dataset");
             let strategy = strategy_by_name(opts_map.get("strategy").map_or("", String::as_str));
             let target = zoo.dataset_by_name(&dataset);
-            let mut wb = Workbench::new(&zoo);
-            let imp = block_importance(&mut wb, &strategy, target, &EvalOptions::default(), 3);
+            let wb = Workbench::new(&zoo);
+            let imp = block_importance(&wb, &strategy, target, &EvalOptions::default(), 3);
             let mut table = Table::new(vec!["feature block", "τ drop when permuted"]);
             for b in &imp {
                 table.row(vec![b.block.clone(), format!("{:+.3}", b.tau_drop)]);
@@ -139,9 +139,9 @@ fn main() {
             });
             let policy = opts_map.get("policy").map_or("greedy", String::as_str);
             let target = zoo.dataset_by_name(&dataset);
-            let mut wb = Workbench::new(&zoo);
+            let wb = Workbench::new(&zoo);
             let out = evaluate(
-                &mut wb,
+                &wb,
                 &Strategy::transfer_graph_default(),
                 target,
                 &EvalOptions::default(),
@@ -156,7 +156,10 @@ fn main() {
                 plan.spent
             );
             match plan.best_accuracy {
-                Some(a) => println!("best fully fine-tuned accuracy: {a:.3} (regret {:.3})", plan.regret),
+                Some(a) => println!(
+                    "best fully fine-tuned accuracy: {a:.3} (regret {:.3})",
+                    plan.regret
+                ),
                 None => println!("budget too small to finish any model"),
             }
         }

@@ -6,9 +6,9 @@
 //! * `TG_SCALE` — `paper` (default; 185 + 163 models) or `small` (fast
 //!   smoke-test scale).
 
-use std::sync::Mutex;
 use tg_zoo::{Modality, ModelZoo, ZooConfig};
-use transfergraph::{evaluate, EvalOptions, EvalOutcome, Strategy, Workbench};
+use transfergraph::runner::{run_over_targets, RunSummary};
+use transfergraph::{EvalOptions, EvalOutcome, Strategy, Workbench};
 
 /// Default world seed used by all experiment binaries.
 pub const DEFAULT_SEED: u64 = 2024;
@@ -55,39 +55,39 @@ pub fn reported_targets(zoo: &ModelZoo, modality: Modality) -> Vec<tg_zoo::Datas
         .collect()
 }
 
-/// Evaluates one strategy over a list of targets in parallel (one thread
-/// per target), preserving input order.
+/// Evaluates one strategy over a list of targets in parallel on a shared
+/// [`Workbench`] (the runner's work-stealing pool; results keep input
+/// order). With `TG_RUNNER_SUMMARY=1` the run's stage timings and cache
+/// hit rates are printed to stderr.
 pub fn evaluate_over_targets(
     zoo: &ModelZoo,
     strategy: &Strategy,
     targets: &[tg_zoo::DatasetId],
     opts: &EvalOptions,
 ) -> Vec<EvalOutcome> {
+    let wb = Workbench::new(zoo);
+    evaluate_over_targets_on(&wb, strategy, targets, opts).outcomes
+}
+
+/// [`evaluate_over_targets`] against a caller-owned workbench, returning
+/// the full [`RunSummary`]. Binaries that sweep many configurations reuse
+/// one warm workbench across sweeps instead of re-collecting features.
+pub fn evaluate_over_targets_on(
+    wb: &Workbench,
+    strategy: &Strategy,
+    targets: &[tg_zoo::DatasetId],
+    opts: &EvalOptions,
+) -> RunSummary {
     // Warm the expensive shared artefacts (LogME over every model × target
-    // pair) once, then hand cache clones to the workers.
-    let mut warm = Workbench::new(zoo);
+    // pair) once; afterwards every worker thread hits the shared cache.
     if let Some(&first) = targets.first() {
-        warm.warm_logme(zoo.dataset(first).modality);
+        wb.warm_logme(wb.zoo().dataset(first).modality);
     }
-    let results: Mutex<Vec<Option<EvalOutcome>>> = Mutex::new(vec![None; targets.len()]);
-    std::thread::scope(|scope| {
-        for (i, &t) in targets.iter().enumerate() {
-            let results = &results;
-            let strategy = strategy.clone();
-            let opts = opts.clone();
-            let mut wb = warm.clone();
-            scope.spawn(move || {
-                let out = evaluate(&mut wb, &strategy, t, &opts);
-                results.lock().unwrap()[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|o| o.expect("worker finished"))
-        .collect()
+    let summary = run_over_targets(wb, strategy, targets, opts);
+    if std::env::var_os("TG_RUNNER_SUMMARY").is_some_and(|v| v != "0") {
+        eprintln!("[{}] {}", strategy.label(), summary.render());
+    }
+    summary
 }
 
 /// Mean Pearson correlation over outcomes (missing correlations count 0,

@@ -5,24 +5,255 @@
 //! functions of the zoo, so they are computed once and shared by every
 //! strategy/target combination in an experiment run — mirroring the paper's
 //! observation that collection "can be achieved offline".
+//!
+//! The caches use interior mutability (sharded `RwLock<HashMap>`s), so one
+//! `Workbench` behind a shared reference serves any number of worker
+//! threads: a value is computed at most once per cache *warm-up* and every
+//! later lookup is a read-lock hit. Because every cached quantity is a pure
+//! deterministic function of the zoo, a racing duplicate computation on a
+//! cold cache produces a bit-identical value, and whichever insert wins is
+//! indistinguishable from the other.
+//!
+//! The workbench also carries the pipeline's observability spine: per-cache
+//! hit/miss counters and per-stage wall-clock accumulators
+//! ([`Telemetry`]), surfaced by the parallel runner
+//! ([`crate::runner`]) so experiment trajectories can attribute wins to the
+//! stage that produced them.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
 use tg_transfer::log_me;
 use tg_zoo::{DatasetId, Modality, ModelId, ModelZoo};
 
 use crate::config::Representation;
 
+/// Number of lock shards per cache. A small power of two: enough to keep
+/// writer contention negligible for tens of worker threads without bloating
+/// the struct.
+const SHARDS: usize = 16;
+
+/// A concurrent map sharded across [`SHARDS`] reader-writer locks, with
+/// hit/miss accounting.
+struct ShardedCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on a
+    /// miss. `compute` runs *outside* any lock: it may be expensive, and
+    /// because cached values are pure functions of the key, a concurrent
+    /// duplicate computation is harmless (first insert wins; both results
+    /// are identical).
+    fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self
+            .shard(&key)
+            .read()
+            .expect("cache shard poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        self.shard(&key)
+            .write()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(v)
+            .clone()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Pipeline stages the workbench attributes wall-clock time to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Computing collection artefacts on cache misses: forward passes +
+    /// LogME evidence maximisation, probe embeddings, similarities.
+    FeatureCollection,
+    /// Graph construction + node-embedding training (steps ⑤–⑥).
+    GraphLearning,
+    /// Feature assembly, regressor fitting and prediction (steps ⑦–⑧).
+    Regression,
+}
+
+impl Stage {
+    fn index(self) -> usize {
+        match self {
+            Stage::FeatureCollection => 0,
+            Stage::GraphLearning => 1,
+            Stage::Regression => 2,
+        }
+    }
+
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::FeatureCollection => "feature collection",
+            Stage::GraphLearning => "graph learning",
+            Stage::Regression => "regression",
+        }
+    }
+}
+
+/// Thread-safe wall-clock accumulators, one per [`Stage`].
+///
+/// Feature-collection time is recorded at the cache-miss site regardless of
+/// which pipeline stage triggered the miss; graph-learning and regression
+/// timings are end-to-end wall-clock of those calls and therefore *include*
+/// any nested cold-cache collection work. On a warmed workbench the three
+/// stages are effectively disjoint.
+#[derive(Default)]
+pub struct Telemetry {
+    stage_nanos: [AtomicU64; 3],
+}
+
+impl Telemetry {
+    /// Runs `f`, attributing its wall-clock time to `stage`.
+    pub fn time<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.stage_nanos[stage.index()]
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Accumulated time of one stage.
+    pub fn stage_time(&self, stage: Stage) -> Duration {
+        Duration::from_nanos(self.stage_nanos[stage.index()].load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time copy of the workbench's counters, used to compute deltas
+/// over a run ([`WorkbenchStats::delta_since`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkbenchStats {
+    /// (hits, misses) of the LogME cache.
+    pub logme: (u64, u64),
+    /// (hits, misses) of the two representation caches combined.
+    pub representation: (u64, u64),
+    /// (hits, misses) of the pairwise-similarity cache.
+    pub similarity: (u64, u64),
+    /// Accumulated wall-clock per stage, indexed by [`Stage::index`].
+    pub stage_time: [Duration; 3],
+}
+
+impl WorkbenchStats {
+    /// Counter movement between an earlier snapshot and this one.
+    pub fn delta_since(&self, earlier: &WorkbenchStats) -> WorkbenchStats {
+        let sub = |a: (u64, u64), b: (u64, u64)| (a.0 - b.0, a.1 - b.1);
+        WorkbenchStats {
+            logme: sub(self.logme, earlier.logme),
+            representation: sub(self.representation, earlier.representation),
+            similarity: sub(self.similarity, earlier.similarity),
+            stage_time: [
+                self.stage_time[0] - earlier.stage_time[0],
+                self.stage_time[1] - earlier.stage_time[1],
+                self.stage_time[2] - earlier.stage_time[2],
+            ],
+        }
+    }
+
+    /// Total cache hits across all caches.
+    pub fn hits(&self) -> u64 {
+        self.logme.0 + self.representation.0 + self.similarity.0
+    }
+
+    /// Total cache misses across all caches.
+    pub fn misses(&self) -> u64 {
+        self.logme.1 + self.representation.1 + self.similarity.1
+    }
+
+    /// Overall hit rate in `[0, 1]`; 1.0 for an untouched workbench.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Wall-clock attributed to one stage.
+    pub fn stage(&self, stage: Stage) -> Duration {
+        self.stage_time[stage.index()]
+    }
+
+    /// One-line rendering for run summaries.
+    pub fn render(&self) -> String {
+        let pct = |(h, m): (u64, u64)| {
+            if h + m == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * h as f64 / (h + m) as f64)
+            }
+        };
+        format!(
+            "stages: collection {:.3?}, graph {:.3?}, regression {:.3?} | \
+             cache hit rates: logme {} ({}h/{}m), repr {} ({}h/{}m), sim {} ({}h/{}m)",
+            self.stage(Stage::FeatureCollection),
+            self.stage(Stage::GraphLearning),
+            self.stage(Stage::Regression),
+            pct(self.logme),
+            self.logme.0,
+            self.logme.1,
+            pct(self.representation),
+            self.representation.0,
+            self.representation.1,
+            pct(self.similarity),
+            self.similarity.0,
+            self.similarity.1,
+        )
+    }
+}
+
 /// Shared caches over one zoo.
 ///
-/// Cloning copies the caches: experiment harnesses warm one workbench
-/// (e.g. [`Workbench::warm_logme`]) and hand clones to worker threads.
-#[derive(Clone)]
+/// All lookup methods take `&self`: experiment harnesses warm one workbench
+/// (e.g. [`Workbench::warm_logme`]) and hand `&Workbench` to every worker
+/// thread. The workbench is deliberately *not* `Clone` — cloning a cache
+/// per thread (the pre-parallel-runner design) silently forfeits sharing.
 pub struct Workbench<'z> {
     zoo: &'z ModelZoo,
-    logme: HashMap<(ModelId, DatasetId), f64>,
-    ds_embed: HashMap<DatasetId, Vec<f64>>,
-    t2v_embed: HashMap<DatasetId, Vec<f64>>,
-    similarity: HashMap<(Representation, DatasetId, DatasetId), f64>,
+    logme: ShardedCache<(ModelId, DatasetId), f64>,
+    ds_embed: ShardedCache<DatasetId, Arc<[f64]>>,
+    t2v_embed: ShardedCache<DatasetId, Arc<[f64]>>,
+    similarity: ShardedCache<(Representation, DatasetId, DatasetId), f64>,
+    telemetry: Telemetry,
 }
 
 impl<'z> Workbench<'z> {
@@ -30,10 +261,11 @@ impl<'z> Workbench<'z> {
     pub fn new(zoo: &'z ModelZoo) -> Self {
         Workbench {
             zoo,
-            logme: HashMap::new(),
-            ds_embed: HashMap::new(),
-            t2v_embed: HashMap::new(),
-            similarity: HashMap::new(),
+            logme: ShardedCache::new(),
+            ds_embed: ShardedCache::new(),
+            t2v_embed: ShardedCache::new(),
+            similarity: ShardedCache::new(),
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -42,61 +274,105 @@ impl<'z> Workbench<'z> {
         self.zoo
     }
 
-    /// LogME score of model `m` on dataset `d` (forward pass + evidence
-    /// maximisation), cached.
-    pub fn logme(&mut self, m: ModelId, d: DatasetId) -> f64 {
-        if let Some(&s) = self.logme.get(&(m, d)) {
-            return s;
-        }
-        let fp = self.zoo.forward_pass(m, d);
-        let s = log_me(&fp.features, &fp.labels, fp.num_classes);
-        self.logme.insert((m, d), s);
-        s
+    /// The workbench's stage timers (used by [`crate::evaluate`] to
+    /// attribute graph-learning and regression time).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
-    /// Dataset representation under the chosen scheme, cached.
-    pub fn representation(&mut self, d: DatasetId, rep: Representation) -> &[f64] {
-        let zoo = self.zoo;
-        match rep {
-            Representation::DomainSimilarity => self
-                .ds_embed
-                .entry(d)
-                .or_insert_with(|| zoo.domain_similarity_embedding(d)),
-            Representation::Task2Vec => self
-                .t2v_embed
-                .entry(d)
-                .or_insert_with(|| zoo.task2vec_embedding(d)),
-        }
+    /// LogME score of model `m` on dataset `d` (forward pass + evidence
+    /// maximisation), cached.
+    pub fn logme(&self, m: ModelId, d: DatasetId) -> f64 {
+        self.logme.get_or_insert_with((m, d), || {
+            self.telemetry.time(Stage::FeatureCollection, || {
+                let fp = self.zoo.forward_pass(m, d);
+                log_me(&fp.features, &fp.labels, fp.num_classes)
+            })
+        })
+    }
+
+    /// Dataset representation under the chosen scheme, cached. The returned
+    /// `Arc` shares the cached buffer — cloning it is O(1).
+    pub fn representation(&self, d: DatasetId, rep: Representation) -> Arc<[f64]> {
+        let cache = match rep {
+            Representation::DomainSimilarity => &self.ds_embed,
+            Representation::Task2Vec => &self.t2v_embed,
+        };
+        cache.get_or_insert_with(d, || {
+            self.telemetry.time(Stage::FeatureCollection, || {
+                let v = match rep {
+                    Representation::DomainSimilarity => self.zoo.domain_similarity_embedding(d),
+                    Representation::Task2Vec => self.zoo.task2vec_embedding(d),
+                };
+                Arc::from(v)
+            })
+        })
     }
 
     /// Similarity `φ` between two datasets under the chosen representation
     /// (correlation similarity of the embeddings), cached and symmetric.
-    pub fn similarity(&mut self, a: DatasetId, b: DatasetId, rep: Representation) -> f64 {
+    pub fn similarity(&self, a: DatasetId, b: DatasetId, rep: Representation) -> f64 {
         let key = if a.0 <= b.0 { (rep, a, b) } else { (rep, b, a) };
-        if let Some(&s) = self.similarity.get(&key) {
-            return s;
-        }
-        let ea = self.representation(a, rep).to_vec();
-        let eb = self.representation(b, rep).to_vec();
-        let s = tg_linalg::distance::correlation_similarity(&ea, &eb);
-        self.similarity.insert(key, s);
-        s
+        self.similarity.get_or_insert_with(key, || {
+            let ea = self.representation(a, rep);
+            let eb = self.representation(b, rep);
+            self.telemetry.time(Stage::FeatureCollection, || {
+                tg_linalg::distance::correlation_similarity(&ea, &eb)
+            })
+        })
     }
 
     /// Pre-computes LogME for every (model, target-dataset) pair of a
-    /// modality. Called by experiment binaries to front-load the expensive
-    /// part before timing the pipeline.
-    pub fn warm_logme(&mut self, modality: Modality) {
-        for m in self.zoo.models_of(modality) {
-            for d in self.zoo.targets_of(modality) {
+    /// modality, fanning out over all available cores. Called by experiment
+    /// harnesses to front-load the expensive part before timing the
+    /// pipeline; afterwards every worker thread hits a warm cache.
+    pub fn warm_logme(&self, modality: Modality) {
+        let models = self.zoo.models_of(modality);
+        let targets = self.zoo.targets_of(modality);
+        let pairs: Vec<(ModelId, DatasetId)> = models
+            .iter()
+            .flat_map(|&m| targets.iter().map(move |&d| (m, d)))
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(pairs.len().max(1));
+        if workers <= 1 {
+            for &(m, d) in &pairs {
                 self.logme(m, d);
             }
+            return;
         }
+        let next = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    let Some(&(m, d)) = pairs.get(i) else { break };
+                    self.logme(m, d);
+                });
+            }
+        });
     }
 
     /// Number of cached LogME entries (diagnostic).
     pub fn logme_cache_len(&self) -> usize {
         self.logme.len()
+    }
+
+    /// Snapshot of cache counters and stage timers.
+    pub fn stats(&self) -> WorkbenchStats {
+        let sum = |a: (u64, u64), b: (u64, u64)| (a.0 + b.0, a.1 + b.1);
+        WorkbenchStats {
+            logme: self.logme.counters(),
+            representation: sum(self.ds_embed.counters(), self.t2v_embed.counters()),
+            similarity: self.similarity.counters(),
+            stage_time: [
+                self.telemetry.stage_time(Stage::FeatureCollection),
+                self.telemetry.stage_time(Stage::GraphLearning),
+                self.telemetry.stage_time(Stage::Regression),
+            ],
+        }
     }
 }
 
@@ -108,19 +384,21 @@ mod tests {
     #[test]
     fn logme_is_cached_and_stable() {
         let zoo = ModelZoo::build(&ZooConfig::small(1));
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let m = zoo.models_of(Modality::Image)[0];
         let d = zoo.targets_of(Modality::Image)[0];
         let s1 = wb.logme(m, d);
         let s2 = wb.logme(m, d);
         assert_eq!(s1, s2);
         assert_eq!(wb.logme_cache_len(), 1);
+        let stats = wb.stats();
+        assert_eq!(stats.logme, (1, 1));
     }
 
     #[test]
     fn similarity_symmetric_via_cache() {
         let zoo = ModelZoo::build(&ZooConfig::small(2));
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let ds = zoo.targets_of(Modality::Image);
         let s1 = wb.similarity(ds[0], ds[1], Representation::DomainSimilarity);
         let s2 = wb.similarity(ds[1], ds[0], Representation::DomainSimilarity);
@@ -130,10 +408,64 @@ mod tests {
     #[test]
     fn representations_differ_by_scheme() {
         let zoo = ModelZoo::build(&ZooConfig::small(3));
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let d = zoo.targets_of(Modality::Image)[0];
-        let a = wb.representation(d, Representation::DomainSimilarity).to_vec();
-        let b = wb.representation(d, Representation::Task2Vec).to_vec();
+        let a = wb.representation(d, Representation::DomainSimilarity);
+        let b = wb.representation(d, Representation::Task2Vec);
         assert_ne!(a.len(), b.len());
+    }
+
+    #[test]
+    fn concurrent_reads_agree_with_sequential() {
+        let zoo = ModelZoo::build(&ZooConfig::small(4));
+        let wb = Workbench::new(&zoo);
+        let m = zoo.models_of(Modality::Image)[0];
+        let ds = zoo.targets_of(Modality::Image);
+        let sequential: Vec<f64> = ds.iter().map(|&d| wb.logme(m, d)).collect();
+        let fresh = Workbench::new(&zoo);
+        let fresh = &fresh;
+        let concurrent: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ds
+                .iter()
+                .map(|&d| scope.spawn(move || fresh.logme(m, d)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, concurrent);
+    }
+
+    #[test]
+    fn warm_logme_fills_the_full_grid() {
+        let zoo = ModelZoo::build(&ZooConfig::small(5));
+        let wb = Workbench::new(&zoo);
+        wb.warm_logme(Modality::Image);
+        let expected = zoo.models_of(Modality::Image).len() * zoo.targets_of(Modality::Image).len();
+        assert_eq!(wb.logme_cache_len(), expected);
+        // Warming again is all hits: no new entries, no new misses.
+        let misses_before = wb.stats().logme.1;
+        wb.warm_logme(Modality::Image);
+        assert_eq!(wb.logme_cache_len(), expected);
+        assert_eq!(wb.stats().logme.1, misses_before);
+    }
+
+    #[test]
+    fn stats_delta_isolates_a_run() {
+        let zoo = ModelZoo::build(&ZooConfig::small(6));
+        let wb = Workbench::new(&zoo);
+        let m = zoo.models_of(Modality::Image)[0];
+        let d = zoo.targets_of(Modality::Image)[0];
+        wb.logme(m, d);
+        let before = wb.stats();
+        wb.logme(m, d);
+        wb.logme(m, d);
+        let delta = wb.stats().delta_since(&before);
+        assert_eq!(delta.logme, (2, 0));
+        assert_eq!(delta.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn workbench_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Workbench<'_>>();
     }
 }

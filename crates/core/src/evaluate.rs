@@ -2,7 +2,7 @@
 //! one target dataset and score its predictions against the fine-tuning
 //! ground truth.
 
-use crate::artifacts::Workbench;
+use crate::artifacts::{Stage, Workbench};
 use crate::config::EvalOptions;
 use crate::features::pair_features;
 use crate::metrics::{pearson, spearman, top_k_accuracy};
@@ -35,9 +35,27 @@ pub struct EvalOutcome {
     pub top5_accuracy: f64,
 }
 
+/// Derives the deterministic per-(strategy, target, seed) evaluation RNG.
+///
+/// Both [`evaluate`] and [`evaluate_with_permuted_block`] must draw from
+/// bit-identical streams so a permuted re-run fits exactly the same model as
+/// its baseline; keeping the derivation in one place makes that a structural
+/// guarantee rather than a copy-paste invariant. The stream depends only on
+/// `(seed, target, label)`, never on execution order — which is what lets
+/// the parallel runner ([`crate::runner`]) schedule evaluations in any
+/// order and still reproduce sequential results bit-for-bit.
+pub(crate) fn eval_rng(seed: u64, target: DatasetId, label: &str) -> Rng {
+    let mut st = seed ^ (target.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut st = splitmix64(&mut st) ^ hash_label(label);
+    Rng::seed_from_u64(splitmix64(&mut st))
+}
+
 /// Evaluates one strategy on one target dataset, leave-one-out.
+///
+/// Takes the workbench by shared reference: all caching is interior, so any
+/// number of evaluations may run concurrently against one `Workbench`.
 pub fn evaluate(
-    wb: &mut Workbench,
+    wb: &Workbench,
     strategy: &Strategy,
     target: DatasetId,
     opts: &EvalOptions,
@@ -58,10 +76,7 @@ pub fn evaluate(
         .map(|&m| zoo.fine_tune(m, target, opts.eval_method))
         .collect();
 
-    // Deterministic per-(strategy, target, seed) stream.
-    let mut st = opts.seed ^ (target.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let mut st = splitmix64(&mut st) ^ hash_label(&strategy.label());
-    let mut rng = Rng::seed_from_u64(splitmix64(&mut st));
+    let mut rng = eval_rng(opts.seed, target, &strategy.label());
 
     let predictions = match strategy {
         Strategy::Random => models.iter().map(|_| rng.uniform()).collect(),
@@ -77,17 +92,11 @@ pub fn evaluate(
             let history = training_history(wb, target, opts);
             // Training rows: fine-tune records on non-target targets.
             let rows = regression_rows(wb, &history);
-            fit_and_predict(
-                wb,
-                *regressor,
-                *features,
-                opts,
-                &rows,
-                &models,
-                target,
-                None,
-                &mut rng,
-            )
+            wb.telemetry().time(Stage::Regression, || {
+                fit_and_predict(
+                    wb, *regressor, *features, opts, &rows, &models, target, None, &mut rng,
+                )
+            })
         }
         Strategy::TransferGraph {
             regressor,
@@ -95,19 +104,23 @@ pub fn evaluate(
             features,
         } => {
             let history = training_history(wb, target, opts);
-            let loo = learn_loo_graph(wb, target, &history, *learner, opts, &mut rng);
+            let loo = wb.telemetry().time(Stage::GraphLearning, || {
+                learn_loo_graph(wb, target, &history, *learner, opts, &mut rng)
+            });
             let rows = regression_rows(wb, &history);
-            fit_and_predict(
-                wb,
-                *regressor,
-                *features,
-                opts,
-                &rows,
-                &models,
-                target,
-                Some(&loo),
-                &mut rng,
-            )
+            wb.telemetry().time(Stage::Regression, || {
+                fit_and_predict(
+                    wb,
+                    *regressor,
+                    *features,
+                    opts,
+                    &rows,
+                    &models,
+                    target,
+                    Some(&loo),
+                    &mut rng,
+                )
+            })
         }
     };
 
@@ -129,7 +142,7 @@ pub fn evaluate(
 /// target datasets, weighted by `max(0, φ(d, target) − 0.5)²` so only
 /// positively related datasets vote.
 fn history_nn_predictions(
-    wb: &mut Workbench,
+    wb: &Workbench,
     history: &tg_zoo::TrainingHistory,
     models: &[ModelId],
     target: DatasetId,
@@ -218,7 +231,7 @@ fn regression_rows(
 
 #[allow(clippy::too_many_arguments)]
 fn fit_and_predict(
-    wb: &mut Workbench,
+    wb: &Workbench,
     regressor: tg_predict::RegressorKind,
     features: crate::config::FeatureSet,
     opts: &EvalOptions,
@@ -238,7 +251,7 @@ fn fit_and_predict(
 /// models (one shared row permutation) before predicting.
 #[allow(clippy::too_many_arguments)]
 fn fit_and_predict_inner(
-    wb: &mut Workbench,
+    wb: &Workbench,
     regressor: tg_predict::RegressorKind,
     features: crate::config::FeatureSet,
     opts: &EvalOptions,
@@ -312,7 +325,7 @@ fn fit_and_predict_inner(
 /// permuted across models — the core of permutation importance
 /// ([`crate::explain`]).
 pub(crate) fn evaluate_with_permuted_block(
-    wb: &mut Workbench,
+    wb: &Workbench,
     strategy: &Strategy,
     target: DatasetId,
     opts: &EvalOptions,
@@ -321,11 +334,9 @@ pub(crate) fn evaluate_with_permuted_block(
 ) -> Vec<f64> {
     strategy.validate();
     let models = wb.zoo().models_of(wb.zoo().dataset(target).modality);
-    // Re-derive the evaluation stream exactly as `evaluate` does so the
-    // fitted model is identical to the baseline run.
-    let mut st = opts.seed ^ (target.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let mut st = splitmix64(&mut st) ^ hash_label(&strategy.label());
-    let mut rng = Rng::seed_from_u64(splitmix64(&mut st));
+    // Same stream derivation as `evaluate`, so the fitted model is identical
+    // to the baseline run.
+    let mut rng = eval_rng(opts.seed, target, &strategy.label());
     match strategy {
         Strategy::Learned {
             regressor,
@@ -334,7 +345,15 @@ pub(crate) fn evaluate_with_permuted_block(
             let history = training_history(wb, target, opts);
             let rows = regression_rows(wb, &history);
             fit_and_predict_inner(
-                wb, *regressor, *features, opts, &rows, &models, target, None, &mut rng,
+                wb,
+                *regressor,
+                *features,
+                opts,
+                &rows,
+                &models,
+                target,
+                None,
+                &mut rng,
                 Some((block, perm_rng)),
             )
         }
@@ -344,10 +363,19 @@ pub(crate) fn evaluate_with_permuted_block(
             features,
         } => {
             let history = training_history(wb, target, opts);
-            let loo = crate::pipeline::learn_loo_graph(wb, target, &history, *learner, opts, &mut rng);
+            let loo =
+                crate::pipeline::learn_loo_graph(wb, target, &history, *learner, opts, &mut rng);
             let rows = regression_rows(wb, &history);
             fit_and_predict_inner(
-                wb, *regressor, *features, opts, &rows, &models, target, Some(&loo), &mut rng,
+                wb,
+                *regressor,
+                *features,
+                opts,
+                &rows,
+                &models,
+                target,
+                Some(&loo),
+                &mut rng,
                 Some((block, perm_rng)),
             )
         }
@@ -369,9 +397,9 @@ mod tests {
     #[test]
     fn random_strategy_shapes() {
         let zoo = setup();
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let target = zoo.targets_of(Modality::Image)[0];
-        let out = evaluate(&mut wb, &Strategy::Random, target, &EvalOptions::default());
+        let out = evaluate(&wb, &Strategy::Random, target, &EvalOptions::default());
         assert_eq!(out.predictions.len(), zoo.models_of(Modality::Image).len());
         assert_eq!(out.ground_truth.len(), out.predictions.len());
         assert!(out.pearson.is_some());
@@ -383,9 +411,9 @@ mod tests {
         let zoo = setup();
         let target = zoo.targets_of(Modality::Image)[1];
         let run = || {
-            let mut wb = Workbench::new(&zoo);
+            let wb = Workbench::new(&zoo);
             evaluate(
-                &mut wb,
+                &wb,
                 &Strategy::lr_baseline(),
                 target,
                 &EvalOptions::default(),
@@ -396,18 +424,34 @@ mod tests {
     }
 
     #[test]
+    fn warm_cache_does_not_change_predictions() {
+        // The same workbench reused across evaluations (all-hits cache) must
+        // produce exactly the cold-cache result: cached artefacts are pure.
+        let zoo = setup();
+        let target = zoo.targets_of(Modality::Image)[0];
+        let strategy = Strategy::lr_baseline();
+        let opts = EvalOptions::default();
+        let cold = evaluate(&Workbench::new(&zoo), &strategy, target, &opts).predictions;
+        let wb = Workbench::new(&zoo);
+        let first = evaluate(&wb, &strategy, target, &opts).predictions;
+        let second = evaluate(&wb, &strategy, target, &opts).predictions;
+        assert_eq!(cold, first);
+        assert_eq!(first, second);
+    }
+
+    #[test]
     fn learned_lr_beats_random_on_average() {
         let zoo = ModelZoo::build(&ZooConfig::small(13));
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let opts = EvalOptions::default();
         let mut lr_sum = 0.0;
         let mut rnd_sum = 0.0;
         let targets = zoo.targets_of(Modality::Image);
         for &t in &targets {
-            lr_sum += evaluate(&mut wb, &Strategy::lr_baseline(), t, &opts)
+            lr_sum += evaluate(&wb, &Strategy::lr_baseline(), t, &opts)
                 .pearson
                 .unwrap_or(0.0);
-            rnd_sum += evaluate(&mut wb, &Strategy::Random, t, &opts)
+            rnd_sum += evaluate(&wb, &Strategy::Random, t, &opts)
                 .pearson
                 .unwrap_or(0.0);
         }
@@ -420,7 +464,7 @@ mod tests {
     #[test]
     fn transfer_graph_runs_end_to_end() {
         let zoo = setup();
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let target = zoo.targets_of(Modality::Image)[0];
         let strategy = Strategy::TransferGraph {
             regressor: RegressorKind::Linear,
@@ -431,18 +475,23 @@ mod tests {
             embed_dim: 16,
             ..Default::default()
         };
-        let out = evaluate(&mut wb, &strategy, target, &opts);
+        let out = evaluate(&wb, &strategy, target, &opts);
         assert!(out.pearson.is_some());
         assert!(out.predictions.iter().all(|p| p.is_finite()));
+        // Stage attribution: a TransferGraph evaluation must book time to
+        // both the graph-learning and regression stages.
+        let stats = wb.stats();
+        assert!(stats.stage(Stage::GraphLearning) > std::time::Duration::ZERO);
+        assert!(stats.stage(Stage::Regression) > std::time::Duration::ZERO);
     }
 
     #[test]
     #[should_panic(expected = "is not a target dataset")]
     fn rejects_source_dataset_targets() {
         let zoo = setup();
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let src = zoo.sources_of(Modality::Image)[0];
-        evaluate(&mut wb, &Strategy::Random, src, &EvalOptions::default());
+        evaluate(&wb, &Strategy::Random, src, &EvalOptions::default());
     }
 
     #[test]
@@ -451,16 +500,16 @@ mod tests {
         let target = zoo.targets_of(Modality::Image)[0];
         let strategy = Strategy::lr_baseline();
         let full = {
-            let mut wb = Workbench::new(&zoo);
-            evaluate(&mut wb, &strategy, target, &EvalOptions::default()).predictions
+            let wb = Workbench::new(&zoo);
+            evaluate(&wb, &strategy, target, &EvalOptions::default()).predictions
         };
         let third = {
-            let mut wb = Workbench::new(&zoo);
+            let wb = Workbench::new(&zoo);
             let opts = EvalOptions {
                 history_ratio: 0.3,
                 ..Default::default()
             };
-            evaluate(&mut wb, &strategy, target, &opts).predictions
+            evaluate(&wb, &strategy, target, &opts).predictions
         };
         assert_ne!(full, third);
     }
@@ -476,16 +525,16 @@ mod history_nn_tests {
     #[test]
     fn history_nn_runs_and_carries_signal() {
         let zoo = ModelZoo::build(&ZooConfig::small(41));
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let targets = zoo.targets_of(Modality::Image);
         let mut nn_sum = 0.0;
         let mut rnd_sum = 0.0;
         for &t in &targets {
             let opts = EvalOptions::default();
-            nn_sum += evaluate(&mut wb, &Strategy::HistoryNn, t, &opts)
+            nn_sum += evaluate(&wb, &Strategy::HistoryNn, t, &opts)
                 .pearson
                 .unwrap_or(0.0);
-            rnd_sum += evaluate(&mut wb, &Strategy::Random, t, &opts)
+            rnd_sum += evaluate(&wb, &Strategy::Random, t, &opts)
                 .pearson
                 .unwrap_or(0.0);
         }
@@ -505,8 +554,8 @@ mod history_nn_tests {
         let zoo = ModelZoo::build(&ZooConfig::small(42));
         let t = zoo.targets_of(Modality::Text)[0];
         let run = || {
-            let mut wb = Workbench::new(&zoo);
-            evaluate(&mut wb, &Strategy::HistoryNn, t, &EvalOptions::default()).predictions
+            let wb = Workbench::new(&zoo);
+            evaluate(&wb, &Strategy::HistoryNn, t, &EvalOptions::default()).predictions
         };
         assert_eq!(run(), run());
     }

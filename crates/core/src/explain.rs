@@ -65,7 +65,7 @@ pub fn feature_blocks(set: FeatureSet, embed_dim: usize) -> Vec<(String, std::op
 /// because the pipeline is deterministic in `opts.seed`, the baseline and
 /// permuted runs share everything except the shuffled block.
 pub fn block_importance(
-    wb: &mut Workbench,
+    wb: &Workbench,
     strategy: &Strategy,
     target: DatasetId,
     opts: &EvalOptions,
@@ -90,12 +90,10 @@ pub fn block_importance(
     for (name, range) in blocks {
         let mut taus = Vec::with_capacity(repeats);
         for _ in 0..repeats.max(1) {
-            let permuted =
-                crate::evaluate::evaluate_with_permuted_block(wb, strategy, target, opts, &range, &mut rng);
-            taus.push(
-                pearson(truth, &permuted)
-                    .unwrap_or(0.0),
+            let permuted = crate::evaluate::evaluate_with_permuted_block(
+                wb, strategy, target, opts, &range, &mut rng,
             );
+            taus.push(pearson(truth, &permuted).unwrap_or(0.0));
         }
         out.push(BlockImportance {
             block: name,
@@ -134,13 +132,13 @@ mod tests {
     #[test]
     fn importance_finds_the_logme_block_matters() {
         let zoo = ModelZoo::build(&ZooConfig::small(33));
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let target = zoo.targets_of(Modality::Image)[0];
         let opts = EvalOptions {
             embed_dim: 16,
             ..Default::default()
         };
-        let imp = block_importance(&mut wb, &Strategy::lr_all_logme(), target, &opts, 2);
+        let imp = block_importance(&wb, &Strategy::lr_all_logme(), target, &opts, 2);
         assert_eq!(imp.len(), 4);
         // Every block has a finite importance; at least one is positive.
         assert!(imp.iter().all(|b| b.tau_drop.is_finite()));
@@ -151,8 +149,8 @@ mod tests {
     #[should_panic(expected = "only learned strategies")]
     fn rejects_non_learned_strategies() {
         let zoo = ModelZoo::build(&ZooConfig::small(34));
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let target = zoo.targets_of(Modality::Image)[0];
-        block_importance(&mut wb, &Strategy::Random, target, &EvalOptions::default(), 1);
+        block_importance(&wb, &Strategy::Random, target, &EvalOptions::default(), 1);
     }
 }

@@ -40,7 +40,7 @@ pub fn metadata_features(wb: &Workbench, m: ModelId, d: DatasetId) -> Vec<f64> {
 /// pipeline) get zero embeddings.
 #[allow(clippy::too_many_arguments)]
 pub fn pair_features(
-    wb: &mut Workbench,
+    wb: &Workbench,
     m: ModelId,
     d: DatasetId,
     set: FeatureSet,
@@ -94,21 +94,14 @@ pub fn feature_width(set: FeatureSet, embed_dim: usize) -> usize {
 /// Builds the GNN node-feature matrix: dataset nodes carry their
 /// representation embedding; model nodes carry their metadata vector,
 /// zero-padded to the same width (§V-A2).
-pub fn node_feature_matrix(
-    wb: &mut Workbench,
-    graph: &tg_graph::Graph,
-    rep: Representation,
-) -> Matrix {
+pub fn node_feature_matrix(wb: &Workbench, graph: &tg_graph::Graph, rep: Representation) -> Matrix {
     use tg_graph::NodeKind;
     let zoo = wb.zoo();
     // Determine widths.
-    let first_ds = graph
-        .nodes()
-        .iter()
-        .find_map(|n| match n {
-            NodeKind::Dataset(d) => Some(*d),
-            _ => None,
-        });
+    let first_ds = graph.nodes().iter().find_map(|n| match n {
+        NodeKind::Dataset(d) => Some(*d),
+        _ => None,
+    });
     let ds_width = match first_ds {
         Some(d) => wb.representation(d, rep).len(),
         None => 0,
@@ -166,7 +159,7 @@ mod tests {
     #[test]
     fn pair_features_widths_per_set() {
         let zoo = setup();
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let m = zoo.models_of(Modality::Image)[0];
         let d = zoo.targets_of(Modality::Image)[0];
         let rep = Representation::DomainSimilarity;
@@ -177,7 +170,7 @@ mod tests {
             FeatureSet::GraphOnly,
             FeatureSet::All,
         ] {
-            let v = pair_features(&mut wb, m, d, set, rep, Some(&emb), Some(0), Some(1));
+            let v = pair_features(&wb, m, d, set, rep, Some(&emb), Some(0), Some(1));
             assert_eq!(v.len(), feature_width(set, 16), "{set:?}");
             assert!(v.iter().all(|x| x.is_finite()), "{set:?}");
         }
@@ -198,12 +191,12 @@ mod tests {
     #[test]
     fn missing_graph_node_yields_zero_block() {
         let zoo = setup();
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let m = zoo.models_of(Modality::Image)[0];
         let d = zoo.targets_of(Modality::Image)[0];
         let emb = Matrix::from_fn(4, 8, |_, _| 1.0);
         let v = pair_features(
-            &mut wb,
+            &wb,
             m,
             d,
             FeatureSet::GraphOnly,

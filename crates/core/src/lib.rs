@@ -28,11 +28,11 @@
 //! use transfergraph::{Strategy, Workbench, EvalOptions};
 //!
 //! let zoo = ModelZoo::build(&ZooConfig::small(42));
-//! let mut wb = Workbench::new(&zoo);
+//! let wb = Workbench::new(&zoo);
 //! let target = zoo.targets_of(Modality::Image)[0];
 //! let strategy = Strategy::transfer_graph_default();
 //! let opts = EvalOptions::default();
-//! let outcome = transfergraph::evaluate(&mut wb, &strategy, target, &opts);
+//! let outcome = transfergraph::evaluate(&wb, &strategy, target, &opts);
 //! // outcome.predictions ranks every model in the zoo for `target`.
 //! assert_eq!(outcome.predictions.len(), zoo.models_of(Modality::Image).len());
 //! ```
@@ -46,9 +46,11 @@ pub mod metrics;
 pub mod pipeline;
 pub mod recommend;
 pub mod report;
+pub mod runner;
 pub mod strategy;
 
-pub use artifacts::Workbench;
+pub use artifacts::{Stage, Workbench, WorkbenchStats};
 pub use config::{EdgeSource, EvalOptions, FeatureSet, Representation};
 pub use evaluate::{evaluate, EvalOutcome};
+pub use runner::{run_jobs, run_over_targets, EvalJob, RunSummary};
 pub use strategy::Strategy;

@@ -1,8 +1,8 @@
 //! Evaluation metrics: Pearson correlation (Eq. 1), Spearman, and the
 //! top-k realised accuracy of Fig. 2.
 
-pub use tg_linalg::stats::{pearson, spearman};
 use tg_linalg::stats::top_k_indices;
+pub use tg_linalg::stats::{pearson, spearman};
 
 /// Mean *true* accuracy of the `k` models ranked highest by `scores` —
 /// what a practitioner actually obtains after fine-tuning the top-k
@@ -22,8 +22,15 @@ pub fn top_k_accuracy(scores: &[f64], true_accuracy: &[f64], k: usize) -> f64 {
 /// Regret@k: gap between the best achievable accuracy and the best within
 /// the top-k recommendations. 0 means the recommender found the optimum.
 pub fn regret_at_k(scores: &[f64], true_accuracy: &[f64], k: usize) -> f64 {
-    assert_eq!(scores.len(), true_accuracy.len(), "regret_at_k: length mismatch");
-    let best = true_accuracy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(
+        scores.len(),
+        true_accuracy.len(),
+        "regret_at_k: length mismatch"
+    );
+    let best = true_accuracy
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let idx = top_k_indices(scores, k);
     let best_in_k = idx
         .iter()

@@ -39,7 +39,7 @@ impl LooGraph {
 ///   caller has already restricted to exclude the target;
 /// * M-D transferability edges (LogME) for model × non-target pairs.
 pub fn build_loo_graph_inputs(
-    wb: &mut Workbench,
+    wb: &Workbench,
     target: DatasetId,
     history: &TrainingHistory,
     opts: &EvalOptions,
@@ -104,7 +104,7 @@ pub fn build_loo_graph_inputs(
 /// Runs steps ⑤–⑥: builds the graph and trains the chosen graph learner,
 /// returning 128-d (by default) node embeddings.
 pub fn learn_loo_graph(
-    wb: &mut Workbench,
+    wb: &Workbench,
     target: DatasetId,
     history: &TrainingHistory,
     learner: LearnerKind,
@@ -130,13 +130,13 @@ mod tests {
     #[test]
     fn loo_graph_has_no_model_target_edges() {
         let zoo = setup();
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let target = zoo.targets_of(Modality::Image)[0];
         let history = zoo
             .full_history(Modality::Image, FineTuneMethod::Full)
             .excluding_dataset(target);
         let opts = EvalOptions::default();
-        let inputs = build_loo_graph_inputs(&mut wb, target, &history, &opts);
+        let inputs = build_loo_graph_inputs(&wb, target, &history, &opts);
         let graph = build_graph(&inputs, &tg_graph::GraphConfig::default());
         let t_node = graph.node_index(NodeKind::Dataset(target)).unwrap();
         for (nbr, _) in graph.neighbors(t_node) {
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn transferability_only_mode_drops_accuracy_edges() {
         let zoo = setup();
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let target = zoo.targets_of(Modality::Image)[0];
         let history = zoo
             .full_history(Modality::Image, FineTuneMethod::Full)
@@ -161,7 +161,7 @@ mod tests {
             edge_source: EdgeSource::TransferabilityOnly,
             ..Default::default()
         };
-        let inputs = build_loo_graph_inputs(&mut wb, target, &history, &opts);
+        let inputs = build_loo_graph_inputs(&wb, target, &history, &opts);
         assert!(inputs.md_accuracy.is_empty());
         assert!(!inputs.md_transferability.is_empty());
     }
@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn embeddings_cover_all_nodes() {
         let zoo = setup();
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let target = zoo.targets_of(Modality::Image)[1];
         let history = zoo
             .full_history(Modality::Image, FineTuneMethod::Full)
@@ -180,7 +180,7 @@ mod tests {
         };
         let mut rng = Rng::seed_from_u64(1);
         let loo = learn_loo_graph(
-            &mut wb,
+            &wb,
             target,
             &history,
             LearnerKind::Node2Vec,

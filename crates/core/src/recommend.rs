@@ -136,9 +136,9 @@ mod tests {
     fn setup() -> (ModelZoo, EvalOutcome) {
         let zoo = ModelZoo::build(&ZooConfig::small(31));
         let target = zoo.targets_of(Modality::Image)[0];
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let outcome = evaluate(
-            &mut wb,
+            &wb,
             &Strategy::lr_all_logme(),
             target,
             &EvalOptions {
@@ -173,9 +173,7 @@ mod tests {
         let (zoo, outcome) = setup();
         let small = greedy_top_k(&zoo, &outcome, FineTuneMethod::Full, 3.0);
         let large = greedy_top_k(&zoo, &outcome, FineTuneMethod::Full, 30.0);
-        assert!(
-            large.best_accuracy.unwrap_or(0.0) >= small.best_accuracy.unwrap_or(0.0)
-        );
+        assert!(large.best_accuracy.unwrap_or(0.0) >= small.best_accuracy.unwrap_or(0.0));
         assert!(large.regret <= small.regret + 1e-12);
     }
 

@@ -60,14 +60,7 @@ impl DynamicEmbedder {
 
     /// Inserts a new positive edge (e.g. a freshly observed fine-tuning
     /// result) and refreshes the embeddings around it.
-    pub fn insert_edge(
-        &mut self,
-        a: usize,
-        b: usize,
-        weight: f64,
-        kind: EdgeKind,
-        rng: &mut Rng,
-    ) {
+    pub fn insert_edge(&mut self, a: usize, b: usize, weight: f64, kind: EdgeKind, rng: &mut Rng) {
         self.graph.add_edge(a, b, weight, kind);
         self.refresh(&[a, b], rng);
     }
@@ -76,11 +69,7 @@ impl DynamicEmbedder {
     /// affected nodes. For streaming workloads this is the economical mode:
     /// one local SGNS pass amortises over the whole batch, where per-edge
     /// refreshes would each pay the walk/train overhead.
-    pub fn insert_edges(
-        &mut self,
-        edges: &[(usize, usize, f64, EdgeKind)],
-        rng: &mut Rng,
-    ) {
+    pub fn insert_edges(&mut self, edges: &[(usize, usize, f64, EdgeKind)], rng: &mut Rng) {
         if edges.is_empty() {
             return;
         }
@@ -110,12 +99,7 @@ impl DynamicEmbedder {
         let mut walks = Vec::with_capacity(region.len() * self.refresh_walks);
         for _ in 0..self.refresh_walks {
             for &start in &region {
-                walks.push(single_local_walk(
-                    &self.graph,
-                    &self.walk_cfg,
-                    start,
-                    rng,
-                ));
+                walks.push(single_local_walk(&self.graph, &self.walk_cfg, start, rng));
             }
         }
         self.model
@@ -222,9 +206,7 @@ mod tests {
         // Update inside community B only.
         e.insert_edge(8, 4, 1.0, EdgeKind::DatasetDataset, &mut rng);
         let after = e.embeddings();
-        let delta = |node: usize| {
-            tg_linalg::distance::euclidean(before.row(node), after.row(node))
-        };
+        let delta = |node: usize| tg_linalg::distance::euclidean(before.row(node), after.row(node));
         // Node 4 (touched) must move more than node 0 (remote community A;
         // only perturbed through negative sampling).
         assert!(

@@ -135,7 +135,13 @@ impl GraphLearner for Gat {
                 )
             })
             .collect();
-        let l2 = GatLayer::new(&mut store, rng, "gat.l2", self.hidden * heads.len(), self.dim);
+        let l2 = GatLayer::new(
+            &mut store,
+            rng,
+            "gat.l2",
+            self.hidden * heads.len(),
+            self.dim,
+        );
         let mut opt = Adam::new(self.lr);
 
         let mut final_emb = Matrix::zeros(n, self.dim);

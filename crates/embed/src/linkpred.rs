@@ -110,8 +110,8 @@ mod tests {
     fn includes_threshold_negatives() {
         let g = graph();
         let set = build_linkpred_set(&g, &mut Rng::seed_from_u64(3));
-        let found = (0..set.len())
-            .any(|i| set.us[i] == 6 && set.vs[i] == 7 && set.labels[i] == 0.0);
+        let found =
+            (0..set.len()).any(|i| set.us[i] == 6 && set.vs[i] == 7 && set.labels[i] == 0.0);
         assert!(found);
     }
 }

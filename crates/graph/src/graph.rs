@@ -97,7 +97,10 @@ impl Graph {
 
     /// Adds an undirected positive edge.
     pub fn add_edge(&mut self, a: usize, b: usize, weight: f64, kind: EdgeKind) {
-        assert!(a < self.nodes.len() && b < self.nodes.len(), "add_edge: node out of range");
+        assert!(
+            a < self.nodes.len() && b < self.nodes.len(),
+            "add_edge: node out of range"
+        );
         assert!(a != b, "add_edge: self-loops not allowed");
         assert!(weight.is_finite(), "add_edge: non-finite weight");
         let e = self.edges.len();
@@ -123,7 +126,9 @@ impl Graph {
 
     /// Neighbors of node `i` as (neighbor, weight) pairs.
     pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.adj[i].iter().map(move |&(n, e)| (n, self.edges[e].weight))
+        self.adj[i]
+            .iter()
+            .map(move |&(n, e)| (n, self.edges[e].weight))
     }
 
     /// Degree of node `i` (counting parallel edges).

@@ -306,12 +306,7 @@ mod tests {
 
     #[test]
     fn svd_reconstructs_tall_matrix() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 8.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
         let svd = thin_svd(&a).unwrap();
         // A = U Σ Vᵀ
         let sig = Matrix::from_fn(2, 2, |r, c| if r == c { svd.sigma[r] } else { 0.0 });
@@ -352,7 +347,11 @@ mod tests {
         // Second column is 2x the first: rank 1.
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let svd = thin_svd(&a).unwrap();
-        assert!(svd.sigma[1] < 1e-8, "second singular value {}", svd.sigma[1]);
+        assert!(
+            svd.sigma[1] < 1e-8,
+            "second singular value {}",
+            svd.sigma[1]
+        );
         let sig = Matrix::from_fn(2, 2, |r, c| if r == c { svd.sigma[r] } else { 0.0 });
         let rec = svd.u.matmul(&sig).matmul(&svd.v.transpose());
         for i in 0..3 {

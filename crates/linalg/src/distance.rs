@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn correlation_distance_constant_is_one() {
-        assert!(approx(correlation_distance(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 1.0));
+        assert!(approx(
+            correlation_distance(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            1.0
+        ));
     }
 
     #[test]

@@ -22,7 +22,12 @@ impl fmt::Debug for Matrix {
             let row: Vec<String> = (0..self.cols.min(8))
                 .map(|c| format!("{:9.4}", self.get(r, c)))
                 .collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;
@@ -194,9 +199,7 @@ impl Matrix {
     /// Matrix-vector product.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
-        (0..self.rows)
-            .map(|r| dot(self.row(r), v))
-            .collect()
+        (0..self.rows).map(|r| dot(self.row(r), v)).collect()
     }
 
     /// Elementwise map.

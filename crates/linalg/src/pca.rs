@@ -60,9 +60,9 @@ mod tests {
             let t = r as f64 / n as f64 * 20.0 - 10.0;
             let noise = ((r * 7 + c * 13) % 11) as f64 / 11.0 - 0.5;
             match c {
-                0 => t + noise * 0.1,         // dominant direction
-                1 => t * 0.5 + noise * 0.1,   // correlated
-                _ => noise,                   // pure noise
+                0 => t + noise * 0.1,       // dominant direction
+                1 => t * 0.5 + noise * 0.1, // correlated
+                _ => noise,                 // pure noise
             }
         })
     }

@@ -60,14 +60,20 @@ pub fn pearson(t: &[f64], s: &[f64]) -> Option<f64> {
     if dt <= 0.0 || ds <= 0.0 {
         return None;
     }
-    Some(num / (dt * ds).sqrt())
+    // Cauchy–Schwarz bounds |num| ≤ √(dt·ds) mathematically, but with
+    // near-constant inputs the rounded quotient can overshoot ±1 — clamp so
+    // downstream tolerance checks (and rank correlations built on top) see a
+    // valid coefficient.
+    Some((num / (dt * ds).sqrt()).clamp(-1.0, 1.0))
 }
 
 /// Fractional ranks with mid-rank tie handling (1-based).
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp: a total order even in the presence of NaN, so tied blocks
+    // are always contiguous and the mid-rank assignment below is exhaustive.
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -107,7 +113,8 @@ pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
 pub fn top_k_indices(xs: &[f64], k: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
     order.sort_by(|&a, &b| {
-        xs[b].partial_cmp(&xs[a])
+        xs[b]
+            .partial_cmp(&xs[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
@@ -202,5 +209,41 @@ mod tests {
     #[test]
     fn min_max_empty() {
         assert_eq!(min_max(&[]), None);
+    }
+
+    /// The shrunk input pinned in `tests/property_tests.proptest-regressions`:
+    /// tied values must keep every rank-based invariant exact.
+    #[test]
+    fn pinned_regression_tied_values() {
+        let xs = [41.017265912619436, 0.0, 0.0, 43.86568159681817];
+        // Mid-rank tie handling: the two zeros share rank 1.5.
+        assert_eq!(ranks(&xs), vec![3.0, 1.5, 1.5, 4.0]);
+        // Rank sum invariant n(n+1)/2 holds through the tied block.
+        assert_eq!(ranks(&xs).iter().sum::<f64>(), 10.0);
+        // Spearman is invariant under strictly monotone transforms even when
+        // the transform maps the tied block through non-linear territory.
+        let ys: Vec<f64> = xs.iter().map(|&x| x * 2.0 + 1.0).collect();
+        let zs: Vec<f64> = ys.iter().map(|&y| (y / 25.0).exp()).collect();
+        let a = spearman(&xs, &ys).unwrap();
+        let b = spearman(&xs, &zs).unwrap();
+        assert!((a - b).abs() < 1e-12, "spearman drifted: {a} vs {b}");
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn pearson_never_overshoots_unit_interval() {
+        // Near-constant vectors: catastrophic cancellation used to let the
+        // rounded coefficient exceed 1.0.
+        let t = [1.0, 1.0 + 1e-15, 1.0 + 2e-15, 1.0 - 1e-15];
+        let s = [2.0, 2.0 + 2e-15, 2.0 + 4e-15, 2.0 - 2e-15];
+        if let Some(r) = pearson(&t, &s) {
+            assert!((-1.0..=1.0).contains(&r), "out of range: {r}");
+        }
+    }
+
+    #[test]
+    fn ranks_total_order_handles_signed_zero() {
+        // -0.0 and 0.0 compare equal: one tied block, shared mid-rank.
+        assert_eq!(ranks(&[-0.0, 0.0, 1.0]), vec![1.5, 1.5, 3.0]);
     }
 }

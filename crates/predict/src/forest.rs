@@ -75,7 +75,10 @@ impl Regressor for RandomForest {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        assert!(!self.trees.is_empty(), "RandomForest::predict called before fit");
+        assert!(
+            !self.trees.is_empty(),
+            "RandomForest::predict called before fit"
+        );
         let mut acc = vec![0.0; x.rows()];
         for tree in &self.trees {
             for (a, p) in acc.iter_mut().zip(tree.predict(x)) {
@@ -118,7 +121,10 @@ mod tests {
         let mut single = RandomForest::new(1, 5);
         single.fit(&x, &y, &mut rng);
         let single_score = r2(&yt, &single.predict(&xt));
-        assert!(rf_score > single_score, "rf {rf_score} single {single_score}");
+        assert!(
+            rf_score > single_score,
+            "rf {rf_score} single {single_score}"
+        );
     }
 
     #[test]

@@ -228,12 +228,7 @@ impl Regressor for Gbdt {
 /// Predict a training row through a tree using the pre-binned matrix (bin
 /// thresholds are stored as real-valued feature thresholds, so we map the
 /// row's bin back through the edges).
-fn tree_predict_binned(
-    tree: &GbdtTree,
-    bins: &[Vec<u16>],
-    row: usize,
-    edges: &[Vec<f64>],
-) -> f64 {
+fn tree_predict_binned(tree: &GbdtTree, bins: &[Vec<u16>], row: usize, edges: &[Vec<f64>]) -> f64 {
     let mut i = 0;
     loop {
         match &tree.nodes[i] {
@@ -278,7 +273,9 @@ impl Gbdt {
         let h_total = rows.len() as f64;
         let leaf_weight = -g_total / (h_total + self.lambda);
         if depth >= self.max_depth || h_total < 2.0 * self.min_child_weight {
-            tree.nodes.push(GNode::Leaf { weight: leaf_weight });
+            tree.nodes.push(GNode::Leaf {
+                weight: leaf_weight,
+            });
             return tree.nodes.len() - 1;
         }
 
@@ -308,8 +305,7 @@ impl Gbdt {
                     continue;
                 }
                 let gain = 0.5
-                    * (gl * gl / (hl + self.lambda) + gr * gr / (hr + self.lambda)
-                        - parent_score)
+                    * (gl * gl / (hl + self.lambda) + gr * gr / (hr + self.lambda) - parent_score)
                     - self.gamma;
                 if gain > best.map_or(1e-12, |(_, _, g)| g) {
                     best = Some((feat, b, gain));
@@ -318,16 +314,21 @@ impl Gbdt {
         }
 
         let Some((feature, bin, _)) = best else {
-            tree.nodes.push(GNode::Leaf { weight: leaf_weight });
+            tree.nodes.push(GNode::Leaf {
+                weight: leaf_weight,
+            });
             return tree.nodes.len() - 1;
         };
         // Real-valued threshold: the bin's upper edge.
         let threshold = self.bin_edges[feature][bin];
-        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-            rows.iter().partition(|&&i| (bins[feature][i] as usize) <= bin);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&i| (bins[feature][i] as usize) <= bin);
 
         let idx = tree.nodes.len();
-        tree.nodes.push(GNode::Leaf { weight: leaf_weight }); // placeholder
+        tree.nodes.push(GNode::Leaf {
+            weight: leaf_weight,
+        }); // placeholder
         let left = self.build_node(tree, bins, grad, cols, left_rows, depth + 1);
         let right = self.build_node(tree, bins, grad, cols, right_rows, depth + 1);
         tree.nodes[idx] = GNode::Split {

@@ -93,7 +93,11 @@ impl Regressor for RidgeRegression {
             .weights
             .as_ref()
             .expect("RidgeRegression::predict called before fit");
-        assert_eq!(x.cols(), w.len(), "RidgeRegression::predict: feature mismatch");
+        assert_eq!(
+            x.cols(),
+            w.len(),
+            "RidgeRegression::predict: feature mismatch"
+        );
         (0..x.rows())
             .map(|i| {
                 let mut s = self.intercept;

@@ -50,7 +50,6 @@ pub struct DecisionTree {
     nodes: Vec<Node>,
 }
 
-
 impl DecisionTree {
     /// Tree with the given configuration.
     pub fn new(config: TreeConfig) -> Self {
@@ -74,7 +73,14 @@ impl DecisionTree {
         self.build(x, y, &mut rows, 0, rng);
     }
 
-    fn build(&mut self, x: &Matrix, y: &[f64], rows: &mut [usize], depth: usize, rng: &mut Rng) -> usize {
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        rows: &mut [usize],
+        depth: usize,
+        rng: &mut Rng,
+    ) -> usize {
         let n = rows.len();
         let sum: f64 = rows.iter().map(|&i| y[i]).sum();
         let mean = sum / n as f64;
@@ -209,7 +215,10 @@ impl Regressor for DecisionTree {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        assert!(!self.nodes.is_empty(), "DecisionTree::predict called before fit");
+        assert!(
+            !self.nodes.is_empty(),
+            "DecisionTree::predict called before fit"
+        );
         (0..x.rows()).map(|r| self.predict_row(x, r)).collect()
     }
 }
@@ -278,7 +287,9 @@ mod tests {
     fn feature_subsampling_still_learns() {
         let mut rng = Rng::seed_from_u64(5);
         let x = Matrix::from_fn(200, 4, |_, _| rng.uniform());
-        let y: Vec<f64> = (0..200).map(|i| if x.get(i, 2) > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = (0..200)
+            .map(|i| if x.get(i, 2) > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let mut t = DecisionTree::new(TreeConfig {
             max_depth: 6,
             min_samples_leaf: 2,

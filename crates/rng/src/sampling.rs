@@ -39,12 +39,28 @@ impl AliasTable {
                 large.push(i);
             }
         }
+        // Fallback partner for residual cells: any index with positive
+        // weight (one exists, the total is positive). If floating-point
+        // rounding strands a zero-weight cell in either residual branch
+        // below, aliasing it to `self` with probability 1 would make the
+        // zero-weight index sampleable — alias it to the fallback with
+        // probability 0 instead.
+        let fallback = weights
+            .iter()
+            .position(|&w| w > 0.0)
+            .expect("AliasTable: positive total implies a positive weight");
         while let Some(s) = small.pop() {
             let Some(l) = large.pop() else {
                 // Rounding left a "small" cell with no large partner: its
-                // scaled probability is ~1.
-                prob[s] = 1.0;
-                alias[s] = s;
+                // scaled probability is ~1 — unless the cell's weight is 0,
+                // in which case it must stay unsampleable.
+                if weights[s] > 0.0 {
+                    prob[s] = 1.0;
+                    alias[s] = s;
+                } else {
+                    prob[s] = 0.0;
+                    alias[s] = fallback;
+                }
                 continue;
             };
             prob[s] = scaled[s];
@@ -56,10 +72,16 @@ impl AliasTable {
                 large.push(l);
             }
         }
-        // Whatever remains has probability ~1 up to rounding.
+        // Whatever remains has probability ~1 up to rounding; the same
+        // zero-weight guard applies.
         for i in large {
-            prob[i] = 1.0;
-            alias[i] = i;
+            if weights[i] > 0.0 {
+                prob[i] = 1.0;
+                alias[i] = i;
+            } else {
+                prob[i] = 0.0;
+                alias[i] = fallback;
+            }
         }
         AliasTable { prob, alias }
     }
@@ -129,5 +151,49 @@ mod tests {
     #[should_panic(expected = "AliasTable")]
     fn alias_rejects_all_zero() {
         AliasTable::new(&[0.0, 0.0]);
+    }
+
+    /// Adversarial near-zero weights: denormals and exact zeros interleaved
+    /// with dominant cells stress the residual branches of the construction.
+    /// No zero-weight index may ever be sampleable, and near-zero weights
+    /// must keep a (vanishingly small but valid) alias entry.
+    #[test]
+    fn alias_adversarial_near_zero_weights() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![41.017265912619436, 0.0, 0.0, 43.86568159681817],
+            vec![0.0, 1e-308, 0.0, 1.0],
+            vec![1e-320, 0.0, 2.0, 0.0, 3.0],
+            vec![f64::MIN_POSITIVE, 0.0, f64::MIN_POSITIVE],
+            vec![0.0, 0.0, 0.0, 1e-300],
+            vec![1.0, 1e-17, 0.0, 1.0, 0.0, 1.0],
+        ];
+        for weights in &cases {
+            let table = AliasTable::new(weights);
+            // Structural check: every sampling path (keep slot i, or follow
+            // its alias) must land on a positive weight.
+            for i in 0..weights.len() {
+                if table.prob[i] > 0.0 {
+                    assert!(
+                        weights[i] > 0.0,
+                        "slot {i} keeps zero weight with prob {} in {weights:?}",
+                        table.prob[i]
+                    );
+                }
+                if table.prob[i] < 1.0 {
+                    assert!(
+                        weights[table.alias[i]] > 0.0,
+                        "slot {i} aliases zero weight {} in {weights:?}",
+                        table.alias[i]
+                    );
+                }
+            }
+            // Behavioural check.
+            let mut rng = Rng::seed_from_u64(7);
+            for _ in 0..5_000 {
+                let i = table.sample(&mut rng);
+                assert!(i < weights.len());
+                assert!(weights[i] > 0.0, "sampled zero-weight {i} of {weights:?}");
+            }
+        }
     }
 }

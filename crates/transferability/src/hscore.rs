@@ -107,6 +107,9 @@ mod tests {
         let (f, y) = clustered_features(&mut rng, 200, 8, 3, 2.0);
         let s1 = h_score(&f, &y, 3);
         let s2 = h_score(&f.scale(7.0), &y, 3);
-        assert!((s1 - s2).abs() / s1.abs().max(1.0) < 0.02, "s1 {s1} s2 {s2}");
+        assert!(
+            (s1 - s2).abs() / s1.abs().max(1.0) < 0.02,
+            "s1 {s1} s2 {s2}"
+        );
     }
 }

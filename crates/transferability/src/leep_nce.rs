@@ -177,7 +177,13 @@ mod tests {
         let score_at = |p_correct: f64, rng: &mut Rng| {
             let zs: Vec<usize> = labels
                 .iter()
-                .map(|&y| if rng.bernoulli(p_correct) { y } else { rng.index(4) })
+                .map(|&y| {
+                    if rng.bernoulli(p_correct) {
+                        y
+                    } else {
+                        rng.index(4)
+                    }
+                })
                 .collect();
             nce(&zs, &labels, 4, 4)
         };

@@ -93,7 +93,12 @@ impl Estimator {
         match self {
             Estimator::LogMe => log_me(&fp.features, &fp.labels, fp.num_classes),
             Estimator::Leep => leep(&fp.source_probs, &fp.labels, fp.num_classes),
-            Estimator::Nce => nce(&fp.source_labels(), &fp.labels, fp.num_source_classes, fp.num_classes),
+            Estimator::Nce => nce(
+                &fp.source_labels(),
+                &fp.labels,
+                fp.num_source_classes,
+                fp.num_classes,
+            ),
             Estimator::Parc => parc(&fp.features, &fp.labels, fp.num_classes),
             Estimator::TransRate => trans_rate(&fp.features, &fp.labels, fp.num_classes),
             Estimator::HScore => h_score(&fp.features, &fp.labels, fp.num_classes),

@@ -26,13 +26,17 @@ pub fn parc(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
     // Pearson-distance matrix of feature rows.
     let fdist = pearson_distance_rows(features, &idx);
     // One-hot label matrix and its Pearson-distance.
-    let onehot = Matrix::from_fn(n, num_classes, |r, c| {
-        if labels[idx[r]] == c {
-            1.0
-        } else {
-            0.0
-        }
-    });
+    let onehot = Matrix::from_fn(
+        n,
+        num_classes,
+        |r, c| {
+            if labels[idx[r]] == c {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
     let all: Vec<usize> = (0..n).collect();
     let ldist = pearson_distance_rows(&onehot, &all);
 
@@ -113,6 +117,9 @@ mod tests {
         let mut rng = Rng::seed_from_u64(4);
         let (f, y) = clustered_features(&mut rng, 240, 16, 4, 0.0);
         let s = parc(&f, &y, 4);
-        assert!(s.abs() < 15.0, "uninformative features should be near 0: {s}");
+        assert!(
+            s.abs() < 15.0,
+            "uninformative features should be near 0: {s}"
+        );
     }
 }

@@ -52,19 +52,19 @@ pub const IMAGE_DOMAINS: &[&str] = &[
 ];
 
 /// Domain clusters for text datasets.
-pub const TEXT_DOMAINS: &[&str] = &[
-    "sentiment",
-    "social-media",
-    "linguistic",
-    "topic-news",
-];
+pub const TEXT_DOMAINS: &[&str] = &["sentiment", "social-media", "linguistic", "topic-news"];
 
 /// Spec for a hand-written dataset entry: (name, samples, classes, domain,
 /// difficulty, spread).
 type Spec = (&'static str, usize, usize, usize, f64, f64);
 
 /// (domain count, targets, low-variance extras, source names) per modality.
-type ModalityTables = (usize, &'static [Spec], &'static [Spec], &'static [(&'static str, usize)]);
+type ModalityTables = (
+    usize,
+    &'static [Spec],
+    &'static [Spec],
+    &'static [(&'static str, usize)],
+);
 
 /// The eight image targets of Table III.
 ///
@@ -202,14 +202,14 @@ pub fn build_datasets(
     id_offset: usize,
 ) -> Vec<DatasetInfo> {
     let (n_domains, targets, extras, sources): ModalityTables = match modality {
-            Modality::Image => (
-                IMAGE_DOMAINS.len(),
-                IMAGE_TARGETS,
-                IMAGE_TARGETS_LOW_VARIANCE,
-                IMAGE_SOURCE_NAMES,
-            ),
-            Modality::Text => (TEXT_DOMAINS.len(), TEXT_TARGETS, &[], TEXT_SOURCE_NAMES),
-        };
+        Modality::Image => (
+            IMAGE_DOMAINS.len(),
+            IMAGE_TARGETS,
+            IMAGE_TARGETS_LOW_VARIANCE,
+            IMAGE_SOURCE_NAMES,
+        ),
+        Modality::Text => (TEXT_DOMAINS.len(), TEXT_TARGETS, &[], TEXT_SOURCE_NAMES),
+    };
 
     // Domain centres: unit-ish vectors spread in latent space.
     let centres: Vec<Vec<f64>> = (0..n_domains)
@@ -219,14 +219,14 @@ pub fn build_datasets(
 
     let mut out = Vec::new();
     let push = |name: &str,
-                    role: DatasetRole,
-                    samples: usize,
-                    classes: usize,
-                    domain: usize,
-                    difficulty: f64,
-                    spread: f64,
-                    rng: &mut Rng,
-                    out: &mut Vec<DatasetInfo>| {
+                role: DatasetRole,
+                samples: usize,
+                classes: usize,
+                domain: usize,
+                difficulty: f64,
+                spread: f64,
+                rng: &mut Rng,
+                out: &mut Vec<DatasetInfo>| {
         let latent: Vec<f64> = centres[domain]
             .iter()
             .map(|&c| c + rng.normal(0.0, jitter))
@@ -245,8 +245,7 @@ pub fn build_datasets(
         });
     };
 
-    for &(name, samples, classes, domain, difficulty, spread) in
-        targets.iter().chain(extras.iter())
+    for &(name, samples, classes, domain, difficulty, spread) in targets.iter().chain(extras.iter())
     {
         push(
             name,
@@ -348,7 +347,10 @@ mod tests {
         }
         let ms = tg_linalg::stats::mean(&same);
         let md = tg_linalg::stats::mean(&diff);
-        assert!(ms < md, "same-domain mean {ms} should be < cross-domain {md}");
+        assert!(
+            ms < md,
+            "same-domain mean {ms} should be < cross-domain {md}"
+        );
     }
 
     #[test]

@@ -116,7 +116,11 @@ pub fn simulate_forward_pass(
         let peak = mapping[c];
         let mut total = 0.0;
         for k in 0..num_source_classes {
-            let base = if k == peak { conf } else { (1.0 - conf) / num_source_classes as f64 };
+            let base = if k == peak {
+                conf
+            } else {
+                (1.0 - conf) / num_source_classes as f64
+            };
             let val = (base * rng.uniform_range(0.6, 1.4)).max(1e-6);
             source_probs.set(i, k, val);
             total += val;

@@ -112,7 +112,8 @@ pub fn feature_skill(
     target: &DatasetInfo,
     feat_rng: &mut Rng,
 ) -> f64 {
-    (0.50 * affinity(source, target) + 0.28 * model.quality
+    (0.50 * affinity(source, target)
+        + 0.28 * model.quality
         + 0.12 * bias_match(model, target)
         + feat_rng.normal(0.0, 0.16))
     .clamp(0.0, 1.0)

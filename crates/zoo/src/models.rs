@@ -22,17 +22,30 @@ pub struct Family {
 pub const IMAGE_FAMILIES: &[Family] = &[
     Family {
         name: "resnet",
-        variants: &[("18", 0.30, 11.7), ("34", 0.40, 21.8), ("50", 0.55, 25.6), ("101", 0.70, 44.5)],
+        variants: &[
+            ("18", 0.30, 11.7),
+            ("34", 0.40, 21.8),
+            ("50", 0.55, 25.6),
+            ("101", 0.70, 44.5),
+        ],
         modality: Modality::Image,
     },
     Family {
         name: "vit",
-        variants: &[("small", 0.50, 22.0), ("base", 0.70, 86.6), ("large", 0.90, 304.0)],
+        variants: &[
+            ("small", 0.50, 22.0),
+            ("base", 0.70, 86.6),
+            ("large", 0.90, 304.0),
+        ],
         modality: Modality::Image,
     },
     Family {
         name: "swin",
-        variants: &[("tiny", 0.55, 28.3), ("small", 0.70, 49.6), ("base", 0.85, 87.8)],
+        variants: &[
+            ("tiny", 0.55, 28.3),
+            ("small", 0.70, 49.6),
+            ("base", 0.85, 87.8),
+        ],
         modality: Modality::Image,
     },
     Family {
@@ -42,7 +55,11 @@ pub const IMAGE_FAMILIES: &[Family] = &[
     },
     Family {
         name: "mobilenet",
-        variants: &[("v2", 0.20, 3.5), ("v3-small", 0.15, 2.5), ("v3-large", 0.30, 5.5)],
+        variants: &[
+            ("v2", 0.20, 3.5),
+            ("v3-small", 0.15, 2.5),
+            ("v3-large", 0.30, 5.5),
+        ],
         modality: Modality::Image,
     },
     Family {
@@ -57,7 +74,11 @@ pub const IMAGE_FAMILIES: &[Family] = &[
     },
     Family {
         name: "deit",
-        variants: &[("tiny", 0.35, 5.7), ("small", 0.55, 22.1), ("base", 0.75, 86.6)],
+        variants: &[
+            ("tiny", 0.35, 5.7),
+            ("small", 0.55, 22.1),
+            ("base", 0.75, 86.6),
+        ],
         modality: Modality::Image,
     },
     Family {
@@ -194,7 +215,9 @@ pub fn build_models(
         .collect();
     assert!(!sources.is_empty(), "build_models: no source datasets");
     // Zipf-ish source weights: generic sources dominate.
-    let weights: Vec<f64> = (0..sources.len()).map(|i| 1.0 / (1.0 + i as f64 * 0.35)).collect();
+    let weights: Vec<f64> = (0..sources.len())
+        .map(|i| 1.0 / (1.0 + i as f64 * 0.35))
+        .collect();
 
     let input_sizes: &[u32] = match modality {
         Modality::Image => &[224, 224, 224, 256, 288, 384],
@@ -213,8 +236,7 @@ pub fn build_models(
         // different source corpora are barely comparable (a 0.7 on
         // ImageNet-21k and a 0.7 on a 2-class corpus mean different
         // things), which is why metadata-only selection saturates (§II-B2).
-        let pretrain_accuracy = (0.45 + 0.18 * quality + 0.12 * capacity
-            - 0.30 * src.difficulty
+        let pretrain_accuracy = (0.45 + 0.18 * quality + 0.12 * capacity - 0.30 * src.difficulty
             + rng.normal(0.0, 0.09))
         .clamp(0.05, 0.99);
         let arch = format!("{}-{}", fam.name, variant);

@@ -88,7 +88,12 @@ pub fn task2vec_embedding(dataset: &DatasetInfo, seed: u64) -> Vec<f64> {
     // Train the probe.
     let mut store = ParamStore::new();
     let mut init_rng = Rng::seed_from_u64(splitmix64(&mut state));
-    let mlp = Mlp::new(&mut store, &mut init_rng, "t2v", &[T2V_INPUT, T2V_HIDDEN, classes]);
+    let mlp = Mlp::new(
+        &mut store,
+        &mut init_rng,
+        "t2v",
+        &[T2V_INPUT, T2V_HIDDEN, classes],
+    );
     let mut opt = Adam::new(0.02);
     for _ in 0..T2V_EPOCHS {
         let mut tape = Tape::new();

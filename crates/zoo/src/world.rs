@@ -4,7 +4,9 @@
 
 use crate::datasets::{build_datasets, DatasetInfo, DatasetRole};
 use crate::features::{simulate_forward_pass, ForwardPass};
-use crate::finetune::{accuracy_from_skill, base_skill, feature_skill, noisy_skill, FineTuneMethod};
+use crate::finetune::{
+    accuracy_from_skill, base_skill, feature_skill, noisy_skill, FineTuneMethod,
+};
 use crate::history::{FineTuneRecord, TrainingHistory};
 use crate::models::{build_models, ModelInfo};
 use crate::probe;
@@ -194,7 +196,12 @@ impl ModelZoo {
         // Skill noise is shared between methods (same model, same data);
         // method-specific noise is drawn from a separate stream.
         let mut skill_rng = self.pair_rng(0x51C0, m, d);
-        let skill = noisy_skill(model, self.dataset(model.source_dataset), target, &mut skill_rng);
+        let skill = noisy_skill(
+            model,
+            self.dataset(model.source_dataset),
+            target,
+            &mut skill_rng,
+        );
         let mut method_rng = self.pair_rng(
             match method {
                 FineTuneMethod::Full => 0xF0F0,
@@ -211,7 +218,10 @@ impl ModelZoo {
     pub fn forward_pass(&self, m: ModelId, d: DatasetId) -> ForwardPass {
         let model = self.model(m);
         let target = self.dataset(d);
-        assert_eq!(model.modality, target.modality, "forward_pass: modality mismatch");
+        assert_eq!(
+            model.modality, target.modality,
+            "forward_pass: modality mismatch"
+        );
         let mut feat_rng = self.pair_rng(0xFEA7, m, d);
         // Feature-visible skill is *not* the fine-tune skill: frozen
         // features expose only the affinity/quality channels, with their
@@ -461,7 +471,10 @@ mod partial_tests {
         let full = zoo.fine_tune(m, d, FineTuneMethod::Full);
         assert_eq!(zoo.fine_tune_partial(m, d, FineTuneMethod::Full, 1.0), full);
         let tenth = zoo.fine_tune_partial(m, d, FineTuneMethod::Full, 0.1);
-        assert!(tenth < full, "partial {tenth} should underestimate full {full}");
+        assert!(
+            tenth < full,
+            "partial {tenth} should underestimate full {full}"
+        );
     }
 
     #[test]
@@ -503,16 +516,12 @@ mod partial_tests {
         let d = zoo.dataset_by_name("cifar100");
         let big = models
             .iter()
-            .max_by(|&&a, &&b| {
-                zoo.model(a).num_params.cmp(&zoo.model(b).num_params)
-            })
+            .max_by(|&&a, &&b| zoo.model(a).num_params.cmp(&zoo.model(b).num_params))
             .copied()
             .unwrap();
         let small = models
             .iter()
-            .min_by(|&&a, &&b| {
-                zoo.model(a).num_params.cmp(&zoo.model(b).num_params)
-            })
+            .min_by(|&&a, &&b| zoo.model(a).num_params.cmp(&zoo.model(b).num_params))
             .copied()
             .unwrap();
         assert!(zoo.fine_tune_cost(big, d, 1.0) > zoo.fine_tune_cost(small, d, 1.0));

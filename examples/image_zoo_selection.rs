@@ -10,9 +10,7 @@
 //! cargo run --release --example image_zoo_selection
 //! ```
 
-use transfergraph_repro::core::{
-    evaluate, pipeline, EvalOptions, Strategy, Workbench,
-};
+use transfergraph_repro::core::{evaluate, pipeline, EvalOptions, Strategy, Workbench};
 use transfergraph_repro::embed::LearnerKind;
 use transfergraph_repro::graph::GraphStats;
 use transfergraph_repro::rng::Rng;
@@ -31,7 +29,7 @@ fn main() {
     );
 
     // Stage 1 — feature collection (offline): probe embeddings, LogME.
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     let sim_to_dogs = wb.similarity(
         zoo.dataset_by_name("stanford-dogs"),
         target,
@@ -51,7 +49,7 @@ fn main() {
         .full_history(Modality::Image, FineTuneMethod::Full)
         .excluding_dataset(target);
     let opts = EvalOptions::default();
-    let inputs = pipeline::build_loo_graph_inputs(&mut wb, target, &history, &opts);
+    let inputs = pipeline::build_loo_graph_inputs(&wb, target, &history, &opts);
     let graph = transfergraph_repro::graph::build_graph(
         &inputs,
         &transfergraph_repro::graph::GraphConfig::default(),
@@ -64,7 +62,7 @@ fn main() {
 
     // Stage 3 — graph learning.
     let loo = pipeline::learn_loo_graph(
-        &mut wb,
+        &wb,
         target,
         &history,
         LearnerKind::Node2VecPlus,
@@ -85,7 +83,7 @@ fn main() {
         Strategy::lr_all_logme(),
         Strategy::transfer_graph_default(),
     ] {
-        let out = evaluate(&mut wb, &strategy, target, &opts);
+        let out = evaluate(&wb, &strategy, target, &opts);
         println!(
             "  {:<18} top-5 accuracy {:.3}   τ {}",
             out.strategy,

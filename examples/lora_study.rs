@@ -32,10 +32,26 @@ fn main() {
 
     let strategy = Strategy::transfer_graph_default();
     let settings = [
-        ("history full  / deploy full", FineTuneMethod::Full, FineTuneMethod::Full),
-        ("history lora  / deploy lora", FineTuneMethod::Lora, FineTuneMethod::Lora),
-        ("history full  / deploy lora", FineTuneMethod::Full, FineTuneMethod::Lora),
-        ("history lora  / deploy full", FineTuneMethod::Lora, FineTuneMethod::Full),
+        (
+            "history full  / deploy full",
+            FineTuneMethod::Full,
+            FineTuneMethod::Full,
+        ),
+        (
+            "history lora  / deploy lora",
+            FineTuneMethod::Lora,
+            FineTuneMethod::Lora,
+        ),
+        (
+            "history full  / deploy lora",
+            FineTuneMethod::Full,
+            FineTuneMethod::Lora,
+        ),
+        (
+            "history lora  / deploy full",
+            FineTuneMethod::Lora,
+            FineTuneMethod::Full,
+        ),
     ];
     println!("TG:XGB,N2V+,all under method mismatch:");
     for (label, train, eval_m) in settings {
@@ -44,8 +60,8 @@ fn main() {
             eval_method: eval_m,
             ..Default::default()
         };
-        let mut wb = Workbench::new(&zoo);
-        let out = evaluate(&mut wb, &strategy, target, &opts);
+        let wb = Workbench::new(&zoo);
+        let out = evaluate(&wb, &strategy, target, &opts);
         println!(
             "  {label}: τ {}   top-5 {:.3}",
             transfergraph_repro::core::report::fmt_corr(out.pearson),

@@ -18,21 +18,16 @@ fn main() {
     // 3. Run TransferGraph: graph construction → Node2Vec+ embeddings →
     //    XGBoost prediction, leave-one-out safe (no peeking at the target's
     //    fine-tuning results).
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     let outcome = evaluate(
-        &mut wb,
+        &wb,
         &Strategy::transfer_graph_default(),
         target,
         &EvalOptions::default(),
     );
 
     // 4. The predictions rank every model in the zoo.
-    let mut ranked: Vec<(usize, f64)> = outcome
-        .predictions
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut ranked: Vec<(usize, f64)> = outcome.predictions.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
 
     println!("Top-5 recommendations for `stanfordcars`:");

@@ -38,7 +38,7 @@ fn main() {
 
     // Compare TransferGraph variants on the irony-detection target.
     let opts = EvalOptions::default();
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     println!("tweet_eval/irony — correlation with true fine-tune accuracy:");
     for (label, strategy) in [
         ("feature-based", Strategy::LogMe),
@@ -61,7 +61,7 @@ fn main() {
             },
         ),
     ] {
-        let out = evaluate(&mut wb, &strategy, target, &opts);
+        let out = evaluate(&wb, &strategy, target, &opts);
         println!(
             "  {:<16} τ {}   top-5 accuracy {:.3}",
             label,

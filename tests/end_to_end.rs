@@ -33,9 +33,9 @@ fn every_strategy_family_runs_on_every_modality() {
     ];
     for modality in [Modality::Image, Modality::Text] {
         let target = zoo.targets_of(modality)[0];
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         for s in &strategies {
-            let out = evaluate(&mut wb, s, target, &fast_opts());
+            let out = evaluate(&wb, s, target, &fast_opts());
             assert_eq!(out.predictions.len(), zoo.models_of(modality).len());
             assert!(
                 out.predictions.iter().all(|p| p.is_finite()),
@@ -50,14 +50,14 @@ fn every_strategy_family_runs_on_every_modality() {
 fn all_four_graph_learners_work_end_to_end() {
     let zoo = small_zoo();
     let target = zoo.targets_of(Modality::Image)[1];
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     for learner in LearnerKind::ALL {
         let s = Strategy::TransferGraph {
             regressor: RegressorKind::Linear,
             learner,
             features: FeatureSet::GraphOnly,
         };
-        let out = evaluate(&mut wb, &s, target, &fast_opts());
+        let out = evaluate(&wb, &s, target, &fast_opts());
         assert!(
             out.pearson.is_some(),
             "{} degenerate predictions",
@@ -70,15 +70,19 @@ fn all_four_graph_learners_work_end_to_end() {
 fn all_three_regressors_work_end_to_end() {
     let zoo = small_zoo();
     let target = zoo.targets_of(Modality::Text)[0];
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     for regressor in RegressorKind::ALL {
         let s = Strategy::TransferGraph {
             regressor,
             learner: LearnerKind::Node2VecPlus,
             features: FeatureSet::All,
         };
-        let out = evaluate(&mut wb, &s, target, &fast_opts());
-        assert!(out.predictions.iter().all(|p| p.is_finite()), "{}", s.label());
+        let out = evaluate(&wb, &s, target, &fast_opts());
+        assert!(
+            out.predictions.iter().all(|p| p.is_finite()),
+            "{}",
+            s.label()
+        );
     }
 }
 
@@ -88,10 +92,10 @@ fn loo_does_not_leak_target_ground_truth() {
     // world has irreducible noise, so a perfect correlation indicates a
     // leak.
     let zoo = small_zoo();
-    let mut wb = Workbench::new(&zoo);
+    let wb = Workbench::new(&zoo);
     for &target in &zoo.targets_of(Modality::Image) {
         let out = evaluate(
-            &mut wb,
+            &wb,
             &Strategy::transfer_graph_default(),
             target,
             &fast_opts(),
@@ -112,8 +116,8 @@ fn pipeline_fully_deterministic_across_workbenches() {
         features: FeatureSet::All,
     };
     let run = || {
-        let mut wb = Workbench::new(&zoo);
-        evaluate(&mut wb, &s, target, &fast_opts()).predictions
+        let wb = Workbench::new(&zoo);
+        evaluate(&wb, &s, target, &fast_opts()).predictions
     };
     assert_eq!(run(), run());
 }
@@ -124,17 +128,17 @@ fn lora_and_full_histories_give_different_but_correlated_rankings() {
     let target = zoo.targets_of(Modality::Text)[1];
     let s = Strategy::lr_all_logme();
     let full = {
-        let mut wb = Workbench::new(&zoo);
-        evaluate(&mut wb, &s, target, &fast_opts())
+        let wb = Workbench::new(&zoo);
+        evaluate(&wb, &s, target, &fast_opts())
     };
     let lora = {
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let opts = EvalOptions {
             train_method: FineTuneMethod::Lora,
             eval_method: FineTuneMethod::Lora,
             ..fast_opts()
         };
-        evaluate(&mut wb, &s, target, &opts)
+        evaluate(&wb, &s, target, &opts)
     };
     assert_ne!(full.predictions, lora.predictions);
     // Ground truths of the two channels correlate strongly.
@@ -149,11 +153,11 @@ fn better_information_improves_mean_correlation() {
     let zoo = ModelZoo::build(&ZooConfig::small(7));
     let opts = fast_opts();
     let mean_tau = |s: &Strategy| {
-        let mut wb = Workbench::new(&zoo);
+        let wb = Workbench::new(&zoo);
         let targets = zoo.targets_of(Modality::Image);
         targets
             .iter()
-            .map(|&t| evaluate(&mut wb, s, t, &opts).pearson.unwrap_or(0.0))
+            .map(|&t| evaluate(&wb, s, t, &opts).pearson.unwrap_or(0.0))
             .sum::<f64>()
             / targets.len() as f64
     };
@@ -163,4 +167,92 @@ fn better_information_improves_mean_correlation() {
         learned > random + 0.1,
         "learned {learned} should clearly beat random {random}"
     );
+}
+
+#[test]
+fn parallel_runner_bit_identical_to_sequential_evaluate() {
+    // The parallel LOO runner must reproduce plain sequential `evaluate`
+    // calls bit-for-bit over every Image target — scheduling must never
+    // leak into results.
+    use transfergraph_repro::core::runner::{run_jobs_on, EvalJob};
+    let zoo = small_zoo();
+    let opts = fast_opts();
+    let jobs: Vec<EvalJob> = zoo
+        .targets_of(Modality::Image)
+        .into_iter()
+        .flat_map(|target| {
+            [
+                Strategy::Random,
+                Strategy::LogMe,
+                Strategy::lr_all_logme(),
+                Strategy::transfer_graph_default(),
+            ]
+            .into_iter()
+            .map(move |strategy| EvalJob { strategy, target })
+        })
+        .collect();
+    let sequential: Vec<_> = {
+        let wb = Workbench::new(&zoo);
+        jobs.iter()
+            .map(|j| evaluate(&wb, &j.strategy, j.target, &opts))
+            .collect()
+    };
+    let wb = Workbench::new(&zoo);
+    let summary = run_jobs_on(&wb, &jobs, &opts, 4);
+    assert_eq!(summary.outcomes.len(), sequential.len());
+    for (s, p) in sequential.iter().zip(&summary.outcomes) {
+        assert_eq!(s.dataset, p.dataset);
+        assert_eq!(s.strategy, p.strategy);
+        assert_eq!(
+            s.predictions, p.predictions,
+            "parallel run diverged for {} on {:?}",
+            s.strategy, s.dataset
+        );
+        assert_eq!(s.ground_truth, p.ground_truth);
+        assert_eq!(s.pearson, p.pearson);
+        assert_eq!(s.spearman, p.spearman);
+    }
+    // The run's summary accounts for the work it did.
+    assert!(summary.stats.hits() + summary.stats.misses() > 0);
+}
+
+#[test]
+fn shared_workbench_survives_concurrent_hammering() {
+    // Concurrency smoke test: ≥4 threads interleave every cache entry
+    // point against one shared workbench; values must match a sequential
+    // oracle computed on a separate instance.
+    use transfergraph_repro::core::Representation;
+    let zoo = small_zoo();
+    let shared = Workbench::new(&zoo);
+    let oracle = Workbench::new(&zoo);
+    let models = zoo.models_of(Modality::Image);
+    let targets = zoo.targets_of(Modality::Image);
+    let threads = 6;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let shared = &shared;
+            let oracle = &oracle;
+            let models = &models;
+            let targets = &targets;
+            scope.spawn(move || {
+                // Each thread walks the grid from a different offset so
+                // reads and writes of the same keys interleave.
+                for k in 0..models.len() * targets.len() {
+                    let i = (k + t * 7) % (models.len() * targets.len());
+                    let (m, d) = (models[i % models.len()], targets[i / models.len()]);
+                    assert_eq!(shared.logme(m, d), oracle.logme(m, d));
+                    let d2 = targets[(i + 1) % targets.len()];
+                    for rep in [Representation::DomainSimilarity, Representation::Task2Vec] {
+                        assert_eq!(shared.similarity(d, d2, rep), oracle.similarity(d, d2, rep));
+                        assert_eq!(shared.representation(d, rep), oracle.representation(d, rep));
+                    }
+                }
+            });
+        }
+    });
+    // Exactly one miss per distinct key ever reached the compute path on
+    // the oracle; the shared bench may have raced a few duplicate computes
+    // but must hold the same number of entries.
+    assert_eq!(shared.logme_cache_len(), oracle.logme_cache_len());
+    assert!(shared.stats().hits() > 0, "hammering must hit the cache");
 }

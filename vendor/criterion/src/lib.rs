@@ -1,0 +1,235 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container has no crates.io access, so the real criterion cannot
+//! be fetched. This crate implements the subset of its API the workspace's
+//! benches use — `Criterion`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timer: each
+//! benchmark runs one warm-up iteration followed by `sample_size` timed
+//! iterations, reporting min/mean per-iteration time. No statistical
+//! analysis, plots, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark (upstream `BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendering just the parameter (upstream
+    /// `BenchmarkId::from_parameter`).
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-benchmark timing callback holder (upstream `Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up iteration outside the measurement.
+        std::hint::black_box(routine());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<48} mean {mean:>12?}  min {min:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+fn run_bench(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    report(label, &b.samples);
+}
+
+/// A named group of related benchmarks (upstream `BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.effective_sample_size(), f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.effective_sample_size(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream requires this; here it is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point (upstream `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&name.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function (upstream `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main` (upstream `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples: Vec::new(),
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(count, 6); // 5 samples + 1 warm-up
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.sample_size(3).bench_function("f", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let input = 41;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &input, |b, &i| {
+            b.iter(|| i + 1);
+            assert_eq!(i, 41);
+        });
+    }
+}

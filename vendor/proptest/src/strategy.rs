@@ -1,0 +1,76 @@
+//! The [`Strategy`] trait and implementations for primitive ranges.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type (upstream
+/// `proptest::strategy::Strategy`, without shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for crate::bool::Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let f = (-3.0f64..7.0).generate(&mut rng);
+            assert!((-3.0..7.0).contains(&f));
+            let u = (5u64..9).generate(&mut rng);
+            assert!((5..9).contains(&u));
+            let z = (2usize..5).generate(&mut rng);
+            assert!((2..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = TestRng::from_seed(seed);
+            (0..10)
+                .map(|_| (0.0f64..1.0).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

@@ -1,0 +1,281 @@
+//! Deterministic case runner with regression-file replay.
+
+/// Per-`proptest!` block configuration (upstream `ProptestConfig`, reduced).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` was not met: discard the case, draw another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "assumption not met: {r}"),
+        }
+    }
+}
+
+/// SplitMix64-based generator driving all value generation. Deliberately
+/// self-contained so the stand-in has no dependencies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator seeded from a 64-bit value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "usize_in: empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+/// FNV-1a over a string, for mixing test names into seeds.
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Locates `<source file stem>.proptest-regressions` next to the test source.
+///
+/// `file!()` paths are relative to the workspace root while the test binary
+/// may run from a member crate's directory, so ancestor directories are
+/// probed as well.
+fn regression_file_for(source_file: &str) -> Option<std::path::PathBuf> {
+    let direct = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    if direct.exists() {
+        return Some(direct);
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join(&direct);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Decodes a persisted `cc <hex digest>` entry into a replay seed by folding
+/// the digest bytes into 64 bits.
+fn seed_from_cc_digest(hex: &str) -> Option<u64> {
+    if hex.len() < 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+        return None;
+    }
+    let mut seed = 0u64;
+    let bytes: Vec<u8> = hex
+        .as_bytes()
+        .chunks(2)
+        .filter_map(|pair| {
+            let s = std::str::from_utf8(pair).ok()?;
+            u8::from_str_radix(s, 16).ok()
+        })
+        .collect();
+    for (i, b) in bytes.iter().enumerate() {
+        seed ^= (*b as u64) << ((i % 8) * 8);
+    }
+    Some(seed)
+}
+
+/// Parses every persisted seed from a regression file.
+fn persisted_seeds(path: &std::path::Path) -> Vec<u64> {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    content
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            let digest = rest.split_whitespace().next()?;
+            seed_from_cc_digest(digest)
+        })
+        .collect()
+}
+
+/// Runs one property test: first replays every seed persisted in the
+/// source file's `.proptest-regressions` sibling (upstream's persistence
+/// semantics), then runs `config.cases` freshly generated cases.
+///
+/// `case` returns the case outcome plus a rendering of the generated inputs
+/// for failure reports. Panics (with the offending inputs and seed) on the
+/// first failing case; `TestCaseError::Reject` discards the case instead.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    source_file: &str,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> (Result<(), TestCaseError>, Vec<String>),
+) {
+    let mut run_one = |seed: u64, origin: &str| -> bool {
+        let mut rng = TestRng::from_seed(seed);
+        let (result, inputs) = case(&mut rng);
+        match result {
+            Ok(()) => true,
+            Err(TestCaseError::Reject(_)) => false,
+            Err(TestCaseError::Fail(reason)) => panic!(
+                "proptest failure in `{test_name}` ({origin}, seed {seed:#018x}): \
+                 {reason}\n  inputs: {}",
+                inputs.join(", ")
+            ),
+        }
+    };
+
+    // Replay checked-in regressions before generating anything new.
+    if let Some(path) = regression_file_for(source_file) {
+        for seed in persisted_seeds(&path) {
+            run_one(seed ^ hash_str(test_name), "persisted regression");
+        }
+    }
+
+    // Fixed base seed: deterministic across runs and machines.
+    let base = 0x7472_616e_7366_6572u64 ^ hash_str(test_name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = config.cases as u64 * 16;
+    while accepted < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "proptest `{test_name}`: too many rejected cases ({attempts} attempts \
+             for {} accepted)",
+            accepted
+        );
+        let seed = base
+            .wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .rotate_left(17);
+        if run_one(seed, "generated case") {
+            accepted += 1;
+        }
+        attempts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_digest_decodes_to_stable_seed() {
+        let a =
+            seed_from_cc_digest("b3f60244a73168e6e90f6ada59174ce48484b8d124eff560c02fa7aed67277d2");
+        let b =
+            seed_from_cc_digest("b3f60244a73168e6e90f6ada59174ce48484b8d124eff560c02fa7aed67277d2");
+        assert_eq!(a, b);
+        assert!(a.is_some());
+        assert_ne!(a, seed_from_cc_digest("deadbeefdeadbeef"));
+    }
+
+    #[test]
+    fn cc_digest_rejects_garbage() {
+        assert_eq!(seed_from_cc_digest("xyz"), None);
+        assert_eq!(seed_from_cc_digest("abcd"), None);
+    }
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        run_proptest(
+            &ProptestConfig::with_cases(8),
+            "no/such/file.rs",
+            "trivial",
+            |rng| {
+                let x = rng.unit_f64();
+                (
+                    if (0.0..1.0).contains(&x) {
+                        Ok(())
+                    } else {
+                        Err(TestCaseError::fail("out of range"))
+                    },
+                    vec![format!("x = {x:?}")],
+                )
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failure")]
+    fn runner_reports_failures() {
+        run_proptest(
+            &ProptestConfig::with_cases(4),
+            "no/such/file.rs",
+            "failing",
+            |_| (Err(TestCaseError::fail("always fails")), vec![]),
+        );
+    }
+
+    #[test]
+    fn runner_tolerates_occasional_rejects() {
+        let mut n = 0u64;
+        run_proptest(
+            &ProptestConfig::with_cases(6),
+            "no/such/file.rs",
+            "rejecting",
+            |_| {
+                n += 1;
+                if n.is_multiple_of(3) {
+                    (Err(TestCaseError::reject("every third")), vec![])
+                } else {
+                    (Ok(()), vec![])
+                }
+            },
+        );
+    }
+}

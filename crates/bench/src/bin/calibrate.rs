@@ -3,12 +3,16 @@
 //! that the simulated world reproduces the information structure the paper
 //! relies on (see DESIGN.md §2).
 
-use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
+    workbench_from_env, zoo_from_env,
+};
 use tg_zoo::{FineTuneMethod, Modality};
-use transfergraph::{report::Table, EvalOptions, Strategy, Workbench};
+use transfergraph::{report::Table, EvalOptions, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let modality = Modality::Image;
     let targets = reported_targets(&zoo, modality);
     println!("reported image targets: {}", targets.len());
@@ -20,7 +24,6 @@ fn main() {
         .iter()
         .map(|&m| zoo.fine_tune(m, cars, FineTuneMethod::Full))
         .collect();
-    let wb = Workbench::new(&zoo);
     let logme: Vec<f64> = models.iter().map(|&m| wb.logme(m, cars)).collect();
     let pre: Vec<f64> = models
         .iter()
@@ -117,7 +120,7 @@ fn main() {
     ];
     let mut table = Table::new(vec!["strategy", "mean pearson", "per-target"]);
     for s in &strategies {
-        let outs = evaluate_over_targets(&zoo, s, subset, &opts);
+        let outs = evaluate_over_targets_on(&wb, s, subset, &opts).outcomes;
         let per: Vec<String> = outs
             .iter()
             .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
@@ -129,4 +132,6 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    persist_artifacts(&wb);
 }

@@ -6,7 +6,10 @@
 //! * `TG:LR,GCN,all` — the GCN graph learner (Kipf & Welling), the
 //!   related-work family member the paper cites but does not evaluate.
 
-use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
+    workbench_from_env, zoo_from_env,
+};
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
 use tg_zoo::Modality;
@@ -14,6 +17,7 @@ use transfergraph::{report::Table, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let opts = EvalOptions::default();
     let strategies = [
         Strategy::HistoryNn,
@@ -34,7 +38,7 @@ fn main() {
         println!("Extended baselines ({modality})\n");
         let mut table = Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
         for s in &strategies {
-            let outs = evaluate_over_targets(&zoo, s, &targets, &opts);
+            let outs = evaluate_over_targets_on(&wb, s, &targets, &opts).outcomes;
             let per: Vec<String> = outs
                 .iter()
                 .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
@@ -47,4 +51,6 @@ fn main() {
         }
         println!("{}", table.render());
     }
+
+    persist_artifacts(&wb);
 }

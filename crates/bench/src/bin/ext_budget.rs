@@ -9,13 +9,14 @@
 //! Reported: best fully fine-tuned accuracy found and regret vs the zoo's
 //! true optimum, across budgets.
 
-use tg_bench::zoo_from_env;
+use tg_bench::{persist_artifacts, workbench_from_env, zoo_from_env};
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::recommend::{greedy_top_k, successive_halving};
-use transfergraph::{evaluate, report::Table, EvalOptions, Strategy, Workbench};
+use transfergraph::{evaluate, report::Table, EvalOptions, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let target = zoo.dataset_by_name("stanfordcars");
     let models = zoo.models_of(Modality::Image);
     let mean_cost = {
@@ -36,7 +37,6 @@ fn main() {
         best
     );
 
-    let wb = Workbench::new(&zoo);
     let opts = EvalOptions::default();
     let tg = evaluate(&wb, &Strategy::transfer_graph_default(), target, &opts);
     let random = evaluate(&wb, &Strategy::Random, target, &opts);
@@ -61,4 +61,6 @@ fn main() {
     println!("{}", table.render());
     println!("shape: TG policies reach low regret with a fraction of the exhaustive budget");
     println!("(the paper's motivation: 1178 GPU-hours to fine-tune everything).");
+
+    persist_artifacts(&wb);
 }

@@ -12,10 +12,11 @@ use tg_embed::{DynamicEmbedder, SgnsConfig};
 use tg_graph::{EdgeKind, NodeKind, WalkConfig};
 use tg_rng::Rng;
 use tg_zoo::{FineTuneMethod, Modality};
-use transfergraph::{pipeline, report::Table, EvalOptions, Workbench};
+use transfergraph::{pipeline, report::Table, EvalOptions};
 
 fn main() {
     let zoo = tg_bench::zoo_from_env();
+    let wb = tg_bench::workbench_from_env(&zoo);
     let target = zoo.dataset_by_name("stanfordcars");
     let models = zoo.models_of(Modality::Image);
     let accs: Vec<f64> = models
@@ -35,7 +36,6 @@ fn main() {
     let full_history = zoo
         .full_history(Modality::Image, FineTuneMethod::Full)
         .excluding_dataset(target);
-    let wb = Workbench::new(&zoo);
     let inputs = pipeline::build_loo_graph_inputs(&wb, target, &base_history, &opts);
     let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
 
@@ -127,4 +127,6 @@ fn main() {
     println!("{}", table.render());
     println!("shape: incremental refresh keeps most of the retrained signal at a small");
     println!("fraction of the cost — the §VII-G 'timely update' property.");
+
+    tg_bench::persist_artifacts(&wb);
 }

@@ -6,7 +6,7 @@
 use tg_linalg::pca::Pca;
 use tg_rng::Rng;
 use tg_zoo::{FineTuneMethod, Modality};
-use transfergraph::{pipeline, EvalOptions, Workbench};
+use transfergraph::{pipeline, EvalOptions};
 
 const W: usize = 100;
 const H: usize = 30;
@@ -18,7 +18,7 @@ fn main() {
         .full_history(Modality::Image, FineTuneMethod::Full)
         .excluding_dataset(target);
     let opts = EvalOptions::default();
-    let wb = Workbench::new(&zoo);
+    let wb = tg_bench::workbench_from_env(&zoo);
     let loo = pipeline::learn_loo_graph(
         &wb,
         target,
@@ -110,4 +110,6 @@ fn main() {
         tg_linalg::stats::mean(&within),
         tg_linalg::stats::mean(&cross)
     );
+
+    tg_bench::persist_artifacts(&wb);
 }

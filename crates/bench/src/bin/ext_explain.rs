@@ -2,12 +2,13 @@
 //! permutation importance of the prediction model's features, for the
 //! LR{all,LogME} baseline and the TransferGraph headline variant.
 
-use tg_bench::zoo_from_env;
+use tg_bench::{persist_artifacts, workbench_from_env, zoo_from_env};
 use transfergraph::explain::block_importance;
-use transfergraph::{report::Table, EvalOptions, Strategy, Workbench};
+use transfergraph::{report::Table, EvalOptions, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let opts = EvalOptions::default();
     for (name, strategy, dataset) in [
         (
@@ -27,7 +28,6 @@ fn main() {
         ),
     ] {
         let target = zoo.dataset_by_name(dataset);
-        let wb = Workbench::new(&zoo);
         let imp = block_importance(&wb, &strategy, target, &opts, 3);
         println!("Permutation importance — {name}\n");
         let mut table = Table::new(vec!["feature block", "τ drop when permuted"]);
@@ -38,4 +38,6 @@ fn main() {
     }
     println!("reading: large τ drops mark the information the recommendation actually uses;");
     println!("for TG variants the model-embedding block should matter alongside similarity.");
+
+    persist_artifacts(&wb);
 }

@@ -3,12 +3,15 @@
 //! ultimately a ranking problem, so the ordering of strategies should
 //! survive the change of metric.
 
-use tg_bench::{evaluate_over_targets, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, persist_artifacts, reported_targets, workbench_from_env, zoo_from_env,
+};
 use tg_zoo::Modality;
 use transfergraph::{report::Table, EvalOptions, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let opts = EvalOptions::default();
     let strategies = [
         Strategy::LogMe,
@@ -27,7 +30,7 @@ fn main() {
         println!("Fig. 7 under Spearman ρ ({modality})\n");
         let mut table = Table::new(vec!["strategy", "mean Pearson τ", "mean Spearman ρ"]);
         for s in &strategies {
-            let outs = evaluate_over_targets(&zoo, s, &targets, &opts);
+            let outs = evaluate_over_targets_on(&wb, s, &targets, &opts).outcomes;
             let mp = outs.iter().map(|o| o.pearson.unwrap_or(0.0)).sum::<f64>() / outs.len() as f64;
             let ms =
                 outs.iter().map(|o| o.spearman.unwrap_or(0.0)).sum::<f64>() / outs.len() as f64;
@@ -35,4 +38,6 @@ fn main() {
         }
         println!("{}", table.render());
     }
+
+    persist_artifacts(&wb);
 }

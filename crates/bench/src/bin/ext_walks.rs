@@ -10,10 +10,11 @@ use tg_embed::{GraphLearner, Node2VecPlus};
 use tg_graph::{NodeKind, WalkConfig};
 use tg_rng::Rng;
 use tg_zoo::{FineTuneMethod, Modality};
-use transfergraph::{pipeline, report::Table, EvalOptions, Workbench};
+use transfergraph::{pipeline, report::Table, EvalOptions};
 
 fn main() {
     let zoo = tg_bench::zoo_from_env();
+    let wb = tg_bench::workbench_from_env(&zoo);
     let targets = ["stanfordcars", "pets"];
     let opts = EvalOptions::default();
 
@@ -38,7 +39,6 @@ fn main() {
             let history = zoo
                 .full_history(Modality::Image, FineTuneMethod::Full)
                 .excluding_dataset(target);
-            let wb = Workbench::new(&zoo);
             let inputs = pipeline::build_loo_graph_inputs(&wb, target, &history, &opts);
             let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
             let feats =
@@ -106,4 +106,6 @@ fn main() {
     }
     println!("Walk-hyperparameter ablation (N2V+ dot-product ranking signal)\n");
     println!("{}", table.render());
+
+    tg_bench::persist_artifacts(&wb);
 }

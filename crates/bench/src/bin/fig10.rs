@@ -4,7 +4,9 @@
 //! Paper shape: no dominant prediction model; per-dataset results are
 //! similar across predictors (feature selection matters more).
 
-use tg_bench::{evaluate_over_targets, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, persist_artifacts, reported_targets, workbench_from_env, zoo_from_env,
+};
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
 use tg_zoo::Modality;
@@ -12,6 +14,7 @@ use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let opts = EvalOptions::default();
 
     for modality in [Modality::Image, Modality::Text] {
@@ -32,7 +35,7 @@ fn main() {
                     learner: LearnerKind::Node2VecPlus,
                     features: FeatureSet::All,
                 };
-                evaluate_over_targets(&zoo, &s, &targets, &opts)
+                evaluate_over_targets_on(&wb, &s, &targets, &opts).outcomes
             })
             .collect();
         let mut means = vec![0.0; RegressorKind::ALL.len()];
@@ -52,4 +55,6 @@ fn main() {
         table.row(mean_row);
         println!("{}", table.render());
     }
+
+    persist_artifacts(&wb);
 }

@@ -9,12 +9,16 @@
 //! baselines under both settings; the mixed setting (b) costs a little
 //! correlation but not the ordering.
 
-use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
+    workbench_from_env, zoo_from_env,
+};
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{report, EvalOptions, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let targets = reported_targets(&zoo, Modality::Text);
     let strategies = [
         Strategy::LogMe,
@@ -55,7 +59,7 @@ fn main() {
         println!("Figure 11 {label} — text datasets\n");
         let mut table = report::Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
         for s in &strategies {
-            let outs = evaluate_over_targets(&zoo, s, &targets, opts);
+            let outs = evaluate_over_targets_on(&wb, s, &targets, opts).outcomes;
             let per: Vec<String> = outs
                 .iter()
                 .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
@@ -68,4 +72,6 @@ fn main() {
         }
         println!("{}", table.render());
     }
+
+    persist_artifacts(&wb);
 }

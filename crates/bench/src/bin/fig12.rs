@@ -6,7 +6,9 @@
 //! Paper shape: only slight differences on most datasets; Task2Vec shows no
 //! advantage for GraphSAGE (its very high dimension vs a small graph).
 
-use tg_bench::{evaluate_over_targets, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, persist_artifacts, reported_targets, workbench_from_env, zoo_from_env,
+};
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
 use tg_zoo::Modality;
@@ -14,6 +16,7 @@ use transfergraph::{report, EvalOptions, FeatureSet, Representation, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let targets = reported_targets(&zoo, Modality::Image);
     println!("Figure 12 — dataset representations (image targets)\n");
 
@@ -36,7 +39,7 @@ fn main() {
                 representation: rep,
                 ..Default::default()
             };
-            let outs = evaluate_over_targets(&zoo, &s, &targets, &opts);
+            let outs = evaluate_over_targets_on(&wb, &s, &targets, &opts).outcomes;
             columns.push(outs.iter().map(|o| o.pearson.unwrap_or(0.0)).collect());
         }
     }
@@ -58,4 +61,6 @@ fn main() {
     let ds_dim = zoo.domain_similarity_embedding(targets[0]).len();
     println!("representation dimensions: Task2Vec = {t2v_dim}, Domain Similarity = {ds_dim}");
     println!("(paper: 13842 vs 1024 — same order-of-magnitude asymmetry)");
+
+    persist_artifacts(&wb);
 }

@@ -6,15 +6,19 @@
 //! graph strategy degrades sharply at ratio 0.3 (the graph fragments into
 //! disconnected components, which we also report).
 
-use tg_bench::{mean_pearson, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
+    workbench_from_env, zoo_from_env,
+};
 use tg_embed::LearnerKind;
 use tg_graph::GraphStats;
 use tg_predict::RegressorKind;
 use tg_zoo::{FineTuneMethod, Modality};
-use transfergraph::{pipeline, report, EvalOptions, FeatureSet, Strategy, Workbench};
+use transfergraph::{pipeline, report, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let targets = reported_targets(&zoo, Modality::Image);
     // The paper uses LR{all, LogME} as the graph-free reference here
     // ("LR, all"); we keep its exact feature set for comparability.
@@ -40,17 +44,15 @@ fn main() {
             history_ratio: ratio,
             ..Default::default()
         };
-        let m_lr = mean_pearson(&tg_bench::evaluate_over_targets(
-            &zoo, &lr_all, &targets, &opts,
-        ));
-        let m_tg = mean_pearson(&tg_bench::evaluate_over_targets(&zoo, &tg, &targets, &opts));
-        // Graph fragmentation diagnostic on one target.
+        let m_lr = mean_pearson(&evaluate_over_targets_on(&wb, &lr_all, &targets, &opts).outcomes);
+        let m_tg = mean_pearson(&evaluate_over_targets_on(&wb, &tg, &targets, &opts).outcomes);
+        // Graph fragmentation diagnostic on one target, on the same shared
+        // workbench (similarities are history-independent, so reuse is safe).
         let cars = zoo.dataset_by_name("stanfordcars");
         let history = zoo
             .full_history(Modality::Image, FineTuneMethod::Full)
             .excluding_dataset(cars)
             .subsample(ratio, opts.seed ^ 0x5a5a);
-        let wb = Workbench::new(&zoo);
         let inputs = pipeline::build_loo_graph_inputs(&wb, cars, &history, &opts);
         let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
         let stats = GraphStats::compute(&graph);
@@ -62,4 +64,6 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    persist_artifacts(&wb);
 }

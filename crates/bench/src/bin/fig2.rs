@@ -6,12 +6,14 @@
 //! achievable. Our absolute accuracies live in the simulator's bands; the
 //! *ordering* and the random-vs-learned gap are the reproduced shape.
 
-use tg_bench::zoo_from_env;
+use tg_bench::{persist_artifacts, summaries_enabled, workbench_from_env, zoo_from_env};
 use tg_zoo::FineTuneMethod;
-use transfergraph::{evaluate, report::Table, EvalOptions, Strategy, Workbench};
+use transfergraph::runner::{run_jobs, EvalJob};
+use transfergraph::{report::Table, EvalOptions, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let target = zoo.dataset_by_name("stanfordcars");
     let models = zoo.models_of(tg_zoo::Modality::Image);
     let accs: Vec<f64> = models
@@ -26,19 +28,24 @@ fn main() {
 
     println!("Figure 2 — top-5 mean fine-tuned accuracy on stanfordcars\n");
     let opts = EvalOptions::default();
-    let strategies = [
+    let jobs: Vec<EvalJob> = [
         Strategy::Random,
         Strategy::LogMe,
         Strategy::lr_baseline(),
         Strategy::lr_all_logme(),
         Strategy::transfer_graph_default(),
-    ];
+    ]
+    .into_iter()
+    .map(|strategy| EvalJob { strategy, target })
+    .collect();
+    let summary = run_jobs(&wb, &jobs, &opts);
+    if summaries_enabled() {
+        eprintln!("[fig2] {}", summary.render());
+    }
     let mut table = Table::new(vec!["strategy", "top-5 mean accuracy", "pearson"]);
-    let wb = Workbench::new(&zoo);
-    for s in &strategies {
-        let out = evaluate(&wb, s, target, &opts);
+    for out in &summary.outcomes {
         table.row(vec![
-            s.label(),
+            out.strategy.clone(),
             format!("{:.3}", out.top5_accuracy),
             transfergraph::report::fmt_corr(out.pearson),
         ]);
@@ -56,4 +63,6 @@ fn main() {
         tg_linalg::stats::min_max(&accs).unwrap().1,
         tg_linalg::stats::mean(&accs),
     );
+
+    persist_artifacts(&wb);
 }

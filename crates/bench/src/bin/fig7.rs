@@ -6,7 +6,10 @@
 //! Paper shape: all TG variants beat LR{all,LogME}, which beats LR and
 //! LogME; LR{all,LogME} clearly beats LR, especially on text.
 
-use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
+    workbench_from_env, zoo_from_env,
+};
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
 use tg_zoo::Modality;
@@ -14,6 +17,7 @@ use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let opts = EvalOptions::default();
     let mut strategies = vec![
         Strategy::LogMe,
@@ -39,7 +43,7 @@ fn main() {
         let mut table = report::Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
         let mut bars: Vec<(String, f64)> = Vec::new();
         for s in &strategies {
-            let outs = evaluate_over_targets(&zoo, s, &targets, &opts);
+            let outs = evaluate_over_targets_on(&wb, s, &targets, &opts).outcomes;
             let mean = mean_pearson(&outs);
             let per: Vec<String> = outs
                 .iter()
@@ -51,4 +55,6 @@ fn main() {
         println!("{}", table.render());
         println!("{}", report::bar_chart(&bars, 40));
     }
+
+    persist_artifacts(&wb);
 }

@@ -9,7 +9,10 @@
 //! Paper shape: (iv) ≥ (iii) ≥ (ii) ≥ (i) on average, with graph features
 //! rescuing datasets where metadata-only LR fails (smallnorb_elevation).
 
-use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
+    workbench_from_env, zoo_from_env,
+};
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
 use tg_zoo::Modality;
@@ -52,6 +55,7 @@ fn strategies() -> Vec<(&'static str, Strategy)> {
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let opts = EvalOptions::default();
 
     for modality in [Modality::Image, Modality::Text] {
@@ -63,7 +67,7 @@ fn main() {
         let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies().len()];
         let outs_by_strategy: Vec<Vec<transfergraph::EvalOutcome>> = strategies()
             .iter()
-            .map(|(_, s)| evaluate_over_targets(&zoo, s, &targets, &opts))
+            .map(|(_, s)| evaluate_over_targets_on(&wb, s, &targets, &opts).outcomes)
             .collect();
         for (ti, &t) in targets.iter().enumerate() {
             let mut row = vec![zoo.dataset(t).name.clone()];
@@ -98,9 +102,12 @@ fn main() {
         learner: LearnerKind::Node2VecPlus,
         features: FeatureSet::GraphOnly,
     };
-    let m_all = mean_pearson(&evaluate_over_targets(&zoo, &all, &targets, &opts));
-    let m_graph = mean_pearson(&evaluate_over_targets(&zoo, &graph_only, &targets, &opts));
+    let m_all = mean_pearson(&evaluate_over_targets_on(&wb, &all, &targets, &opts).outcomes);
+    let m_graph =
+        mean_pearson(&evaluate_over_targets_on(&wb, &graph_only, &targets, &opts).outcomes);
     println!("Scenario without training history (image, transferability edges only):");
     println!("  metadata + similarity + graph features: {m_all:+.3}   (paper: 0.47)");
     println!("  graph features only:                    {m_graph:+.3}   (paper: 0.42)");
+
+    persist_artifacts(&wb);
 }

@@ -7,7 +7,10 @@
 //! Footer ablations (DESIGN.md §6): embedding dimension sweep and walk
 //! hyperparameter sensitivity for Node2Vec+.
 
-use tg_bench::{evaluate_over_targets, mean_pearson, reported_targets, zoo_from_env};
+use tg_bench::{
+    evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
+    workbench_from_env, zoo_from_env,
+};
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
 use tg_zoo::Modality;
@@ -15,6 +18,7 @@ use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let opts = EvalOptions::default();
 
     for modality in [Modality::Image, Modality::Text] {
@@ -34,7 +38,7 @@ fn main() {
                     learner,
                     features,
                 };
-                let outs = evaluate_over_targets(&zoo, &s, &targets, &opts);
+                let outs = evaluate_over_targets_on(&wb, &s, &targets, &opts).outcomes;
                 let per: Vec<String> = outs
                     .iter()
                     .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
@@ -62,7 +66,9 @@ fn main() {
             learner: LearnerKind::Node2VecPlus,
             features: FeatureSet::All,
         };
-        let m = mean_pearson(&evaluate_over_targets(&zoo, &s, &targets, &opts));
+        let m = mean_pearson(&evaluate_over_targets_on(&wb, &s, &targets, &opts).outcomes);
         println!("  dim {dim:>4}: {m:+.3}");
     }
+
+    persist_artifacts(&wb);
 }

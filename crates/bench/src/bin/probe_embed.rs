@@ -5,7 +5,7 @@ use tg_embed::{GraphLearner, Node2VecPlus};
 use tg_graph::WalkConfig;
 use tg_rng::Rng;
 use tg_zoo::{FineTuneMethod, Modality};
-use transfergraph::{pipeline, EvalOptions, Workbench};
+use transfergraph::{pipeline, EvalOptions};
 
 fn main() {
     let zoo = tg_bench::zoo_from_env();
@@ -21,7 +21,7 @@ fn main() {
         .excluding_dataset(cars);
     let opts = EvalOptions::default();
 
-    let wb = Workbench::new(&zoo);
+    let wb = tg_bench::workbench_from_env(&zoo);
     let inputs = pipeline::build_loo_graph_inputs(&wb, cars, &history, &opts);
 
     for (label, sim_th) in [("simth0.0", 0.0), ("simth0.6", 0.6), ("simth0.75", 0.75)] {
@@ -84,4 +84,6 @@ fn main() {
             );
         }
     }
+
+    tg_bench::persist_artifacts(&wb);
 }

@@ -7,7 +7,7 @@
 //! text — 188 nodes, avg degree 8.6, 550 D-D, 918 accuracy, 419
 //! transferability.
 
-use tg_bench::zoo_from_env;
+use tg_bench::{persist_artifacts, workbench_from_env, zoo_from_env};
 use tg_graph::{build_graph, GraphConfig, GraphInputs, GraphStats};
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{report::Table, EvalOptions, Representation, Workbench};
@@ -47,6 +47,7 @@ fn full_inputs(wb: &Workbench, modality: Modality) -> GraphInputs {
 
 fn main() {
     let zoo = zoo_from_env();
+    let wb = workbench_from_env(&zoo);
     let _opts = EvalOptions::default();
     println!("Table II — graph properties (full graphs)\n");
     let config = GraphConfig::default();
@@ -55,7 +56,6 @@ fn main() {
         config.accuracy_threshold, config.transferability_threshold, config.similarity_threshold
     );
     for modality in [Modality::Image, Modality::Text] {
-        let wb = Workbench::new(&zoo);
         let inputs = full_inputs(&wb, modality);
         let graph = build_graph(&inputs, &config);
         let stats = GraphStats::compute(&graph);
@@ -64,7 +64,6 @@ fn main() {
 
     // Ablation: edge-pruning thresholds vs graph density (image).
     println!("Ablation — pruning thresholds vs density (image):\n");
-    let wb = Workbench::new(&zoo);
     let inputs = full_inputs(&wb, Modality::Image);
     let mut table = Table::new(vec![
         "acc/transf threshold",
@@ -96,4 +95,6 @@ fn main() {
         }
     }
     println!("{}", table.render());
+
+    persist_artifacts(&wb);
 }

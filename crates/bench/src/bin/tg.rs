@@ -12,9 +12,7 @@
 use std::collections::HashMap;
 use tg_zoo::{DatasetRole, FineTuneMethod, Modality};
 use transfergraph::recommend::{greedy_top_k, successive_halving};
-use transfergraph::{
-    evaluate, explain::block_importance, report::Table, EvalOptions, Strategy, Workbench,
-};
+use transfergraph::{evaluate, explain::block_importance, report::Table, EvalOptions, Strategy};
 
 fn parse_args(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -53,6 +51,9 @@ fn main() {
     };
     let opts_map = parse_args(&args[1..]);
     let zoo = tg_bench::zoo_from_env();
+    // One workbench for whichever subcommand runs; with TG_ARTIFACT_DIR set
+    // it starts warm from persisted collection artifacts.
+    let wb = tg_bench::workbench_from_env(&zoo);
 
     match command.as_str() {
         "list" => {
@@ -89,7 +90,6 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(10);
             let target = zoo.dataset_by_name(&dataset);
-            let wb = Workbench::new(&zoo);
             let out = evaluate(&wb, &strategy, target, &EvalOptions::default());
             let order = tg_linalg::stats::top_k_indices(&out.predictions, top);
             let mut table = Table::new(vec!["rank", "model", "architecture", "predicted score"]);
@@ -119,7 +119,6 @@ fn main() {
             let dataset = require(&opts_map, "dataset");
             let strategy = strategy_by_name(opts_map.get("strategy").map_or("", String::as_str));
             let target = zoo.dataset_by_name(&dataset);
-            let wb = Workbench::new(&zoo);
             let imp = block_importance(&wb, &strategy, target, &EvalOptions::default(), 3);
             let mut table = Table::new(vec!["feature block", "τ drop when permuted"]);
             for b in &imp {
@@ -139,7 +138,6 @@ fn main() {
             });
             let policy = opts_map.get("policy").map_or("greedy", String::as_str);
             let target = zoo.dataset_by_name(&dataset);
-            let wb = Workbench::new(&zoo);
             let out = evaluate(
                 &wb,
                 &Strategy::transfer_graph_default(),
@@ -168,6 +166,8 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    tg_bench::persist_artifacts(&wb);
 }
 
 fn require(map: &HashMap<String, String>, key: &str) -> String {

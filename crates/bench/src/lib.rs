@@ -1,10 +1,16 @@
 //! Shared harness code for the experiment binaries (one per paper
 //! table/figure) and the Criterion benches.
 //!
-//! Every binary accepts two optional environment variables:
+//! Every binary accepts these optional environment variables:
 //! * `TG_SEED` — world seed (default 2024, the paper's venue year);
 //! * `TG_SCALE` — `paper` (default; 185 + 163 models) or `small` (fast
-//!   smoke-test scale).
+//!   smoke-test scale);
+//! * `TG_ARTIFACT_DIR` — directory for cross-run artifact persistence:
+//!   collection artifacts (LogME, embeddings, similarities) are warmed from
+//!   it at startup and written back on exit, so a second run of the same
+//!   world recomputes nothing;
+//! * `TG_RUNNER_SUMMARY` — `1`/`0` forces run-summary printing on/off
+//!   (default: on in release builds, off in debug builds).
 
 use tg_zoo::{Modality, ModelZoo, ZooConfig};
 use transfergraph::runner::{run_over_targets, RunSummary};
@@ -55,10 +61,53 @@ pub fn reported_targets(zoo: &ModelZoo, modality: Modality) -> Vec<tg_zoo::Datas
         .collect()
 }
 
-/// Evaluates one strategy over a list of targets in parallel on a shared
-/// [`Workbench`] (the runner's work-stealing pool; results keep input
-/// order). With `TG_RUNNER_SUMMARY=1` the run's stage timings and cache
-/// hit rates are printed to stderr.
+/// One [`Workbench`] per process, configured from the environment: with
+/// `TG_ARTIFACT_DIR` set it warms from previously persisted collection
+/// artifacts (and [`persist_artifacts`] writes back on exit); otherwise it
+/// is memory-only. Binaries construct exactly one and share it across every
+/// strategy, sweep point and modality — the caches are keyed by global
+/// model/dataset ids, so one workbench serves both modalities.
+pub fn workbench_from_env(zoo: &ModelZoo) -> Workbench<'_> {
+    Workbench::from_env(zoo)
+}
+
+/// Persists the workbench's collection artifacts to `TG_ARTIFACT_DIR` (a
+/// no-op without it), reporting what was written when summaries are on.
+/// Binaries call this once, after their last evaluation.
+pub fn persist_artifacts(wb: &Workbench) {
+    match wb.persist() {
+        Ok(stats) => {
+            if wb.artifact_dir().is_some() && summaries_enabled() {
+                eprintln!(
+                    "[artifacts] persisted {} entries ({}B) to {}",
+                    stats.entries,
+                    stats.bytes,
+                    wb.artifact_dir().unwrap().display()
+                );
+            }
+        }
+        Err(e) => eprintln!("[artifacts] persist failed (continuing): {e}"),
+    }
+}
+
+/// Whether run summaries go to stderr: `TG_RUNNER_SUMMARY=1`/`0` decides
+/// explicitly; unset defaults to on in `--release` and off in debug (so
+/// test output stays quiet).
+pub fn summaries_enabled() -> bool {
+    match std::env::var_os("TG_RUNNER_SUMMARY") {
+        Some(v) => v != "0",
+        None => !cfg!(debug_assertions),
+    }
+}
+
+/// Evaluates one strategy over a list of targets in parallel on a cold
+/// throwaway [`Workbench`].
+#[deprecated(
+    since = "0.2.0",
+    note = "builds a cold Workbench per call, re-collecting features and \
+            bypassing TG_ARTIFACT_DIR; build one Workbench with \
+            `workbench_from_env` and call `evaluate_over_targets_on`"
+)]
 pub fn evaluate_over_targets(
     zoo: &ModelZoo,
     strategy: &Strategy,
@@ -69,22 +118,33 @@ pub fn evaluate_over_targets(
     evaluate_over_targets_on(&wb, strategy, targets, opts).outcomes
 }
 
-/// [`evaluate_over_targets`] against a caller-owned workbench, returning
-/// the full [`RunSummary`]. Binaries that sweep many configurations reuse
-/// one warm workbench across sweeps instead of re-collecting features.
+/// Evaluates one strategy over a list of targets in parallel on a shared
+/// caller-owned workbench (the runner's work-stealing pool; results keep
+/// input order), returning the full [`RunSummary`]. Binaries that sweep
+/// many configurations reuse one warm workbench across sweeps instead of
+/// re-collecting features.
+///
+/// The summary's stats and wall time span the *whole* call including the
+/// LogME warm-up, so cold-cache compute (and disk-tier hits, with
+/// `TG_ARTIFACT_DIR`) are attributed to the run that paid for them. The
+/// summary is printed to stderr when [`summaries_enabled`].
 pub fn evaluate_over_targets_on(
     wb: &Workbench,
     strategy: &Strategy,
     targets: &[tg_zoo::DatasetId],
     opts: &EvalOptions,
 ) -> RunSummary {
+    let before = wb.stats();
+    let start = std::time::Instant::now();
     // Warm the expensive shared artefacts (LogME over every model × target
     // pair) once; afterwards every worker thread hits the shared cache.
     if let Some(&first) = targets.first() {
         wb.warm_logme(wb.zoo().dataset(first).modality);
     }
-    let summary = run_over_targets(wb, strategy, targets, opts);
-    if std::env::var_os("TG_RUNNER_SUMMARY").is_some_and(|v| v != "0") {
+    let mut summary = run_over_targets(wb, strategy, targets, opts);
+    summary.stats = wb.stats().delta_since(&before);
+    summary.wall_time = start.elapsed();
+    if summaries_enabled() {
         eprintln!("[{}] {}", strategy.label(), summary.render());
     }
     summary

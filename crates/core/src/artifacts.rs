@@ -6,98 +6,35 @@
 //! strategy/target combination in an experiment run — mirroring the paper's
 //! observation that collection "can be achieved offline".
 //!
-//! The caches use interior mutability (sharded `RwLock<HashMap>`s), so one
-//! `Workbench` behind a shared reference serves any number of worker
-//! threads: a value is computed at most once per cache *warm-up* and every
-//! later lookup is a read-lock hit. Because every cached quantity is a pure
-//! deterministic function of the zoo, a racing duplicate computation on a
-//! cold cache produces a bit-identical value, and whichever insert wins is
-//! indistinguishable from the other.
+//! The caching spine itself lives in [`crate::store`]: a two-tier
+//! [`ArtifactStore`] pairing in-memory sharded `RwLock<HashMap>`s with an
+//! optional disk tier of fingerprint-keyed artifact files. The `Workbench`
+//! is the thin view that binds a store to one zoo and supplies the compute
+//! closures, so one workbench behind a shared reference serves any number
+//! of worker threads: a value is computed at most once per cache *warm-up*
+//! and every later lookup is a read-lock hit. Because every cached quantity
+//! is a pure deterministic function of the zoo, a racing duplicate
+//! computation on a cold cache produces a bit-identical value, and
+//! whichever insert wins is indistinguishable from the other — the same
+//! argument that makes disk-persisted artifacts safe to replay across runs.
 //!
 //! The workbench also carries the pipeline's observability spine: per-cache
-//! hit/miss counters and per-stage wall-clock accumulators
-//! ([`Telemetry`]), surfaced by the parallel runner
+//! hit/miss counters, disk-tier counters ([`DiskStats`]) and per-stage
+//! wall-clock accumulators ([`Telemetry`]), surfaced by the parallel runner
 //! ([`crate::runner`]) so experiment trajectories can attribute wins to the
 //! stage that produced them.
 
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tg_transfer::log_me;
 use tg_zoo::{DatasetId, Modality, ModelId, ModelZoo};
 
 use crate::config::Representation;
-
-/// Number of lock shards per cache. A small power of two: enough to keep
-/// writer contention negligible for tens of worker threads without bloating
-/// the struct.
-const SHARDS: usize = 16;
-
-/// A concurrent map sharded across [`SHARDS`] reader-writer locks, with
-/// hit/miss accounting.
-struct ShardedCache<K, V> {
-    shards: Vec<RwLock<HashMap<K, V>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
-    fn new() -> Self {
-        ShardedCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
-    }
-
-    /// Returns the cached value for `key`, computing and inserting it on a
-    /// miss. `compute` runs *outside* any lock: it may be expensive, and
-    /// because cached values are pure functions of the key, a concurrent
-    /// duplicate computation is harmless (first insert wins; both results
-    /// are identical).
-    fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        if let Some(v) = self
-            .shard(&key)
-            .read()
-            .expect("cache shard poisoned")
-            .get(&key)
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return v.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = compute();
-        self.shard(&key)
-            .write()
-            .expect("cache shard poisoned")
-            .entry(key)
-            .or_insert(v)
-            .clone()
-    }
-
-    fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("cache shard poisoned").len())
-            .sum()
-    }
-
-    fn counters(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
-    }
-}
+use crate::store::{ArtifactStore, DiskStats, PersistStats};
 
 /// Pipeline stages the workbench attributes wall-clock time to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -168,6 +105,8 @@ pub struct WorkbenchStats {
     pub representation: (u64, u64),
     /// (hits, misses) of the pairwise-similarity cache.
     pub similarity: (u64, u64),
+    /// Disk-tier counters (all zero when no artifact directory is set).
+    pub disk: DiskStats,
     /// Accumulated wall-clock per stage, indexed by [`Stage::index`].
     pub stage_time: [Duration; 3],
 }
@@ -180,6 +119,7 @@ impl WorkbenchStats {
             logme: sub(self.logme, earlier.logme),
             representation: sub(self.representation, earlier.representation),
             similarity: sub(self.similarity, earlier.similarity),
+            disk: self.disk.delta_since(&earlier.disk),
             stage_time: [
                 self.stage_time[0] - earlier.stage_time[0],
                 self.stage_time[1] - earlier.stage_time[1],
@@ -224,7 +164,8 @@ impl WorkbenchStats {
         };
         format!(
             "stages: collection {:.3?}, graph {:.3?}, regression {:.3?} | \
-             cache hit rates: logme {} ({}h/{}m), repr {} ({}h/{}m), sim {} ({}h/{}m)",
+             cache hit rates: logme {} ({}h/{}m), repr {} ({}h/{}m), sim {} ({}h/{}m) | \
+             disk {}h/{}m ({}B read, {}B written)",
             self.stage(Stage::FeatureCollection),
             self.stage(Stage::GraphLearning),
             self.stage(Stage::Regression),
@@ -237,35 +178,55 @@ impl WorkbenchStats {
             pct(self.similarity),
             self.similarity.0,
             self.similarity.1,
+            self.disk.hits,
+            self.disk.misses,
+            self.disk.bytes_read,
+            self.disk.bytes_written,
         )
     }
 }
 
-/// Shared caches over one zoo.
+/// Shared caches over one zoo: a thin view pairing an [`ArtifactStore`]
+/// with the zoo whose artifacts it holds.
 ///
 /// All lookup methods take `&self`: experiment harnesses warm one workbench
 /// (e.g. [`Workbench::warm_logme`]) and hand `&Workbench` to every worker
 /// thread. The workbench is deliberately *not* `Clone` — cloning a cache
 /// per thread (the pre-parallel-runner design) silently forfeits sharing.
+///
+/// With an artifact directory ([`Workbench::with_artifact_dir`] or
+/// `TG_ARTIFACT_DIR` via [`Workbench::from_env`]) the store adds a disk
+/// tier: previously [`persist`](Workbench::persist)ed collection artifacts
+/// of the *same zoo fingerprint* are served instead of recomputed, making a
+/// warm re-run collection-free while keeping results bit-identical.
 pub struct Workbench<'z> {
     zoo: &'z ModelZoo,
-    logme: ShardedCache<(ModelId, DatasetId), f64>,
-    ds_embed: ShardedCache<DatasetId, Arc<[f64]>>,
-    t2v_embed: ShardedCache<DatasetId, Arc<[f64]>>,
-    similarity: ShardedCache<(Representation, DatasetId, DatasetId), f64>,
-    telemetry: Telemetry,
+    store: ArtifactStore,
 }
 
 impl<'z> Workbench<'z> {
-    /// New workbench over a zoo.
+    /// New memory-only workbench over a zoo.
     pub fn new(zoo: &'z ModelZoo) -> Self {
         Workbench {
+            store: ArtifactStore::new(zoo.config.fingerprint()),
             zoo,
-            logme: ShardedCache::new(),
-            ds_embed: ShardedCache::new(),
-            t2v_embed: ShardedCache::new(),
-            similarity: ShardedCache::new(),
-            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// Workbench whose store persists to (and warms from) `dir`.
+    pub fn with_artifact_dir(zoo: &'z ModelZoo, dir: impl Into<PathBuf>) -> Self {
+        Workbench {
+            store: ArtifactStore::with_dir(zoo.config.fingerprint(), dir),
+            zoo,
+        }
+    }
+
+    /// Workbench configured from `TG_ARTIFACT_DIR`: disk-backed when the
+    /// variable is set and non-empty, memory-only otherwise.
+    pub fn from_env(zoo: &'z ModelZoo) -> Self {
+        Workbench {
+            store: ArtifactStore::from_env(zoo.config.fingerprint()),
+            zoo,
         }
     }
 
@@ -274,17 +235,42 @@ impl<'z> Workbench<'z> {
         self.zoo
     }
 
+    /// The underlying artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// The artifact directory, when the disk tier is active.
+    pub fn artifact_dir(&self) -> Option<&Path> {
+        self.store.dir()
+    }
+
+    /// Writes every cached artifact to the store's disk tier (atomic
+    /// temp-file + rename per cache file). A no-op without an artifact
+    /// directory.
+    pub fn persist(&self) -> io::Result<PersistStats> {
+        self.store.persist()
+    }
+
+    /// (Re)loads persisted artifacts of this zoo's fingerprint from the
+    /// artifact directory, returning the number of disk-tier entries now
+    /// available. A no-op returning 0 without an artifact directory.
+    pub fn warm_from_disk(&self) -> usize {
+        self.store.warm_from_disk()
+    }
+
     /// The workbench's stage timers (used by [`crate::evaluate`] to
     /// attribute graph-learning and regression time).
     pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
+        &self.store.telemetry
     }
 
     /// LogME score of model `m` on dataset `d` (forward pass + evidence
     /// maximisation), cached.
     pub fn logme(&self, m: ModelId, d: DatasetId) -> f64 {
-        self.logme.get_or_insert_with((m, d), || {
-            self.telemetry.time(Stage::FeatureCollection, || {
+        let disk = self.store.disk_enabled();
+        self.store.logme.get_or_insert_with((m, d), disk, || {
+            self.telemetry().time(Stage::FeatureCollection, || {
                 let fp = self.zoo.forward_pass(m, d);
                 log_me(&fp.features, &fp.labels, fp.num_classes)
             })
@@ -295,11 +281,11 @@ impl<'z> Workbench<'z> {
     /// `Arc` shares the cached buffer — cloning it is O(1).
     pub fn representation(&self, d: DatasetId, rep: Representation) -> Arc<[f64]> {
         let cache = match rep {
-            Representation::DomainSimilarity => &self.ds_embed,
-            Representation::Task2Vec => &self.t2v_embed,
+            Representation::DomainSimilarity => &self.store.ds_embed,
+            Representation::Task2Vec => &self.store.t2v_embed,
         };
-        cache.get_or_insert_with(d, || {
-            self.telemetry.time(Stage::FeatureCollection, || {
+        cache.get_or_insert_with(d, self.store.disk_enabled(), || {
+            self.telemetry().time(Stage::FeatureCollection, || {
                 let v = match rep {
                     Representation::DomainSimilarity => self.zoo.domain_similarity_embedding(d),
                     Representation::Task2Vec => self.zoo.task2vec_embedding(d),
@@ -313,10 +299,11 @@ impl<'z> Workbench<'z> {
     /// (correlation similarity of the embeddings), cached and symmetric.
     pub fn similarity(&self, a: DatasetId, b: DatasetId, rep: Representation) -> f64 {
         let key = if a.0 <= b.0 { (rep, a, b) } else { (rep, b, a) };
-        self.similarity.get_or_insert_with(key, || {
+        let disk = self.store.disk_enabled();
+        self.store.similarity.get_or_insert_with(key, disk, || {
             let ea = self.representation(a, rep);
             let eb = self.representation(b, rep);
-            self.telemetry.time(Stage::FeatureCollection, || {
+            self.telemetry().time(Stage::FeatureCollection, || {
                 tg_linalg::distance::correlation_similarity(&ea, &eb)
             })
         })
@@ -357,20 +344,24 @@ impl<'z> Workbench<'z> {
 
     /// Number of cached LogME entries (diagnostic).
     pub fn logme_cache_len(&self) -> usize {
-        self.logme.len()
+        self.store.logme.len()
     }
 
-    /// Snapshot of cache counters and stage timers.
+    /// Snapshot of cache counters, disk-tier counters and stage timers.
     pub fn stats(&self) -> WorkbenchStats {
         let sum = |a: (u64, u64), b: (u64, u64)| (a.0 + b.0, a.1 + b.1);
         WorkbenchStats {
-            logme: self.logme.counters(),
-            representation: sum(self.ds_embed.counters(), self.t2v_embed.counters()),
-            similarity: self.similarity.counters(),
+            logme: self.store.logme.counters(),
+            representation: sum(
+                self.store.ds_embed.counters(),
+                self.store.t2v_embed.counters(),
+            ),
+            similarity: self.store.similarity.counters(),
+            disk: self.store.disk_stats(),
             stage_time: [
-                self.telemetry.stage_time(Stage::FeatureCollection),
-                self.telemetry.stage_time(Stage::GraphLearning),
-                self.telemetry.stage_time(Stage::Regression),
+                self.telemetry().stage_time(Stage::FeatureCollection),
+                self.telemetry().stage_time(Stage::GraphLearning),
+                self.telemetry().stage_time(Stage::Regression),
             ],
         }
     }

@@ -47,10 +47,12 @@ pub mod pipeline;
 pub mod recommend;
 pub mod report;
 pub mod runner;
+pub mod store;
 pub mod strategy;
 
 pub use artifacts::{Stage, Workbench, WorkbenchStats};
 pub use config::{EdgeSource, EvalOptions, FeatureSet, Representation};
 pub use evaluate::{evaluate, EvalOutcome};
 pub use runner::{run_jobs, run_over_targets, EvalJob, RunSummary};
+pub use store::{ArtifactStore, DiskStats, PersistStats, ARTIFACT_DIR_ENV};
 pub use strategy::Strategy;

@@ -1,0 +1,754 @@
+//! The two-tier [`ArtifactStore`]: the caching spine behind the
+//! [`Workbench`](crate::artifacts::Workbench).
+//!
+//! The paper observes that feature collection (Fig. 5, steps ①–④) "can be
+//! achieved offline": LogME scores, probe embeddings and pairwise
+//! similarities are pure functions of the zoo. The store exploits that with
+//! two tiers:
+//!
+//! * an **in-memory tier** — sharded `RwLock<HashMap>`s shared by every
+//!   worker thread of a process ([`ShardedCache`]);
+//! * an optional **disk tier** — plain little-endian binary files, one per
+//!   cache, keyed by a [zoo fingerprint](tg_zoo::ZooConfig::fingerprint) so
+//!   artifacts of one world are never replayed into another. Files are
+//!   written atomically (temp file + rename) and corrupted, truncated or
+//!   mismatched files are silently ignored: the value is recomputed and the
+//!   file rewritten on the next [`ArtifactStore::persist`].
+//!
+//! A lookup falls through memory → disk → compute. Disk-tier hits, misses
+//! and I/O volume are counted ([`DiskStats`]) and surfaced in
+//! [`WorkbenchStats`](crate::artifacts::WorkbenchStats) / the runner's
+//! `RunSummary`, so a warm re-run is *verifiably* collection-free: zero
+//! cache misses, nonzero disk hits.
+//!
+//! No serde: every record is a fixed little-endian layout (`u64` ids, `f64`
+//! bits, length-prefixed slices), making the format trivially stable across
+//! builds. Persisted values round-trip bit-identically, so a warm-from-disk
+//! workbench produces predictions bit-identical to a cold one.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use tg_zoo::{DatasetId, ModelId};
+
+use crate::artifacts::Telemetry;
+use crate::config::Representation;
+
+/// Magic prefix of every artifact file (8 bytes, version-tagged).
+const MAGIC: [u8; 8] = *b"TGARTv1\0";
+
+/// Number of lock shards per in-memory cache. A small power of two: enough
+/// to keep writer contention negligible for tens of worker threads without
+/// bloating the struct.
+const SHARDS: usize = 16;
+
+/// Environment variable naming the artifact directory. When set (and
+/// non-empty), workbenches built via `Workbench::from_env` read previously
+/// persisted collection artifacts from it and `persist()` writes into it.
+pub const ARTIFACT_DIR_ENV: &str = "TG_ARTIFACT_DIR";
+
+// ---------------------------------------------------------------------------
+// Disk codec
+// ---------------------------------------------------------------------------
+
+/// Fixed little-endian binary encoding of cache keys and values.
+///
+/// Implementations must be injective and self-delimiting: `decode` consumes
+/// exactly the bytes `encode` produced and returns `None` on truncation or
+/// an invalid tag (the caller then discards the whole file).
+pub trait DiskCodec: Sized {
+    /// Appends the little-endian encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value starting at `*pos`, advancing `*pos` past it.
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Option<[u8; N]> {
+    let bytes: [u8; N] = buf.get(*pos..*pos + N)?.try_into().ok()?;
+    *pos += N;
+    Some(bytes)
+}
+
+impl DiskCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        take::<8>(buf, pos).map(u64::from_le_bytes)
+    }
+}
+
+impl DiskCodec for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Raw bit pattern: round-trips every value (including NaN payloads)
+        // bit-identically.
+        self.to_bits().encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        u64::decode(buf, pos).map(f64::from_bits)
+    }
+}
+
+impl DiskCodec for ModelId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0 as u64).encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        u64::decode(buf, pos).map(|v| ModelId(v as usize))
+    }
+}
+
+impl DiskCodec for DatasetId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0 as u64).encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        u64::decode(buf, pos).map(|v| DatasetId(v as usize))
+    }
+}
+
+impl DiskCodec for Representation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u64 = match self {
+            Representation::DomainSimilarity => 0,
+            Representation::Task2Vec => 1,
+        };
+        tag.encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        match u64::decode(buf, pos)? {
+            0 => Some(Representation::DomainSimilarity),
+            1 => Some(Representation::Task2Vec),
+            _ => None,
+        }
+    }
+}
+
+impl DiskCodec for Arc<[f64]> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self.iter() {
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let len = u64::decode(buf, pos)? as usize;
+        // A length that exceeds the remaining bytes marks a truncated or
+        // corrupted file; bail before attempting a huge allocation.
+        if buf.len().saturating_sub(*pos) < len.checked_mul(8)? {
+            return None;
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(f64::decode(buf, pos)?);
+        }
+        Some(Arc::from(v))
+    }
+}
+
+impl<A: DiskCodec, B: DiskCodec> DiskCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((A::decode(buf, pos)?, B::decode(buf, pos)?))
+    }
+}
+
+impl<A: DiskCodec, B: DiskCodec, C: DiskCodec> DiskCodec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((
+            A::decode(buf, pos)?,
+            B::decode(buf, pos)?,
+            C::decode(buf, pos)?,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory tier
+// ---------------------------------------------------------------------------
+
+/// A concurrent map sharded across [`SHARDS`] reader-writer locks. Pure
+/// storage: hit/miss accounting lives in the [`TieredCache`] wrapper.
+pub(crate) struct ShardedCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .read()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts `value` unless the key is already present (first insert wins —
+    /// cached values are pure functions of the key, so a racing duplicate is
+    /// bit-identical) and returns the stored value.
+    fn insert(&self, key: K, value: V) -> V {
+        self.shard(&key)
+            .write()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(value)
+            .clone()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for shard in &self.shards {
+            for (k, v) in shard.read().expect("cache shard poisoned").iter() {
+                f(k, v);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiered cache
+// ---------------------------------------------------------------------------
+
+/// One named cache with a memory tier, a disk-loaded tier and counters.
+///
+/// A lookup falls through: memory hit → disk hit (promoted into memory) →
+/// compute (counted as a miss; a disk miss too when the disk tier is
+/// enabled). The miss counter therefore equals the number of *computations*,
+/// which is what makes "zero misses on a warm run" a meaningful assertion.
+pub(crate) struct TieredCache<K, V> {
+    name: &'static str,
+    mem: ShardedCache<K, V>,
+    /// Snapshot loaded from the artifact file; read-mostly after warm-up.
+    disk: RwLock<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> TieredCache<K, V> {
+    fn new(name: &'static str) -> Self {
+        TieredCache {
+            name,
+            mem: ShardedCache::new(),
+            disk: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it when
+    /// both tiers miss. `compute` runs *outside* any lock.
+    pub(crate) fn get_or_insert_with(
+        &self,
+        key: K,
+        disk_enabled: bool,
+        compute: impl FnOnce() -> V,
+    ) -> V {
+        if let Some(v) = self.mem.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        if disk_enabled {
+            let found = self
+                .disk
+                .read()
+                .expect("disk tier poisoned")
+                .get(&key)
+                .cloned();
+            if let Some(v) = found {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return self.mem.insert(key, v);
+            }
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        self.mem.insert(key, v)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn disk_counters(&self) -> (u64, u64) {
+        (
+            self.disk_hits.load(Ordering::Relaxed),
+            self.disk_misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk-tier statistics
+// ---------------------------------------------------------------------------
+
+/// Disk-tier counters: lookups served from persisted artifacts, lookups
+/// that had to compute despite an enabled disk tier, and I/O volume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Lookups answered by the disk tier (each also counts as a cache hit).
+    pub hits: u64,
+    /// Lookups that missed an *enabled* disk tier (0 when no artifact
+    /// directory is configured).
+    pub misses: u64,
+    /// Bytes of artifact files successfully loaded.
+    pub bytes_read: u64,
+    /// Bytes of artifact files written by [`ArtifactStore::persist`].
+    pub bytes_written: u64,
+}
+
+impl DiskStats {
+    /// Counter movement between an earlier snapshot and this one.
+    pub fn delta_since(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+/// What one [`ArtifactStore::persist`] call wrote.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Cache entries written across all artifact files.
+    pub entries: u64,
+    /// Total bytes written.
+    pub bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Two-tier cache of every feature-collection artifact of one zoo.
+///
+/// The store is zoo-*keyed* but zoo-agnostic: it never computes anything
+/// itself. The [`Workbench`](crate::artifacts::Workbench) is the thin view
+/// that pairs a store with a zoo reference and supplies the compute
+/// closures.
+pub struct ArtifactStore {
+    fingerprint: u64,
+    dir: Option<PathBuf>,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    pub(crate) logme: TieredCache<(ModelId, DatasetId), f64>,
+    pub(crate) ds_embed: TieredCache<DatasetId, Arc<[f64]>>,
+    pub(crate) t2v_embed: TieredCache<DatasetId, Arc<[f64]>>,
+    pub(crate) similarity: TieredCache<(Representation, DatasetId, DatasetId), f64>,
+    pub(crate) telemetry: Telemetry,
+}
+
+impl ArtifactStore {
+    /// Memory-only store for the given zoo fingerprint.
+    pub fn new(fingerprint: u64) -> Self {
+        ArtifactStore {
+            fingerprint,
+            dir: None,
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            logme: TieredCache::new("logme"),
+            ds_embed: TieredCache::new("ds-embed"),
+            t2v_embed: TieredCache::new("t2v-embed"),
+            similarity: TieredCache::new("similarity"),
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// Store with a disk tier rooted at `dir`. Existing artifact files for
+    /// this fingerprint are loaded immediately (see
+    /// [`warm_from_disk`](ArtifactStore::warm_from_disk)); the directory is
+    /// created lazily on the first [`persist`](ArtifactStore::persist).
+    pub fn with_dir(fingerprint: u64, dir: impl Into<PathBuf>) -> Self {
+        let mut store = Self::new(fingerprint);
+        store.dir = Some(dir.into());
+        store.warm_from_disk();
+        store
+    }
+
+    /// Store configured from the [`ARTIFACT_DIR_ENV`] environment variable:
+    /// a disk tier when set and non-empty, memory-only otherwise.
+    pub fn from_env(fingerprint: u64) -> Self {
+        match dir_from_env() {
+            Some(dir) => Self::with_dir(fingerprint, dir),
+            None => Self::new(fingerprint),
+        }
+    }
+
+    /// The artifact directory, when a disk tier is configured.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Whether lookups consult a disk tier.
+    pub fn disk_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The zoo fingerprint keying this store's artifact files.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// (Re)loads every artifact file of this fingerprint from the disk
+    /// directory into the disk tier, returning the number of entries now
+    /// available for disk-tier lookups. Missing, truncated, corrupted or
+    /// fingerprint-mismatched files are ignored (their entries simply
+    /// recompute). A no-op returning 0 without a configured directory.
+    pub fn warm_from_disk(&self) -> usize {
+        let Some(dir) = self.dir.clone() else {
+            return 0;
+        };
+        self.load_cache(&self.logme, &dir)
+            + self.load_cache(&self.ds_embed, &dir)
+            + self.load_cache(&self.t2v_embed, &dir)
+            + self.load_cache(&self.similarity, &dir)
+    }
+
+    /// Writes every cache (the union of both tiers) to the artifact
+    /// directory, one file per cache, atomically (temp file + rename). A
+    /// no-op without a configured directory. Concurrent writers are safe:
+    /// whole files are swapped in, and any complete file of the same
+    /// fingerprint holds bit-identical values.
+    pub fn persist(&self) -> io::Result<PersistStats> {
+        let Some(dir) = self.dir.clone() else {
+            return Ok(PersistStats::default());
+        };
+        std::fs::create_dir_all(&dir)?;
+        let mut stats = PersistStats::default();
+        self.persist_cache(&self.logme, &dir, &mut stats)?;
+        self.persist_cache(&self.ds_embed, &dir, &mut stats)?;
+        self.persist_cache(&self.t2v_embed, &dir, &mut stats)?;
+        self.persist_cache(&self.similarity, &dir, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Snapshot of the disk-tier counters.
+    pub fn disk_stats(&self) -> DiskStats {
+        let sum4 = |f: fn(&Self) -> [(u64, u64); 4], s: &Self| {
+            f(s).iter().fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+        };
+        let (hits, misses) = sum4(
+            |s| {
+                [
+                    s.logme.disk_counters(),
+                    s.ds_embed.disk_counters(),
+                    s.t2v_embed.disk_counters(),
+                    s.similarity.disk_counters(),
+                ]
+            },
+            self,
+        );
+        DiskStats {
+            hits,
+            misses,
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    fn artifact_path(&self, dir: &Path, name: &str) -> PathBuf {
+        dir.join(format!("{:016x}.{name}.bin", self.fingerprint))
+    }
+
+    fn load_cache<K, V>(&self, cache: &TieredCache<K, V>, dir: &Path) -> usize
+    where
+        K: DiskCodec + Eq + Hash + Clone,
+        V: DiskCodec + Clone,
+    {
+        let path = self.artifact_path(dir, cache.name);
+        let Ok(buf) = std::fs::read(&path) else {
+            return 0;
+        };
+        let Some(map) = decode_artifact::<K, V>(&buf, self.fingerprint) else {
+            return 0;
+        };
+        self.bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let n = map.len();
+        *cache.disk.write().expect("disk tier poisoned") = map;
+        n
+    }
+
+    fn persist_cache<K, V>(
+        &self,
+        cache: &TieredCache<K, V>,
+        dir: &Path,
+        stats: &mut PersistStats,
+    ) -> io::Result<()>
+    where
+        K: DiskCodec + Eq + Hash + Clone,
+        V: DiskCodec + Clone,
+    {
+        // Union of both tiers: start from the disk snapshot, overlay the
+        // memory tier (values are pure, so overlapping entries agree).
+        let mut union: HashMap<K, V> = cache.disk.read().expect("disk tier poisoned").clone();
+        cache.mem.for_each(|k, v| {
+            union.insert(k.clone(), v.clone());
+        });
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        self.fingerprint.encode(&mut buf);
+        (union.len() as u64).encode(&mut buf);
+        for (k, v) in &union {
+            k.encode(&mut buf);
+            v.encode(&mut buf);
+        }
+
+        let path = self.artifact_path(dir, cache.name);
+        let tmp = dir.join(format!(
+            ".{}.{:016x}.{}.tmp",
+            cache.name,
+            self.fingerprint,
+            std::process::id()
+        ));
+        std::fs::write(&tmp, &buf)?;
+        std::fs::rename(&tmp, &path)?;
+        self.bytes_written
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        stats.entries += union.len() as u64;
+        stats.bytes += buf.len() as u64;
+        Ok(())
+    }
+}
+
+/// Reads the artifact directory from the environment; `None` when unset or
+/// empty.
+pub fn dir_from_env() -> Option<PathBuf> {
+    let v = std::env::var_os(ARTIFACT_DIR_ENV)?;
+    if v.is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(v))
+}
+
+/// Decodes one artifact file: magic, fingerprint, entry count, entries.
+/// Returns `None` (file ignored) on any structural problem: wrong magic,
+/// foreign fingerprint, truncation, invalid tags, or trailing bytes.
+fn decode_artifact<K, V>(buf: &[u8], fingerprint: u64) -> Option<HashMap<K, V>>
+where
+    K: DiskCodec + Eq + Hash,
+    V: DiskCodec,
+{
+    let mut pos = 0;
+    if take::<8>(buf, &mut pos)? != MAGIC {
+        return None;
+    }
+    if u64::decode(buf, &mut pos)? != fingerprint {
+        return None;
+    }
+    let count = u64::decode(buf, &mut pos)? as usize;
+    // Each entry is at least 16 bytes (two u64-backed fields); an absurd
+    // count is corruption — refuse before reserving memory for it.
+    if count.checked_mul(16)? > buf.len() {
+        return None;
+    }
+    let mut map = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let k = K::decode(buf, &mut pos)?;
+        let v = V::decode(buf, &mut pos)?;
+        map.insert(k, v);
+    }
+    if pos != buf.len() {
+        return None; // trailing garbage: treat as corrupted
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tg-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn codec_round_trips_every_key_and_value_shape() {
+        let mut buf = Vec::new();
+        (ModelId(7), DatasetId(13)).encode(&mut buf);
+        (Representation::Task2Vec, DatasetId(1), DatasetId(2)).encode(&mut buf);
+        let arc: Arc<[f64]> = Arc::from(vec![1.5, -0.0, f64::MAX]);
+        arc.encode(&mut buf);
+        (-123.456f64).encode(&mut buf);
+
+        let mut pos = 0;
+        assert_eq!(
+            <(ModelId, DatasetId)>::decode(&buf, &mut pos),
+            Some((ModelId(7), DatasetId(13)))
+        );
+        assert_eq!(
+            <(Representation, DatasetId, DatasetId)>::decode(&buf, &mut pos),
+            Some((Representation::Task2Vec, DatasetId(1), DatasetId(2)))
+        );
+        let back = <Arc<[f64]>>::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0].to_bits(), 1.5f64.to_bits());
+        assert_eq!(back[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(f64::decode(&buf, &mut pos), Some(-123.456));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_bad_tags() {
+        let mut buf = Vec::new();
+        Representation::DomainSimilarity.encode(&mut buf);
+        // Truncated read past the end.
+        let mut pos = 4;
+        assert_eq!(u64::decode(&buf, &mut pos), None);
+        // Invalid representation tag.
+        let bad = 9u64.to_le_bytes();
+        let mut pos = 0;
+        assert_eq!(Representation::decode(&bad, &mut pos), None);
+        // Slice length exceeding the buffer.
+        let mut huge = Vec::new();
+        (u64::MAX).encode(&mut huge);
+        let mut pos = 0;
+        assert_eq!(<Arc<[f64]>>::decode(&huge, &mut pos), None);
+    }
+
+    #[test]
+    fn persist_and_warm_round_trip_through_disk_tier() {
+        let dir = temp_store_dir("roundtrip");
+        let store = ArtifactStore::with_dir(0xABCD, &dir);
+        let key = (ModelId(1), DatasetId(2));
+        let v = store
+            .logme
+            .get_or_insert_with(key, store.disk_enabled(), || 0.75);
+        assert_eq!(v, 0.75);
+        assert_eq!(store.disk_stats().misses, 1, "cold disk tier misses");
+        store.persist().unwrap();
+        assert!(store.disk_stats().bytes_written > 0);
+
+        // A fresh store over the same dir + fingerprint serves from disk.
+        let warm = ArtifactStore::with_dir(0xABCD, &dir);
+        assert!(warm.disk_stats().bytes_read > 0);
+        let v2 = warm
+            .logme
+            .get_or_insert_with(key, warm.disk_enabled(), || panic!("must not recompute"));
+        assert_eq!(v2.to_bits(), 0.75f64.to_bits());
+        let stats = warm.disk_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        let (hits, misses) = warm.logme.counters();
+        assert_eq!((hits, misses), (1, 0), "disk hit counts as cache hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_falls_back_to_recompute() {
+        let dir = temp_store_dir("fpmismatch");
+        let store = ArtifactStore::with_dir(1, &dir);
+        store
+            .logme
+            .get_or_insert_with((ModelId(0), DatasetId(0)), true, || 0.5);
+        store.persist().unwrap();
+
+        // Same dir, different fingerprint: nothing loads by name…
+        let other = ArtifactStore::with_dir(2, &dir);
+        assert_eq!(other.warm_from_disk(), 0);
+        // …and even a renamed file is rejected by the in-file fingerprint.
+        let stolen = other.artifact_path(&dir, "logme");
+        std::fs::copy(store.artifact_path(&dir, "logme"), &stolen).unwrap();
+        assert_eq!(other.warm_from_disk(), 0);
+        let mut computed = false;
+        other
+            .logme
+            .get_or_insert_with((ModelId(0), DatasetId(0)), true, || {
+                computed = true;
+                0.5
+            });
+        assert!(computed, "foreign artifacts must not be served");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_and_truncated_files_are_ignored() {
+        let dir = temp_store_dir("corrupt");
+        let store = ArtifactStore::with_dir(7, &dir);
+        for i in 0..4 {
+            store
+                .logme
+                .get_or_insert_with((ModelId(i), DatasetId(0)), true, || i as f64);
+        }
+        store.persist().unwrap();
+        let path = store.artifact_path(&dir, "logme");
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncate mid-entry.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 0);
+
+        // Garbage magic.
+        let mut garbage = full.clone();
+        garbage[0] ^= 0xFF;
+        std::fs::write(&path, &garbage).unwrap();
+        assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 0);
+
+        // Trailing junk after a valid payload.
+        let mut trailing = full.clone();
+        trailing.extend_from_slice(b"junk");
+        std::fs::write(&path, &trailing).unwrap();
+        assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 0);
+
+        // Restoring the intact bytes loads again — and recomputation works
+        // in the meantime (no panic anywhere above).
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_only_store_never_counts_disk_traffic() {
+        let store = ArtifactStore::new(3);
+        store
+            .logme
+            .get_or_insert_with((ModelId(0), DatasetId(0)), store.disk_enabled(), || 1.0);
+        assert_eq!(store.disk_stats(), DiskStats::default());
+        assert_eq!(store.persist().unwrap(), PersistStats::default());
+        assert_eq!(store.warm_from_disk(), 0);
+    }
+}

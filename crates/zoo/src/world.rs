@@ -45,6 +45,33 @@ impl ZooConfig {
         }
     }
 
+    /// Stable 64-bit fingerprint of the configuration.
+    ///
+    /// Every artefact the pipeline caches (LogME scores, probe embeddings,
+    /// similarities) is a pure function of the zoo, and the zoo is a pure
+    /// function of this configuration — so the fingerprint keys cross-run
+    /// artifact files: equal fingerprints guarantee bit-identical cached
+    /// values, and a mismatch means the file belongs to a different world
+    /// and must be ignored.
+    pub fn fingerprint(&self) -> u64 {
+        // SplitMix64-style mixing of every field, order-sensitive.
+        let mut h = 0x5445_4e53_4f52_4657u64; // "TENSORFW" tag
+        for field in [
+            self.seed,
+            self.latent_dim as u64,
+            self.n_image_models as u64,
+            self.n_text_models as u64,
+            self.feature_dim as u64,
+            self.embed_dim as u64,
+        ] {
+            h ^= field.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        }
+        h
+    }
+
     /// A small configuration for fast tests and examples.
     pub fn small(seed: u64) -> Self {
         ZooConfig {
@@ -307,6 +334,18 @@ mod tests {
         assert_eq!(zoo.targets_of(Modality::Text).len(), 8);
         assert_eq!(zoo.sources_of(Modality::Image).len(), 61);
         assert_eq!(zoo.sources_of(Modality::Text).len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_separates_configs_and_is_stable() {
+        let a = ZooConfig::small(1).fingerprint();
+        assert_eq!(a, ZooConfig::small(1).fingerprint());
+        assert_ne!(a, ZooConfig::small(2).fingerprint());
+        assert_ne!(a, ZooConfig::paper(1).fingerprint());
+        // Order-sensitivity: swapping two field values must change the hash.
+        let mut swapped = ZooConfig::small(1);
+        std::mem::swap(&mut swapped.n_image_models, &mut swapped.n_text_models);
+        assert_ne!(a, swapped.fingerprint());
     }
 
     #[test]

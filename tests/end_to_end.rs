@@ -216,6 +216,104 @@ fn parallel_runner_bit_identical_to_sequential_evaluate() {
     assert!(summary.stats.hits() + summary.stats.misses() > 0);
 }
 
+/// Fresh per-test artifact directory under the system temp dir.
+fn temp_artifact_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tg-e2e-artifacts-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_from_disk_reproduces_cold_predictions_bit_identically() {
+    let zoo = small_zoo();
+    let dir = temp_artifact_dir("roundtrip");
+    let target = zoo.targets_of(Modality::Image)[0];
+    let strategies = [
+        Strategy::LogMe,
+        Strategy::lr_all_logme(),
+        Strategy::transfer_graph_default(),
+    ];
+
+    let cold: Vec<Vec<f64>> = {
+        let wb = Workbench::with_artifact_dir(&zoo, &dir);
+        let preds = strategies
+            .iter()
+            .map(|s| evaluate(&wb, s, target, &fast_opts()).predictions)
+            .collect();
+        let persisted = wb.persist().expect("persist artifacts");
+        assert!(persisted.entries > 0 && persisted.bytes > 0);
+        preds
+    };
+
+    // A second workbench over the same directory serves every feature from
+    // the disk tier: zero recomputation, identical bits out.
+    let wb = Workbench::with_artifact_dir(&zoo, &dir);
+    let before = wb.stats();
+    let warm: Vec<Vec<f64>> = strategies
+        .iter()
+        .map(|s| evaluate(&wb, s, target, &fast_opts()).predictions)
+        .collect();
+    assert_eq!(cold, warm, "disk round-trip must be bit-identical");
+    let delta = wb.stats().delta_since(&before);
+    assert_eq!(delta.misses(), 0, "warm run must not recompute anything");
+    assert!(delta.disk.hits > 0, "features must come from the disk tier");
+    assert!(wb.stats().disk.bytes_read > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_artifacts_from_another_zoo_are_not_used() {
+    let dir = temp_artifact_dir("fingerprint");
+    {
+        let zoo = small_zoo();
+        let wb = Workbench::with_artifact_dir(&zoo, &dir);
+        let target = zoo.targets_of(Modality::Image)[0];
+        evaluate(&wb, &Strategy::LogMe, target, &fast_opts());
+        wb.persist().expect("persist artifacts");
+    }
+    // Same directory, different zoo config: the fingerprint must gate the
+    // foreign artifacts out and everything recomputes.
+    let other = ModelZoo::build(&ZooConfig::small(7));
+    let wb = Workbench::with_artifact_dir(&other, &dir);
+    assert_eq!(wb.warm_from_disk(), 0, "foreign fingerprints must not load");
+    let target = other.targets_of(Modality::Image)[0];
+    let out = evaluate(&wb, &Strategy::LogMe, target, &fast_opts());
+    assert!(out.predictions.iter().all(|p| p.is_finite()));
+    let stats = wb.stats();
+    assert_eq!(stats.disk.hits, 0);
+    assert!(stats.logme.1 > 0, "LogME must be recomputed from scratch");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_artifact_files_never_panic_and_fall_back_to_recompute() {
+    let zoo = small_zoo();
+    let dir = temp_artifact_dir("corrupt");
+    let target = zoo.targets_of(Modality::Text)[0];
+    let clean = {
+        let wb = Workbench::with_artifact_dir(&zoo, &dir);
+        let out = evaluate(&wb, &Strategy::lr_all_logme(), target, &fast_opts());
+        wb.persist().expect("persist artifacts");
+        out.predictions
+    };
+
+    // Truncate one artifact file and replace another with garbage.
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 2, "expected several persisted caches");
+    let bytes = std::fs::read(&files[0]).unwrap();
+    std::fs::write(&files[0], &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(&files[1], b"definitely not an artifact").unwrap();
+
+    let wb = Workbench::with_artifact_dir(&zoo, &dir);
+    let out = evaluate(&wb, &Strategy::lr_all_logme(), target, &fast_opts());
+    assert_eq!(out.predictions, clean, "recompute must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shared_workbench_survives_concurrent_hammering() {
     // Concurrency smoke test: ≥4 threads interleave every cache entry

@@ -15,9 +15,14 @@
 //! * failure reports that print every generated input value and the case
 //!   seed.
 //!
-//! Shrinking is intentionally not implemented: on failure the full generated
-//! input is printed instead of a minimal one. New failures are not appended
-//! to the regression file (the file is treated as a read-only fixture).
+//! * greedy halving-based shrinking: when a case fails, the runner
+//!   repeatedly asks the strategy for smaller candidate inputs (jump to the
+//!   range minimum, halve the distance, drop/zero vector elements) and
+//!   keeps the first candidate that still fails, reporting the fixpoint —
+//!   a simpler eager variant of upstream's lazy shrink trees.
+//!
+//! New failures are not appended to the regression file (the file is
+//! treated as a read-only fixture).
 
 pub mod strategy;
 pub mod test_runner;
@@ -85,6 +90,35 @@ pub mod collection {
             let n = rng.usize_in(self.size.lo, self.size.hi);
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let len = value.len();
+            // Length shrinks first (the biggest simplification): halve from
+            // the front, halve from the back, then drop single elements —
+            // never below the strategy's minimum length.
+            let half = (len / 2).max(self.size.lo);
+            if half < len {
+                out.push(value[..half].to_vec());
+                out.push(value[len - half..].to_vec());
+            }
+            if len > self.size.lo {
+                for i in 0..len {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Then element shrinks at the fixed length.
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
     }
 }
 
@@ -93,11 +127,26 @@ pub mod collection {
 pub trait Arbitrary: Sized {
     /// Generates an unconstrained value of `Self`.
     fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+
+    /// Shrink candidates for a failing value (see
+    /// [`strategy::Strategy::shrink`]). Defaults to none.
+    fn shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 impl Arbitrary for u64 {
     fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
         rng.next_u64()
+    }
+
+    fn shrink(value: &Self) -> Vec<Self> {
+        match *value {
+            0 => Vec::new(),
+            1 => vec![0],
+            v => vec![0, v / 2, v - 1],
+        }
     }
 }
 
@@ -105,11 +154,27 @@ impl Arbitrary for u32 {
     fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
         rng.next_u64() as u32
     }
+
+    fn shrink(value: &Self) -> Vec<Self> {
+        match *value {
+            0 => Vec::new(),
+            1 => vec![0],
+            v => vec![0, v / 2, v - 1],
+        }
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -122,11 +187,15 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
     AnyStrategy(std::marker::PhantomData)
 }
 
-impl<T: Arbitrary + std::fmt::Debug> strategy::Strategy for AnyStrategy<T> {
+impl<T: Arbitrary + std::fmt::Debug + Clone> strategy::Strategy for AnyStrategy<T> {
     type Value = T;
 
     fn generate(&self, rng: &mut test_runner::TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }
 
@@ -174,19 +243,33 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __cfg = $cfg;
-            $crate::test_runner::run_proptest(&__cfg, file!(), stringify!($name), |__rng| {
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
-                let __desc = ::std::vec![
-                    $(::std::format!("{} = {:?}", stringify!($arg), $arg)),+
-                ];
-                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $body
-                        #[allow(unreachable_code)]
-                        Ok(())
-                    })();
-                (__result, __desc)
-            });
+            // One tuple strategy over every argument: the tuple generates
+            // components in declaration order (seed-compatible with the old
+            // inline expansion) and shrinks one component at a time.
+            let __strategy = ($(($strat),)+);
+            $crate::test_runner::run_cases(
+                &__cfg,
+                file!(),
+                stringify!($name),
+                &__strategy,
+                |__value| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__value);
+                    $(let _ = &$arg;)+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    __result
+                },
+                |__value| {
+                    let ($($arg,)+) = __value;
+                    ::std::vec![
+                        $(::std::format!("{} = {:?}", stringify!($arg), $arg)),+
+                    ]
+                },
+            );
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
     };

@@ -3,13 +3,25 @@
 use crate::test_runner::TestRng;
 
 /// A recipe for generating values of one type (upstream
-/// `proptest::strategy::Strategy`, without shrinking).
+/// `proptest::strategy::Strategy`, with greedy halving-based shrinking in
+/// place of upstream's lazy shrink trees).
 pub trait Strategy {
-    /// The generated type.
-    type Value: std::fmt::Debug;
+    /// The generated type. `Clone` because the shrinker keeps the current
+    /// smallest failing value while probing candidates.
+    type Value: std::fmt::Debug + Clone;
 
     /// Draws one value from the strategy.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidates for a failing `value`, in
+    /// decreasing order of ambition (jump to the minimum, halve the
+    /// distance, step once). The runner greedily accepts the first
+    /// candidate that still fails and repeats until none do, so candidates
+    /// must move toward a fixpoint. The default is no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 impl Strategy for std::ops::Range<f64> {
@@ -18,6 +30,18 @@ impl Strategy for std::ops::Range<f64> {
     fn generate(&self, rng: &mut TestRng) -> f64 {
         assert!(self.start < self.end, "empty f64 range strategy");
         self.start + rng.unit_f64() * (self.end - self.start)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != self.start {
+            out.push(self.start);
+            let half = self.start + (value - self.start) / 2.0;
+            if half != *value && half != self.start {
+                out.push(half);
+            }
+        }
+        out
     }
 }
 
@@ -31,6 +55,25 @@ macro_rules! int_range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.next_u64() % span) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value != self.start {
+                    // Jump to the minimum, halve, then single-step: halving
+                    // closes in fast and the decrement makes the fixpoint
+                    // the exact smallest failing value.
+                    out.push(self.start);
+                    let half = self.start + (*value - self.start) / 2;
+                    if half != *value && half != self.start {
+                        out.push(half);
+                    }
+                    let step = *value - 1;
+                    if step != self.start && step != half {
+                        out.push(step);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -43,7 +86,63 @@ impl Strategy for crate::bool::Any {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
+
+// Tuples of strategies generate (and shrink) tuples of values, one
+// component at a time. This is what `proptest!` builds from its argument
+// list: component generation order matches the old inline expansion, so
+// persisted regression seeds replay to the same inputs. Explicit indices
+// (`$idx:tt`) are spelled out per arity because macro repetition cannot
+// index tuple fields positionally.
+macro_rules! tuple_strategy {
+    ($(($S:ident, $idx:tt)),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut t = value.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!((A, 0));
+tuple_strategy!((A, 0), (B, 1));
+tuple_strategy!((A, 0), (B, 1), (C, 2));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7)
+);
 
 #[cfg(test)]
 mod tests {
@@ -72,5 +171,53 @@ mod tests {
         };
         assert_eq!(draw(7), draw(7));
         assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn int_shrink_candidates_move_toward_start() {
+        let strat = 3u64..100;
+        let cands = strat.shrink(&40);
+        assert_eq!(cands, vec![3, 21, 39]);
+        assert!(strat.shrink(&3).is_empty(), "minimum has no candidates");
+        // Candidates never leave the range or repeat the value.
+        for v in 4..100 {
+            for c in strat.shrink(&v) {
+                assert!((3..100).contains(&c) && c < v);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_shrink_halves_toward_start() {
+        let strat = -1.0f64..1.0;
+        let cands = strat.shrink(&0.5);
+        assert_eq!(cands, vec![-1.0, -0.25]);
+        assert!(strat.shrink(&-1.0).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strat = (0u64..10, 0.0f64..1.0);
+        let cands = strat.shrink(&(4, 0.5));
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            let changed_a = *a != 4;
+            let changed_b = *b != 0.5;
+            assert!(changed_a ^ changed_b, "exactly one component changes");
+        }
+    }
+
+    #[test]
+    fn tuple_generation_matches_inline_order() {
+        // The tuple strategy must consume the RNG exactly like the former
+        // per-argument inline expansion, so regression seeds still replay
+        // to the same inputs.
+        let strat = (0u64..100, 0.0f64..1.0, 0usize..7);
+        let mut rng = TestRng::from_seed(99);
+        let (a, b, c) = strat.generate(&mut rng);
+        let mut rng = TestRng::from_seed(99);
+        assert_eq!(a, (0u64..100).generate(&mut rng));
+        assert_eq!(b, (0.0f64..1.0).generate(&mut rng));
+        assert_eq!(c, (0usize..7).generate(&mut rng));
     }
 }

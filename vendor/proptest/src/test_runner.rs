@@ -209,6 +209,91 @@ pub fn run_proptest(
     }
 }
 
+/// Upper bound on accepted shrink steps, guarding against a strategy whose
+/// candidates fail to converge.
+const MAX_SHRINK_STEPS: usize = 10_000;
+
+/// Strategy-aware variant of [`run_proptest`]: same seed schedule and
+/// regression replay, but generation goes through a [`Strategy`] so failing
+/// cases can be *shrunk*.
+///
+/// On a failure the runner greedily walks the strategy's shrink candidates:
+/// it re-checks each candidate in order and restarts from the first one
+/// that still fails, until no candidate fails (a fixpoint) or
+/// [`MAX_SHRINK_STEPS`] accepted steps. A `Reject` during shrinking counts
+/// as passing (the candidate is skipped). The final panic reports the
+/// shrunk inputs, the originating seed and the number of shrink steps.
+///
+/// [`Strategy`]: crate::strategy::Strategy
+pub fn run_cases<S: crate::strategy::Strategy>(
+    config: &ProptestConfig,
+    source_file: &str,
+    test_name: &str,
+    strategy: &S,
+    mut check: impl FnMut(&S::Value) -> Result<(), TestCaseError>,
+    render: impl Fn(&S::Value) -> Vec<String>,
+) {
+    let mut run_one = |seed: u64, origin: &str| -> bool {
+        let mut rng = TestRng::from_seed(seed);
+        let value = strategy.generate(&mut rng);
+        match check(&value) {
+            Ok(()) => true,
+            Err(TestCaseError::Reject(_)) => false,
+            Err(TestCaseError::Fail(reason)) => {
+                // Greedy halving-based shrink: accept the first candidate
+                // that still fails and restart from it.
+                let mut current = value;
+                let mut reason = reason;
+                let mut steps = 0usize;
+                'outer: while steps < MAX_SHRINK_STEPS {
+                    for cand in strategy.shrink(&current) {
+                        if let Err(TestCaseError::Fail(r)) = check(&cand) {
+                            current = cand;
+                            reason = r;
+                            steps += 1;
+                            continue 'outer;
+                        }
+                    }
+                    break;
+                }
+                panic!(
+                    "proptest failure in `{test_name}` ({origin}, seed {seed:#018x}, \
+                     shrunk {steps} steps): {reason}\n  inputs: {}",
+                    render(&current).join(", ")
+                )
+            }
+        }
+    };
+
+    // Replay checked-in regressions before generating anything new.
+    if let Some(path) = regression_file_for(source_file) {
+        for seed in persisted_seeds(&path) {
+            run_one(seed ^ hash_str(test_name), "persisted regression");
+        }
+    }
+
+    // Fixed base seed: deterministic across runs and machines.
+    let base = 0x7472_616e_7366_6572u64 ^ hash_str(test_name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = config.cases as u64 * 16;
+    while accepted < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "proptest `{test_name}`: too many rejected cases ({attempts} attempts \
+             for {} accepted)",
+            accepted
+        );
+        let seed = base
+            .wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .rotate_left(17);
+        if run_one(seed, "generated case") {
+            accepted += 1;
+        }
+        attempts += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +344,92 @@ mod tests {
             "failing",
             |_| (Err(TestCaseError::fail("always fails")), vec![]),
         );
+    }
+
+    /// Runs `f`, which must panic, and returns the panic message.
+    fn panic_message(f: impl FnOnce()) -> String {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .expect_err("expected a proptest failure");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string")
+    }
+
+    #[test]
+    fn shrink_converges_to_minimal_failing_int() {
+        let msg = panic_message(|| {
+            run_cases(
+                &ProptestConfig::with_cases(16),
+                "no/such/file.rs",
+                "min_int",
+                &(0u64..1000),
+                |&v| {
+                    if v < 50 {
+                        Ok(())
+                    } else {
+                        Err(TestCaseError::fail(format!("{v} >= 50")))
+                    }
+                },
+                |v| vec![format!("v = {v:?}")],
+            );
+        });
+        // Greedy halving plus the decrement candidate land on the exact
+        // smallest failing value.
+        assert!(msg.contains("inputs: v = 50"), "got: {msg}");
+        assert!(msg.contains("shrunk"), "got: {msg}");
+    }
+
+    #[test]
+    fn shrink_reduces_vec_length_and_elements() {
+        let strategy = crate::collection::vec(0.0f64..1.0, 0..20usize);
+        let msg = panic_message(|| {
+            run_cases(
+                &ProptestConfig::with_cases(16),
+                "no/such/file.rs",
+                "min_vec",
+                &strategy,
+                |v| {
+                    if v.len() < 5 {
+                        Ok(())
+                    } else {
+                        Err(TestCaseError::fail(format!("len {} >= 5", v.len())))
+                    }
+                },
+                |v| vec![format!("v = {v:?}")],
+            );
+        });
+        // Length shrinks stop at the minimal failing length (5) and the
+        // element shrinks then zero every component.
+        assert!(
+            msg.contains("inputs: v = [0.0, 0.0, 0.0, 0.0, 0.0]"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrink_treats_rejects_as_passing() {
+        // A candidate that trips `prop_assume!` must not be accepted as the
+        // new smallest failing input.
+        let msg = panic_message(|| {
+            run_cases(
+                &ProptestConfig::with_cases(16),
+                "no/such/file.rs",
+                "reject_during_shrink",
+                &(0u64..1000),
+                |&v| {
+                    if v < 10 {
+                        Err(TestCaseError::reject("too small to judge"))
+                    } else if v < 50 {
+                        Ok(())
+                    } else {
+                        Err(TestCaseError::fail(format!("{v} >= 50")))
+                    }
+                },
+                |v| vec![format!("v = {v:?}")],
+            );
+        });
+        assert!(msg.contains("inputs: v = 50"), "got: {msg}");
     }
 
     #[test]

@@ -5,16 +5,17 @@
 
 use tg_bench::{
     evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
-    workbench_from_env, zoo_from_env,
+    zoo_handle_from_env,
 };
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{report::Table, EvalOptions, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let modality = Modality::Image;
-    let targets = reported_targets(&zoo, modality);
+    let targets = reported_targets(zoo, modality);
     println!("reported image targets: {}", targets.len());
 
     // Channel diagnostics on one hard dataset.
@@ -82,7 +83,7 @@ fn main() {
         let opts = EvalOptions::default();
         let mut rng = tg_rng::Rng::seed_from_u64(123);
         let loo = transfergraph::pipeline::learn_loo_graph(
-            &wb,
+            wb,
             cars,
             &history,
             tg_embed::LearnerKind::Node2VecPlus,
@@ -120,7 +121,7 @@ fn main() {
     ];
     let mut table = Table::new(vec!["strategy", "mean pearson", "per-target"]);
     for s in &strategies {
-        let outs = evaluate_over_targets_on(&wb, s, subset, &opts).outcomes;
+        let outs = evaluate_over_targets_on(wb, s, subset, &opts).outcomes;
         let per: Vec<String> = outs
             .iter()
             .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
@@ -133,5 +134,5 @@ fn main() {
     }
     println!("{}", table.render());
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

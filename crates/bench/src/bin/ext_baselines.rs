@@ -8,7 +8,7 @@
 
 use tg_bench::{
     evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
-    workbench_from_env, zoo_from_env,
+    zoo_handle_from_env,
 };
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
@@ -16,8 +16,9 @@ use tg_zoo::Modality;
 use transfergraph::{report::Table, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let opts = EvalOptions::default();
     let strategies = [
         Strategy::HistoryNn,
@@ -34,11 +35,11 @@ fn main() {
         },
     ];
     for modality in [Modality::Image, Modality::Text] {
-        let targets = reported_targets(&zoo, modality);
+        let targets = reported_targets(zoo, modality);
         println!("Extended baselines ({modality})\n");
         let mut table = Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
         for s in &strategies {
-            let outs = evaluate_over_targets_on(&wb, s, &targets, &opts).outcomes;
+            let outs = evaluate_over_targets_on(wb, s, &targets, &opts).outcomes;
             let per: Vec<String> = outs
                 .iter()
                 .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
@@ -52,5 +53,5 @@ fn main() {
         println!("{}", table.render());
     }
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

@@ -9,14 +9,15 @@
 //! Reported: best fully fine-tuned accuracy found and regret vs the zoo's
 //! true optimum, across budgets.
 
-use tg_bench::{persist_artifacts, workbench_from_env, zoo_from_env};
+use tg_bench::{persist_artifacts, zoo_handle_from_env};
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::recommend::{greedy_top_k, successive_halving};
 use transfergraph::{evaluate, report::Table, EvalOptions, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let target = zoo.dataset_by_name("stanfordcars");
     let models = zoo.models_of(Modality::Image);
     let mean_cost = {
@@ -38,8 +39,8 @@ fn main() {
     );
 
     let opts = EvalOptions::default();
-    let tg = evaluate(&wb, &Strategy::transfer_graph_default(), target, &opts);
-    let random = evaluate(&wb, &Strategy::Random, target, &opts);
+    let tg = evaluate(wb, &Strategy::transfer_graph_default(), target, &opts);
+    let random = evaluate(wb, &Strategy::Random, target, &opts);
 
     let mut table = Table::new(vec![
         "budget (×mean cost)",
@@ -53,14 +54,14 @@ fn main() {
             Some(a) => format!("{a:.3} (regret {:.3})", o.regret),
             None => "— (nothing finished)".to_string(),
         };
-        let r = greedy_top_k(&zoo, &random, FineTuneMethod::Full, budget);
-        let g = greedy_top_k(&zoo, &tg, FineTuneMethod::Full, budget);
-        let h = successive_halving(&zoo, &tg, FineTuneMethod::Full, budget, 4);
+        let r = greedy_top_k(zoo, &random, FineTuneMethod::Full, budget);
+        let g = greedy_top_k(zoo, &tg, FineTuneMethod::Full, budget);
+        let h = successive_halving(zoo, &tg, FineTuneMethod::Full, budget, 4);
         table.row(vec![format!("{mult:.0}×"), fmt(&r), fmt(&g), fmt(&h)]);
     }
     println!("{}", table.render());
     println!("shape: TG policies reach low regret with a fraction of the exhaustive budget");
     println!("(the paper's motivation: 1178 GPU-hours to fine-tune everything).");
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

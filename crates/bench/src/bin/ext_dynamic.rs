@@ -15,8 +15,9 @@ use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{pipeline, report::Table, EvalOptions};
 
 fn main() {
-    let zoo = tg_bench::zoo_from_env();
-    let wb = tg_bench::workbench_from_env(&zoo);
+    let handle = tg_bench::zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let target = zoo.dataset_by_name("stanfordcars");
     let models = zoo.models_of(Modality::Image);
     let accs: Vec<f64> = models
@@ -36,7 +37,7 @@ fn main() {
     let full_history = zoo
         .full_history(Modality::Image, FineTuneMethod::Full)
         .excluding_dataset(target);
-    let inputs = pipeline::build_loo_graph_inputs(&wb, target, &base_history, &opts);
+    let inputs = pipeline::build_loo_graph_inputs(wb, target, &base_history, &opts);
     let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
 
     let walk_cfg = WalkConfig {
@@ -128,5 +129,5 @@ fn main() {
     println!("shape: incremental refresh keeps most of the retrained signal at a small");
     println!("fraction of the cost — the §VII-G 'timely update' property.");
 
-    tg_bench::persist_artifacts(&wb);
+    tg_bench::persist_artifacts(wb);
 }

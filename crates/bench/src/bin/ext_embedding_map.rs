@@ -12,15 +12,16 @@ const W: usize = 100;
 const H: usize = 30;
 
 fn main() {
-    let zoo = tg_bench::zoo_from_env();
+    let handle = tg_bench::zoo_handle_from_env();
+    let zoo = handle.zoo();
     let target = zoo.dataset_by_name("stanfordcars");
     let history = zoo
         .full_history(Modality::Image, FineTuneMethod::Full)
         .excluding_dataset(target);
     let opts = EvalOptions::default();
-    let wb = tg_bench::workbench_from_env(&zoo);
+    let wb = handle.workbench();
     let loo = pipeline::learn_loo_graph(
-        &wb,
+        wb,
         target,
         &history,
         tg_embed::LearnerKind::Node2VecPlus,
@@ -111,5 +112,5 @@ fn main() {
         tg_linalg::stats::mean(&cross)
     );
 
-    tg_bench::persist_artifacts(&wb);
+    tg_bench::persist_artifacts(wb);
 }

@@ -5,14 +5,15 @@
 //! the simulated zoo.
 
 use std::sync::Mutex;
-use tg_bench::{reported_targets, zoo_from_env};
+use tg_bench::{reported_targets, zoo_handle_from_env};
 use tg_transfer::Estimator;
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::report::Table;
 
 fn main() {
-    let zoo = zoo_from_env();
-    let targets = reported_targets(&zoo, Modality::Image);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let targets = reported_targets(zoo, Modality::Image);
     let models = zoo.models_of(Modality::Image);
     println!(
         "Estimator shootout — Pearson τ with fine-tune accuracy ({} image targets × {} models)\n",

@@ -2,13 +2,14 @@
 //! permutation importance of the prediction model's features, for the
 //! LR{all,LogME} baseline and the TransferGraph headline variant.
 
-use tg_bench::{persist_artifacts, workbench_from_env, zoo_from_env};
+use tg_bench::{persist_artifacts, zoo_handle_from_env};
 use transfergraph::explain::block_importance;
 use transfergraph::{report::Table, EvalOptions, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let opts = EvalOptions::default();
     for (name, strategy, dataset) in [
         (
@@ -28,7 +29,7 @@ fn main() {
         ),
     ] {
         let target = zoo.dataset_by_name(dataset);
-        let imp = block_importance(&wb, &strategy, target, &opts, 3);
+        let imp = block_importance(wb, &strategy, target, &opts, 3);
         println!("Permutation importance — {name}\n");
         let mut table = Table::new(vec!["feature block", "τ drop when permuted"]);
         for b in &imp {
@@ -39,5 +40,5 @@ fn main() {
     println!("reading: large τ drops mark the information the recommendation actually uses;");
     println!("for TG variants the model-embedding block should matter alongside similarity.");
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

@@ -4,14 +4,15 @@
 //! survive the change of metric.
 
 use tg_bench::{
-    evaluate_over_targets_on, persist_artifacts, reported_targets, workbench_from_env, zoo_from_env,
+    evaluate_over_targets_on, persist_artifacts, reported_targets, zoo_handle_from_env,
 };
 use tg_zoo::Modality;
 use transfergraph::{report::Table, EvalOptions, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let opts = EvalOptions::default();
     let strategies = [
         Strategy::LogMe,
@@ -26,11 +27,11 @@ fn main() {
     ];
 
     for modality in [Modality::Image, Modality::Text] {
-        let targets = reported_targets(&zoo, modality);
+        let targets = reported_targets(zoo, modality);
         println!("Fig. 7 under Spearman ρ ({modality})\n");
         let mut table = Table::new(vec!["strategy", "mean Pearson τ", "mean Spearman ρ"]);
         for s in &strategies {
-            let outs = evaluate_over_targets_on(&wb, s, &targets, &opts).outcomes;
+            let outs = evaluate_over_targets_on(wb, s, &targets, &opts).outcomes;
             let mp = outs.iter().map(|o| o.pearson.unwrap_or(0.0)).sum::<f64>() / outs.len() as f64;
             let ms =
                 outs.iter().map(|o| o.spearman.unwrap_or(0.0)).sum::<f64>() / outs.len() as f64;
@@ -39,5 +40,5 @@ fn main() {
         println!("{}", table.render());
     }
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

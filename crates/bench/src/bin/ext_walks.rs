@@ -13,8 +13,9 @@ use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{pipeline, report::Table, EvalOptions};
 
 fn main() {
-    let zoo = tg_bench::zoo_from_env();
-    let wb = tg_bench::workbench_from_env(&zoo);
+    let handle = tg_bench::zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let targets = ["stanfordcars", "pets"];
     let opts = EvalOptions::default();
 
@@ -39,10 +40,10 @@ fn main() {
             let history = zoo
                 .full_history(Modality::Image, FineTuneMethod::Full)
                 .excluding_dataset(target);
-            let inputs = pipeline::build_loo_graph_inputs(&wb, target, &history, &opts);
+            let inputs = pipeline::build_loo_graph_inputs(wb, target, &history, &opts);
             let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
             let feats =
-                transfergraph::features::node_feature_matrix(&wb, &graph, opts.representation);
+                transfergraph::features::node_feature_matrix(wb, &graph, opts.representation);
             TargetCtx {
                 graph,
                 feats,
@@ -107,5 +108,5 @@ fn main() {
     println!("Walk-hyperparameter ablation (N2V+ dot-product ranking signal)\n");
     println!("{}", table.render());
 
-    tg_bench::persist_artifacts(&wb);
+    tg_bench::persist_artifacts(wb);
 }

@@ -5,7 +5,7 @@
 //! similar across predictors (feature selection matters more).
 
 use tg_bench::{
-    evaluate_over_targets_on, persist_artifacts, reported_targets, workbench_from_env, zoo_from_env,
+    evaluate_over_targets_on, persist_artifacts, reported_targets, zoo_handle_from_env,
 };
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
@@ -13,12 +13,13 @@ use tg_zoo::Modality;
 use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let opts = EvalOptions::default();
 
     for modality in [Modality::Image, Modality::Text] {
-        let targets = reported_targets(&zoo, modality);
+        let targets = reported_targets(zoo, modality);
         println!("Figure 10 ({modality}) — prediction models (N2V+ graph features, all)\n");
         let mut header = vec!["dataset".to_string()];
         header.extend(
@@ -35,7 +36,7 @@ fn main() {
                     learner: LearnerKind::Node2VecPlus,
                     features: FeatureSet::All,
                 };
-                evaluate_over_targets_on(&wb, &s, &targets, &opts).outcomes
+                evaluate_over_targets_on(wb, &s, &targets, &opts).outcomes
             })
             .collect();
         let mut means = vec![0.0; RegressorKind::ALL.len()];
@@ -56,5 +57,5 @@ fn main() {
         println!("{}", table.render());
     }
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

@@ -11,15 +11,16 @@
 
 use tg_bench::{
     evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
-    workbench_from_env, zoo_from_env,
+    zoo_handle_from_env,
 };
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{report, EvalOptions, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
-    let targets = reported_targets(&zoo, Modality::Text);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
+    let targets = reported_targets(zoo, Modality::Text);
     let strategies = [
         Strategy::LogMe,
         Strategy::lr_baseline(),
@@ -59,7 +60,7 @@ fn main() {
         println!("Figure 11 {label} — text datasets\n");
         let mut table = report::Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
         for s in &strategies {
-            let outs = evaluate_over_targets_on(&wb, s, &targets, opts).outcomes;
+            let outs = evaluate_over_targets_on(wb, s, &targets, opts).outcomes;
             let per: Vec<String> = outs
                 .iter()
                 .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
@@ -73,5 +74,5 @@ fn main() {
         println!("{}", table.render());
     }
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

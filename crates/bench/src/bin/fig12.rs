@@ -7,7 +7,7 @@
 //! advantage for GraphSAGE (its very high dimension vs a small graph).
 
 use tg_bench::{
-    evaluate_over_targets_on, persist_artifacts, reported_targets, workbench_from_env, zoo_from_env,
+    evaluate_over_targets_on, persist_artifacts, reported_targets, zoo_handle_from_env,
 };
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
@@ -15,9 +15,10 @@ use tg_zoo::Modality;
 use transfergraph::{report, EvalOptions, FeatureSet, Representation, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
-    let targets = reported_targets(&zoo, Modality::Image);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
+    let targets = reported_targets(zoo, Modality::Image);
     println!("Figure 12 — dataset representations (image targets)\n");
 
     let mut table = report::Table::new(vec![
@@ -39,7 +40,7 @@ fn main() {
                 representation: rep,
                 ..Default::default()
             };
-            let outs = evaluate_over_targets_on(&wb, &s, &targets, &opts).outcomes;
+            let outs = evaluate_over_targets_on(wb, &s, &targets, &opts).outcomes;
             columns.push(outs.iter().map(|o| o.pearson.unwrap_or(0.0)).collect());
         }
     }
@@ -62,5 +63,5 @@ fn main() {
     println!("representation dimensions: Task2Vec = {t2v_dim}, Domain Similarity = {ds_dim}");
     println!("(paper: 13842 vs 1024 — same order-of-magnitude asymmetry)");
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

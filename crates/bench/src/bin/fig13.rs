@@ -8,7 +8,7 @@
 
 use tg_bench::{
     evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
-    workbench_from_env, zoo_from_env,
+    zoo_handle_from_env,
 };
 use tg_embed::LearnerKind;
 use tg_graph::GraphStats;
@@ -17,9 +17,10 @@ use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{pipeline, report, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
-    let targets = reported_targets(&zoo, Modality::Image);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
+    let targets = reported_targets(zoo, Modality::Image);
     // The paper uses LR{all, LogME} as the graph-free reference here
     // ("LR, all"); we keep its exact feature set for comparability.
     let lr_all = Strategy::Learned {
@@ -44,8 +45,8 @@ fn main() {
             history_ratio: ratio,
             ..Default::default()
         };
-        let m_lr = mean_pearson(&evaluate_over_targets_on(&wb, &lr_all, &targets, &opts).outcomes);
-        let m_tg = mean_pearson(&evaluate_over_targets_on(&wb, &tg, &targets, &opts).outcomes);
+        let m_lr = mean_pearson(&evaluate_over_targets_on(wb, &lr_all, &targets, &opts).outcomes);
+        let m_tg = mean_pearson(&evaluate_over_targets_on(wb, &tg, &targets, &opts).outcomes);
         // Graph fragmentation diagnostic on one target, on the same shared
         // workbench (similarities are history-independent, so reuse is safe).
         let cars = zoo.dataset_by_name("stanfordcars");
@@ -53,7 +54,7 @@ fn main() {
             .full_history(Modality::Image, FineTuneMethod::Full)
             .excluding_dataset(cars)
             .subsample(ratio, opts.seed ^ 0x5a5a);
-        let inputs = pipeline::build_loo_graph_inputs(&wb, cars, &history, &opts);
+        let inputs = pipeline::build_loo_graph_inputs(wb, cars, &history, &opts);
         let graph = tg_graph::build_graph(&inputs, &tg_graph::GraphConfig::default());
         let stats = GraphStats::compute(&graph);
         table.row(vec![
@@ -65,5 +66,5 @@ fn main() {
     }
     println!("{}", table.render());
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

@@ -6,14 +6,15 @@
 //! achievable. Our absolute accuracies live in the simulator's bands; the
 //! *ordering* and the random-vs-learned gap are the reproduced shape.
 
-use tg_bench::{persist_artifacts, summaries_enabled, workbench_from_env, zoo_from_env};
+use tg_bench::{persist_artifacts, summaries_enabled, zoo_handle_from_env};
 use tg_zoo::FineTuneMethod;
 use transfergraph::runner::{run_jobs, EvalJob};
 use transfergraph::{report::Table, EvalOptions, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let target = zoo.dataset_by_name("stanfordcars");
     let models = zoo.models_of(tg_zoo::Modality::Image);
     let accs: Vec<f64> = models
@@ -38,7 +39,8 @@ fn main() {
     .into_iter()
     .map(|strategy| EvalJob { strategy, target })
     .collect();
-    let summary = run_jobs(&wb, &jobs, &opts);
+    let mut summary = run_jobs(wb, &jobs, &opts);
+    tg_bench::attach_registry_stats(&mut summary);
     if summaries_enabled() {
         eprintln!("[fig2] {}", summary.render());
     }
@@ -64,5 +66,5 @@ fn main() {
         tg_linalg::stats::mean(&accs),
     );
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

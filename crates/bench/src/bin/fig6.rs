@@ -2,12 +2,13 @@
 //! each target dataset, sorted by standard deviation — the plot motivating
 //! which datasets need model selection at all.
 
-use tg_bench::zoo_from_env;
+use tg_bench::zoo_handle_from_env;
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::report::Table;
 
 fn main() {
-    let zoo = zoo_from_env();
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
     for modality in [Modality::Image, Modality::Text] {
         println!("Figure 6 ({modality}) — fine-tune accuracy per dataset, sorted by std\n");
         let models = zoo.models_of(modality);

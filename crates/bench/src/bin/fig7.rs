@@ -8,7 +8,7 @@
 
 use tg_bench::{
     evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
-    workbench_from_env, zoo_from_env,
+    zoo_handle_from_env,
 };
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
@@ -16,8 +16,9 @@ use tg_zoo::Modality;
 use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let opts = EvalOptions::default();
     let mut strategies = vec![
         Strategy::LogMe,
@@ -35,7 +36,7 @@ fn main() {
     }
 
     for modality in [Modality::Image, Modality::Text] {
-        let targets = reported_targets(&zoo, modality);
+        let targets = reported_targets(zoo, modality);
         println!(
             "Figure 7 ({modality}) — mean Pearson correlation over {} reported targets\n",
             targets.len()
@@ -43,7 +44,7 @@ fn main() {
         let mut table = report::Table::new(vec!["strategy", "mean τ", "per-dataset τ"]);
         let mut bars: Vec<(String, f64)> = Vec::new();
         for s in &strategies {
-            let outs = evaluate_over_targets_on(&wb, s, &targets, &opts).outcomes;
+            let outs = evaluate_over_targets_on(wb, s, &targets, &opts).outcomes;
             let mean = mean_pearson(&outs);
             let per: Vec<String> = outs
                 .iter()
@@ -56,5 +57,5 @@ fn main() {
         println!("{}", report::bar_chart(&bars, 40));
     }
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

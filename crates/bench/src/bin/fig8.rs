@@ -11,7 +11,7 @@
 
 use tg_bench::{
     evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
-    workbench_from_env, zoo_from_env,
+    zoo_handle_from_env,
 };
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
@@ -54,12 +54,13 @@ fn strategies() -> Vec<(&'static str, Strategy)> {
 }
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let opts = EvalOptions::default();
 
     for modality in [Modality::Image, Modality::Text] {
-        let targets = reported_targets(&zoo, modality);
+        let targets = reported_targets(zoo, modality);
         println!("Figure 8 ({modality}) — feature ablation, Pearson τ per dataset\n");
         let mut header = vec!["dataset".to_string()];
         header.extend(strategies().iter().map(|(n, _)| n.to_string()));
@@ -67,7 +68,7 @@ fn main() {
         let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies().len()];
         let outs_by_strategy: Vec<Vec<transfergraph::EvalOutcome>> = strategies()
             .iter()
-            .map(|(_, s)| evaluate_over_targets_on(&wb, s, &targets, &opts).outcomes)
+            .map(|(_, s)| evaluate_over_targets_on(wb, s, &targets, &opts).outcomes)
             .collect();
         for (ti, &t) in targets.iter().enumerate() {
             let mut row = vec![zoo.dataset(t).name.clone()];
@@ -87,7 +88,7 @@ fn main() {
     }
 
     // §VII-C: no training history (image): transferability edges only.
-    let targets = reported_targets(&zoo, Modality::Image);
+    let targets = reported_targets(zoo, Modality::Image);
     let opts = EvalOptions {
         edge_source: EdgeSource::TransferabilityOnly,
         ..Default::default()
@@ -102,12 +103,12 @@ fn main() {
         learner: LearnerKind::Node2VecPlus,
         features: FeatureSet::GraphOnly,
     };
-    let m_all = mean_pearson(&evaluate_over_targets_on(&wb, &all, &targets, &opts).outcomes);
+    let m_all = mean_pearson(&evaluate_over_targets_on(wb, &all, &targets, &opts).outcomes);
     let m_graph =
-        mean_pearson(&evaluate_over_targets_on(&wb, &graph_only, &targets, &opts).outcomes);
+        mean_pearson(&evaluate_over_targets_on(wb, &graph_only, &targets, &opts).outcomes);
     println!("Scenario without training history (image, transferability edges only):");
     println!("  metadata + similarity + graph features: {m_all:+.3}   (paper: 0.47)");
     println!("  graph features only:                    {m_graph:+.3}   (paper: 0.42)");
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

@@ -9,7 +9,7 @@
 
 use tg_bench::{
     evaluate_over_targets_on, mean_pearson, persist_artifacts, reported_targets,
-    workbench_from_env, zoo_from_env,
+    zoo_handle_from_env,
 };
 use tg_embed::LearnerKind;
 use tg_predict::RegressorKind;
@@ -17,12 +17,13 @@ use tg_zoo::Modality;
 use transfergraph::{report, EvalOptions, FeatureSet, Strategy};
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let wb = handle.workbench();
     let opts = EvalOptions::default();
 
     for modality in [Modality::Image, Modality::Text] {
-        let targets = reported_targets(&zoo, modality);
+        let targets = reported_targets(zoo, modality);
         for (label, features) in [
             ("all features", FeatureSet::All),
             (
@@ -38,7 +39,7 @@ fn main() {
                     learner,
                     features,
                 };
-                let outs = evaluate_over_targets_on(&wb, &s, &targets, &opts).outcomes;
+                let outs = evaluate_over_targets_on(wb, &s, &targets, &opts).outcomes;
                 let per: Vec<String> = outs
                     .iter()
                     .map(|o| format!("{:+.2}", o.pearson.unwrap_or(0.0)))
@@ -54,7 +55,7 @@ fn main() {
     }
 
     // Ablation: embedding dimension (image, N2V+).
-    let targets = reported_targets(&zoo, Modality::Image);
+    let targets = reported_targets(zoo, Modality::Image);
     println!("Ablation — embedding dimension (image, TG:LR,N2V+,all):");
     for dim in [32usize, 64, 128, 256] {
         let opts = EvalOptions {
@@ -66,9 +67,9 @@ fn main() {
             learner: LearnerKind::Node2VecPlus,
             features: FeatureSet::All,
         };
-        let m = mean_pearson(&evaluate_over_targets_on(&wb, &s, &targets, &opts).outcomes);
+        let m = mean_pearson(&evaluate_over_targets_on(wb, &s, &targets, &opts).outcomes);
         println!("  dim {dim:>4}: {m:+.3}");
     }
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

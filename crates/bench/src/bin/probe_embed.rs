@@ -8,7 +8,8 @@ use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{pipeline, EvalOptions};
 
 fn main() {
-    let zoo = tg_bench::zoo_from_env();
+    let handle = tg_bench::zoo_handle_from_env();
+    let zoo = handle.zoo();
     let modality = Modality::Image;
     let cars = zoo.dataset_by_name("stanfordcars");
     let models = zoo.models_of(modality);
@@ -21,8 +22,8 @@ fn main() {
         .excluding_dataset(cars);
     let opts = EvalOptions::default();
 
-    let wb = tg_bench::workbench_from_env(&zoo);
-    let inputs = pipeline::build_loo_graph_inputs(&wb, cars, &history, &opts);
+    let wb = handle.workbench();
+    let inputs = pipeline::build_loo_graph_inputs(wb, cars, &history, &opts);
 
     for (label, sim_th) in [("simth0.0", 0.0), ("simth0.6", 0.6), ("simth0.75", 0.75)] {
         let cfg = tg_graph::GraphConfig {
@@ -30,7 +31,7 @@ fn main() {
             ..Default::default()
         };
         let graph = tg_graph::build_graph(&inputs, &cfg);
-        let feats = transfergraph::features::node_feature_matrix(&wb, &graph, opts.representation);
+        let feats = transfergraph::features::node_feature_matrix(wb, &graph, opts.representation);
         for (wlabel, walks, len, window, epochs, p, q) in [
             (
                 "w10x40 win5 e3 p1q1",
@@ -85,5 +86,5 @@ fn main() {
         }
     }
 
-    tg_bench::persist_artifacts(&wb);
+    tg_bench::persist_artifacts(wb);
 }

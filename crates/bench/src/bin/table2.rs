@@ -7,7 +7,7 @@
 //! text — 188 nodes, avg degree 8.6, 550 D-D, 918 accuracy, 419
 //! transferability.
 
-use tg_bench::{persist_artifacts, workbench_from_env, zoo_from_env};
+use tg_bench::{persist_artifacts, zoo_handle_from_env};
 use tg_graph::{build_graph, GraphConfig, GraphInputs, GraphStats};
 use tg_zoo::{FineTuneMethod, Modality};
 use transfergraph::{report::Table, EvalOptions, Representation, Workbench};
@@ -46,8 +46,8 @@ fn full_inputs(wb: &Workbench, modality: Modality) -> GraphInputs {
 }
 
 fn main() {
-    let zoo = zoo_from_env();
-    let wb = workbench_from_env(&zoo);
+    let handle = zoo_handle_from_env();
+    let wb = handle.workbench();
     let _opts = EvalOptions::default();
     println!("Table II — graph properties (full graphs)\n");
     let config = GraphConfig::default();
@@ -56,7 +56,7 @@ fn main() {
         config.accuracy_threshold, config.transferability_threshold, config.similarity_threshold
     );
     for modality in [Modality::Image, Modality::Text] {
-        let inputs = full_inputs(&wb, modality);
+        let inputs = full_inputs(wb, modality);
         let graph = build_graph(&inputs, &config);
         let stats = GraphStats::compute(&graph);
         println!("{}\n", stats.table_rows(&modality.to_string()));
@@ -64,7 +64,7 @@ fn main() {
 
     // Ablation: edge-pruning thresholds vs graph density (image).
     println!("Ablation — pruning thresholds vs density (image):\n");
-    let inputs = full_inputs(&wb, Modality::Image);
+    let inputs = full_inputs(wb, Modality::Image);
     let mut table = Table::new(vec![
         "acc/transf threshold",
         "sim threshold",
@@ -96,5 +96,5 @@ fn main() {
     }
     println!("{}", table.render());
 
-    persist_artifacts(&wb);
+    persist_artifacts(wb);
 }

@@ -2,12 +2,13 @@
 //! sample and class counts mirror the paper exactly for the Table III
 //! datasets.
 
-use tg_bench::zoo_from_env;
+use tg_bench::zoo_handle_from_env;
 use tg_zoo::Modality;
 use transfergraph::report::Table;
 
 fn main() {
-    let zoo = zoo_from_env();
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
     for modality in [Modality::Image, Modality::Text] {
         println!("Table III ({modality}) — target dataset properties\n");
         let mut table = Table::new(vec!["dataset", "samples", "classes", "domain"]);

@@ -50,10 +50,11 @@ fn main() {
         std::process::exit(2);
     };
     let opts_map = parse_args(&args[1..]);
-    let zoo = tg_bench::zoo_from_env();
+    let handle = tg_bench::zoo_handle_from_env();
+    let zoo = handle.zoo();
     // One workbench for whichever subcommand runs; with TG_ARTIFACT_DIR set
     // it starts warm from persisted collection artifacts.
-    let wb = tg_bench::workbench_from_env(&zoo);
+    let wb = handle.workbench();
 
     match command.as_str() {
         "list" => {
@@ -90,7 +91,7 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(10);
             let target = zoo.dataset_by_name(&dataset);
-            let out = evaluate(&wb, &strategy, target, &EvalOptions::default());
+            let out = evaluate(wb, &strategy, target, &EvalOptions::default());
             let order = tg_linalg::stats::top_k_indices(&out.predictions, top);
             let mut table = Table::new(vec!["rank", "model", "architecture", "predicted score"]);
             for (rank, &idx) in order.iter().enumerate() {
@@ -119,7 +120,7 @@ fn main() {
             let dataset = require(&opts_map, "dataset");
             let strategy = strategy_by_name(opts_map.get("strategy").map_or("", String::as_str));
             let target = zoo.dataset_by_name(&dataset);
-            let imp = block_importance(&wb, &strategy, target, &EvalOptions::default(), 3);
+            let imp = block_importance(wb, &strategy, target, &EvalOptions::default(), 3);
             let mut table = Table::new(vec!["feature block", "τ drop when permuted"]);
             for b in &imp {
                 table.row(vec![b.block.clone(), format!("{:+.3}", b.tau_drop)]);
@@ -139,14 +140,14 @@ fn main() {
             let policy = opts_map.get("policy").map_or("greedy", String::as_str);
             let target = zoo.dataset_by_name(&dataset);
             let out = evaluate(
-                &wb,
+                wb,
                 &Strategy::transfer_graph_default(),
                 target,
                 &EvalOptions::default(),
             );
             let plan = match policy {
-                "halving" => successive_halving(&zoo, &out, FineTuneMethod::Full, hours, 4),
-                _ => greedy_top_k(&zoo, &out, FineTuneMethod::Full, hours),
+                "halving" => successive_halving(zoo, &out, FineTuneMethod::Full, hours, 4),
+                _ => greedy_top_k(zoo, &out, FineTuneMethod::Full, hours),
             };
             println!(
                 "{policy} plan for `{dataset}` with {hours:.1} h: tried {} models, spent {:.2} h",
@@ -167,7 +168,7 @@ fn main() {
         }
     }
 
-    tg_bench::persist_artifacts(&wb);
+    tg_bench::persist_artifacts(wb);
 }
 
 fn require(map: &HashMap<String, String>, key: &str) -> String {

@@ -9,12 +9,17 @@
 //!   collection artifacts (LogME, embeddings, similarities) are warmed from
 //!   it at startup and written back on exit, so a second run of the same
 //!   world recomputes nothing;
+//! * `TG_REGISTRY_MAX_ZOOS` / `TG_REGISTRY_MAX_BYTES` — memory-tier bounds
+//!   of the process-wide [`ZooRegistry`] every binary routes through (see
+//!   [`registry`]); unset or `0` means unbounded;
 //! * `TG_RUNNER_SUMMARY` — `1`/`0` forces run-summary printing on/off
 //!   (default: on in release builds, off in debug builds).
 
+use std::sync::{Arc, OnceLock};
+
 use tg_zoo::{Modality, ModelZoo, ZooConfig};
 use transfergraph::runner::{run_over_targets, RunSummary};
-use transfergraph::{EvalOptions, EvalOutcome, Strategy, Workbench};
+use transfergraph::{EvalOptions, EvalOutcome, Strategy, Workbench, ZooHandle, ZooRegistry};
 
 /// Default world seed used by all experiment binaries.
 pub const DEFAULT_SEED: u64 = 2024;
@@ -27,14 +32,50 @@ pub fn seed_from_env() -> u64 {
         .unwrap_or(DEFAULT_SEED)
 }
 
-/// Builds the zoo at the scale requested via `TG_SCALE`.
-pub fn zoo_from_env() -> ModelZoo {
+/// The zoo configuration requested via `TG_SEED` / `TG_SCALE`.
+pub fn zoo_config_from_env() -> ZooConfig {
     let seed = seed_from_env();
-    let config = match std::env::var("TG_SCALE").as_deref() {
+    match std::env::var("TG_SCALE").as_deref() {
         Ok("small") => ZooConfig::small(seed),
         _ => ZooConfig::paper(seed),
-    };
-    ModelZoo::build(&config)
+    }
+}
+
+/// Builds a standalone zoo at the scale requested via `TG_SCALE`.
+///
+/// The zoo is *not* registered with the serving registry; binaries should
+/// prefer [`zoo_handle_from_env`], which routes through it and shares the
+/// process-wide artifact store.
+pub fn zoo_from_env() -> ModelZoo {
+    ModelZoo::build(&zoo_config_from_env())
+}
+
+/// The process-wide [`ZooRegistry`], built on first use from the
+/// environment: artifact directory from `TG_ARTIFACT_DIR`, memory-tier
+/// bounds from `TG_REGISTRY_MAX_ZOOS` / `TG_REGISTRY_MAX_BYTES`.
+///
+/// Every experiment binary routes through this registry — the single-zoo
+/// binaries are simply its N=1 case — so run summaries can report routing
+/// and eviction telemetry uniformly.
+pub fn registry() -> &'static ZooRegistry {
+    REGISTRY.get_or_init(ZooRegistry::from_env)
+}
+
+static REGISTRY: OnceLock<ZooRegistry> = OnceLock::new();
+
+/// Routes the environment's zoo configuration through the process-wide
+/// [`registry`], building (and warming from `TG_ARTIFACT_DIR`) on first
+/// touch. The handle owns the zoo, its artifact store and a shared
+/// [`Workbench`] view:
+///
+/// ```no_run
+/// let handle = tg_bench::zoo_handle_from_env();
+/// let zoo = handle.zoo();
+/// let wb = handle.workbench();
+/// # let _ = (zoo, wb);
+/// ```
+pub fn zoo_handle_from_env() -> Arc<ZooHandle> {
+    registry().get_or_build(&zoo_config_from_env())
 }
 
 /// The datasets the paper reports on: targets whose fine-tune accuracy
@@ -61,14 +102,23 @@ pub fn reported_targets(zoo: &ModelZoo, modality: Modality) -> Vec<tg_zoo::Datas
         .collect()
 }
 
-/// One [`Workbench`] per process, configured from the environment: with
-/// `TG_ARTIFACT_DIR` set it warms from previously persisted collection
-/// artifacts (and [`persist_artifacts`] writes back on exit); otherwise it
-/// is memory-only. Binaries construct exactly one and share it across every
-/// strategy, sweep point and modality — the caches are keyed by global
-/// model/dataset ids, so one workbench serves both modalities.
+/// A workbench over a caller-built zoo, configured from the environment.
+#[deprecated(
+    since = "0.3.0",
+    note = "bypasses the process-wide ZooRegistry (no routing or eviction \
+            telemetry); call `zoo_handle_from_env` and use the handle's \
+            `zoo()` and `workbench()` instead"
+)]
 pub fn workbench_from_env(zoo: &ModelZoo) -> Workbench<'_> {
     Workbench::from_env(zoo)
+}
+
+/// Attaches the process-wide [`registry`]'s telemetry to a summary
+/// produced by a direct `runner` call ([`evaluate_over_targets_on`] does
+/// this itself). Leaves `None` when nothing has routed through the
+/// registry yet.
+pub fn attach_registry_stats(summary: &mut RunSummary) {
+    summary.registry = REGISTRY.get().map(ZooRegistry::stats);
 }
 
 /// Persists the workbench's collection artifacts to `TG_ARTIFACT_DIR` (a
@@ -105,8 +155,9 @@ pub fn summaries_enabled() -> bool {
 #[deprecated(
     since = "0.2.0",
     note = "builds a cold Workbench per call, re-collecting features and \
-            bypassing TG_ARTIFACT_DIR; build one Workbench with \
-            `workbench_from_env` and call `evaluate_over_targets_on`"
+            bypassing TG_ARTIFACT_DIR and the ZooRegistry; get a handle \
+            with `zoo_handle_from_env` and call `evaluate_over_targets_on` \
+            on its workbench"
 )]
 pub fn evaluate_over_targets(
     zoo: &ModelZoo,
@@ -144,6 +195,9 @@ pub fn evaluate_over_targets_on(
     let mut summary = run_over_targets(wb, strategy, targets, opts);
     summary.stats = wb.stats().delta_since(&before);
     summary.wall_time = start.elapsed();
+    // When this process routes through the serving registry, report its
+    // telemetry alongside the cache stats (None before first routing).
+    attach_registry_stats(&mut summary);
     if summaries_enabled() {
         eprintln!("[{}] {}", strategy.label(), summary.render());
     }

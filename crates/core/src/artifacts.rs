@@ -107,7 +107,7 @@ pub struct WorkbenchStats {
     pub similarity: (u64, u64),
     /// Disk-tier counters (all zero when no artifact directory is set).
     pub disk: DiskStats,
-    /// Accumulated wall-clock per stage, indexed by [`Stage::index`].
+    /// Accumulated wall-clock per stage, in [`Stage`] declaration order.
     pub stage_time: [Duration; 3],
 }
 
@@ -186,6 +186,24 @@ impl WorkbenchStats {
     }
 }
 
+/// How a workbench holds its zoo: borrowed from the caller (the classic
+/// single-zoo shape) or shared via `Arc` (the registry shape, where the
+/// [`ZooRegistry`](crate::registry::ZooRegistry) owns N zoos at once and
+/// hands out `'static` workbench views).
+enum ZooRef<'z> {
+    Borrowed(&'z ModelZoo),
+    Shared(Arc<ModelZoo>),
+}
+
+impl ZooRef<'_> {
+    fn get(&self) -> &ModelZoo {
+        match self {
+            ZooRef::Borrowed(z) => z,
+            ZooRef::Shared(z) => z,
+        }
+    }
+}
+
 /// Shared caches over one zoo: a thin view pairing an [`ArtifactStore`]
 /// with the zoo whose artifacts it holds.
 ///
@@ -193,31 +211,47 @@ impl WorkbenchStats {
 /// (e.g. [`Workbench::warm_logme`]) and hand `&Workbench` to every worker
 /// thread. The workbench is deliberately *not* `Clone` — cloning a cache
 /// per thread (the pre-parallel-runner design) silently forfeits sharing.
+/// (Two *views* over the same `Arc`ed store, via
+/// [`Workbench::from_parts`], do share — that is the registry's
+/// [`ZooHandle`](crate::registry::ZooHandle) shape.)
 ///
 /// With an artifact directory ([`Workbench::with_artifact_dir`] or
 /// `TG_ARTIFACT_DIR` via [`Workbench::from_env`]) the store adds a disk
 /// tier: previously [`persist`](Workbench::persist)ed collection artifacts
 /// of the *same zoo fingerprint* are served instead of recomputed, making a
 /// warm re-run collection-free while keeping results bit-identical.
+///
+/// ```
+/// use tg_zoo::{Modality, ModelZoo, ZooConfig};
+/// use transfergraph::Workbench;
+///
+/// let zoo = ModelZoo::build(&ZooConfig::small(42));
+/// let wb = Workbench::new(&zoo); // memory-only caches
+/// let m = zoo.models_of(Modality::Image)[0];
+/// let d = zoo.targets_of(Modality::Image)[0];
+/// // Second lookup is a cache hit, bit-identical to the first.
+/// assert_eq!(wb.logme(m, d), wb.logme(m, d));
+/// assert_eq!(wb.stats().logme, (1, 1));
+/// ```
 pub struct Workbench<'z> {
-    zoo: &'z ModelZoo,
-    store: ArtifactStore,
+    zoo: ZooRef<'z>,
+    store: Arc<ArtifactStore>,
 }
 
 impl<'z> Workbench<'z> {
     /// New memory-only workbench over a zoo.
     pub fn new(zoo: &'z ModelZoo) -> Self {
         Workbench {
-            store: ArtifactStore::new(zoo.config.fingerprint()),
-            zoo,
+            store: Arc::new(ArtifactStore::new(zoo.config.fingerprint())),
+            zoo: ZooRef::Borrowed(zoo),
         }
     }
 
     /// Workbench whose store persists to (and warms from) `dir`.
     pub fn with_artifact_dir(zoo: &'z ModelZoo, dir: impl Into<PathBuf>) -> Self {
         Workbench {
-            store: ArtifactStore::with_dir(zoo.config.fingerprint(), dir),
-            zoo,
+            store: Arc::new(ArtifactStore::with_dir(zoo.config.fingerprint(), dir)),
+            zoo: ZooRef::Borrowed(zoo),
         }
     }
 
@@ -225,14 +259,36 @@ impl<'z> Workbench<'z> {
     /// variable is set and non-empty, memory-only otherwise.
     pub fn from_env(zoo: &'z ModelZoo) -> Self {
         Workbench {
-            store: ArtifactStore::from_env(zoo.config.fingerprint()),
-            zoo,
+            store: Arc::new(ArtifactStore::from_env(zoo.config.fingerprint())),
+            zoo: ZooRef::Borrowed(zoo),
+        }
+    }
+
+    /// Workbench view over a shared zoo and a shared store — the ownership
+    /// shape of the multi-zoo [`ZooRegistry`](crate::registry::ZooRegistry),
+    /// whose handles own their zoo rather than borrowing it from a caller.
+    /// Any number of views over the same `Arc`s share one cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store's fingerprint does not match the zoo's — a
+    /// cross-wired pair would silently serve one world's artifacts to
+    /// another.
+    pub fn from_parts(zoo: Arc<ModelZoo>, store: Arc<ArtifactStore>) -> Workbench<'static> {
+        assert_eq!(
+            zoo.config.fingerprint(),
+            store.fingerprint(),
+            "Workbench::from_parts: store fingerprint does not match the zoo"
+        );
+        Workbench {
+            zoo: ZooRef::Shared(zoo),
+            store,
         }
     }
 
     /// The underlying zoo.
-    pub fn zoo(&self) -> &'z ModelZoo {
-        self.zoo
+    pub fn zoo(&self) -> &ModelZoo {
+        self.zoo.get()
     }
 
     /// The underlying artifact store.
@@ -259,7 +315,7 @@ impl<'z> Workbench<'z> {
         self.store.warm_from_disk()
     }
 
-    /// The workbench's stage timers (used by [`crate::evaluate`] to
+    /// The workbench's stage timers (used by [`mod@crate::evaluate`] to
     /// attribute graph-learning and regression time).
     pub fn telemetry(&self) -> &Telemetry {
         &self.store.telemetry
@@ -271,7 +327,7 @@ impl<'z> Workbench<'z> {
         let disk = self.store.disk_enabled();
         self.store.logme.get_or_insert_with((m, d), disk, || {
             self.telemetry().time(Stage::FeatureCollection, || {
-                let fp = self.zoo.forward_pass(m, d);
+                let fp = self.zoo.get().forward_pass(m, d);
                 log_me(&fp.features, &fp.labels, fp.num_classes)
             })
         })
@@ -287,8 +343,10 @@ impl<'z> Workbench<'z> {
         cache.get_or_insert_with(d, self.store.disk_enabled(), || {
             self.telemetry().time(Stage::FeatureCollection, || {
                 let v = match rep {
-                    Representation::DomainSimilarity => self.zoo.domain_similarity_embedding(d),
-                    Representation::Task2Vec => self.zoo.task2vec_embedding(d),
+                    Representation::DomainSimilarity => {
+                        self.zoo.get().domain_similarity_embedding(d)
+                    }
+                    Representation::Task2Vec => self.zoo.get().task2vec_embedding(d),
                 };
                 Arc::from(v)
             })
@@ -314,8 +372,8 @@ impl<'z> Workbench<'z> {
     /// harnesses to front-load the expensive part before timing the
     /// pipeline; afterwards every worker thread hits a warm cache.
     pub fn warm_logme(&self, modality: Modality) {
-        let models = self.zoo.models_of(modality);
-        let targets = self.zoo.targets_of(modality);
+        let models = self.zoo.get().models_of(modality);
+        let targets = self.zoo.get().targets_of(modality);
         let pairs: Vec<(ModelId, DatasetId)> = models
             .iter()
             .flat_map(|&m| targets.iter().map(move |&d| (m, d)))

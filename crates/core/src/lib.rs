@@ -37,6 +37,8 @@
 //! assert_eq!(outcome.predictions.len(), zoo.models_of(Modality::Image).len());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod artifacts;
 pub mod config;
 pub mod evaluate;
@@ -45,6 +47,7 @@ pub mod features;
 pub mod metrics;
 pub mod pipeline;
 pub mod recommend;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod store;
@@ -53,6 +56,10 @@ pub mod strategy;
 pub use artifacts::{Stage, Workbench, WorkbenchStats};
 pub use config::{EdgeSource, EvalOptions, FeatureSet, Representation};
 pub use evaluate::{evaluate, EvalOutcome};
+pub use registry::{
+    RegistryOptions, RegistryStats, ZooHandle, ZooRegistry, REGISTRY_MAX_BYTES_ENV,
+    REGISTRY_MAX_ZOOS_ENV,
+};
 pub use runner::{run_jobs, run_over_targets, EvalJob, RunSummary};
 pub use store::{ArtifactStore, DiskStats, PersistStats, ARTIFACT_DIR_ENV};
 pub use strategy::Strategy;

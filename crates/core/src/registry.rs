@@ -1,0 +1,585 @@
+//! The multi-zoo [`ZooRegistry`]: a process-wide serving layer that keeps
+//! N `(ModelZoo, ArtifactStore, Workbench)` triples resident at once and
+//! routes requests to them by [zoo fingerprint](ZooConfig::fingerprint).
+//!
+//! The paper's premise is a model zoo queried repeatedly for new target
+//! datasets; a selection *service* extends that to many zoos (scales,
+//! seeds, modalities) resident simultaneously. The registry is that layer:
+//!
+//! * **Routing** — [`ZooRegistry::get_or_build`] maps a [`ZooConfig`] to an
+//!   [`Arc<ZooHandle>`]. A resident fingerprint is returned immediately
+//!   (route hit); an absent one is built lazily, warming its
+//!   [`ArtifactStore`] from the shared artifact directory on first touch
+//!   (route miss).
+//! * **Build-once coordination** — concurrent `get_or_build` calls for the
+//!   same fingerprint serialise on a per-fingerprint build slot, so the zoo
+//!   is built exactly once no matter how many threads race for it.
+//! * **Eviction** — the memory tier is bounded by a maximum resident zoo
+//!   count ([`REGISTRY_MAX_ZOOS_ENV`]) and/or resident bytes
+//!   ([`REGISTRY_MAX_BYTES_ENV`]). When an insert exceeds a bound, the
+//!   least-recently-routed resident is evicted: its artifacts are persisted
+//!   to the artifact directory first (merge-on-persist, so nothing another
+//!   writer computed is lost), then the handle is dropped from the memory
+//!   tier. Callers still holding the evicted `Arc` keep a fully functional
+//!   handle; it is simply no longer served to new routes. Because every
+//!   cached artifact is a pure function of the zoo, an evicted-then-rebuilt
+//!   zoo returns bit-identical predictions — with a disk tier it even skips
+//!   recomputation.
+//! * **Telemetry** — resident count/bytes, route hits/misses, builds and
+//!   evictions ([`RegistryStats`]), threaded into the runner's
+//!   [`RunSummary`](crate::runner::RunSummary) by the bench harness.
+//!
+//! Single-zoo callers are just the N=1 case: `tg_bench` binaries obtain
+//! their one handle through the process-wide registry and never notice it.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tg_zoo::{ModelZoo, ZooConfig};
+
+use crate::artifacts::Workbench;
+use crate::store::{dir_from_env, ArtifactStore, PersistStats};
+
+/// Environment variable bounding the number of resident zoos. Unset, empty
+/// or `0` means unbounded.
+pub const REGISTRY_MAX_ZOOS_ENV: &str = "TG_REGISTRY_MAX_ZOOS";
+
+/// Environment variable bounding the approximate resident artifact bytes
+/// across all zoos. Unset, empty or `0` means unbounded.
+pub const REGISTRY_MAX_BYTES_ENV: &str = "TG_REGISTRY_MAX_BYTES";
+
+// ---------------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------------
+
+/// One resident zoo: the built [`ModelZoo`], its [`ArtifactStore`] and a
+/// ready [`Workbench`] view over both, owned together behind an `Arc`.
+///
+/// Handles are created by [`ZooRegistry::get_or_build`] and stay valid for
+/// as long as the caller holds the `Arc` — eviction only removes them from
+/// the registry's memory tier, it never invalidates them.
+pub struct ZooHandle {
+    zoo: Arc<ModelZoo>,
+    store: Arc<ArtifactStore>,
+    workbench: Workbench<'static>,
+}
+
+impl ZooHandle {
+    fn build(config: &ZooConfig, dir: Option<&PathBuf>) -> Arc<Self> {
+        let fingerprint = config.fingerprint();
+        let zoo = Arc::new(ModelZoo::build(config));
+        let store = Arc::new(match dir {
+            Some(d) => ArtifactStore::with_dir(fingerprint, d.clone()),
+            None => ArtifactStore::new(fingerprint),
+        });
+        let workbench = Workbench::from_parts(Arc::clone(&zoo), Arc::clone(&store));
+        Arc::new(ZooHandle {
+            zoo,
+            store,
+            workbench,
+        })
+    }
+
+    /// The zoo this handle serves.
+    pub fn zoo(&self) -> &ModelZoo {
+        &self.zoo
+    }
+
+    /// The handle's artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// The handle's shared workbench view. Hand `&Workbench` to any number
+    /// of worker threads; all of them share one cache.
+    pub fn workbench(&self) -> &Workbench<'static> {
+        &self.workbench
+    }
+
+    /// A new independent [`Workbench`] view over the same zoo and store
+    /// (two `Arc` clones). Useful when a caller needs an owned workbench —
+    /// caches stay shared with every other view of this handle.
+    pub fn make_workbench(&self) -> Workbench<'static> {
+        Workbench::from_parts(Arc::clone(&self.zoo), Arc::clone(&self.store))
+    }
+
+    /// The fingerprint this handle is routed by.
+    pub fn fingerprint(&self) -> u64 {
+        self.store.fingerprint()
+    }
+
+    /// Approximate heap bytes held by this handle: the zoo's registries
+    /// plus both tiers of the artifact store. Feeds the registry's
+    /// byte-bounded eviction.
+    pub fn resident_bytes(&self) -> u64 {
+        self.zoo.approx_resident_bytes() + self.store.resident_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Point-in-time registry telemetry, surfaced in run summaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Zoos currently resident in the memory tier.
+    pub resident: u64,
+    /// Approximate heap bytes across all resident handles.
+    pub resident_bytes: u64,
+    /// Routes answered by a resident handle.
+    pub route_hits: u64,
+    /// Routes that found the fingerprint absent (triggering a build or a
+    /// wait on a racing builder).
+    pub route_misses: u64,
+    /// Zoos actually built (each fingerprint at most once per residency).
+    pub builds: u64,
+    /// Handles evicted from the memory tier.
+    pub evictions: u64,
+}
+
+impl RegistryStats {
+    /// One-line rendering for run summaries.
+    pub fn render(&self) -> String {
+        format!(
+            "registry: {} resident (~{}B), routes {}h/{}m, {} built, {} evicted",
+            self.resident,
+            self.resident_bytes,
+            self.route_hits,
+            self.route_misses,
+            self.builds,
+            self.evictions,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Bounds and disk configuration of a [`ZooRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct RegistryOptions {
+    /// Shared artifact directory: evicted handles persist here, and new
+    /// handles warm from it. `None` disables the disk tier (eviction then
+    /// simply drops the cached artifacts — still correct, just colder).
+    pub artifact_dir: Option<PathBuf>,
+    /// Maximum resident zoos; `None` means unbounded. A bound of 0 is
+    /// treated as 1 — the zoo being routed to is never evicted.
+    pub max_zoos: Option<usize>,
+    /// Maximum approximate resident bytes across handles; `None` means
+    /// unbounded. The most recently routed handle is exempt, so one
+    /// oversized zoo still serves.
+    pub max_bytes: Option<u64>,
+}
+
+impl RegistryOptions {
+    /// Options from the environment: artifact directory from
+    /// `TG_ARTIFACT_DIR`, bounds from [`REGISTRY_MAX_ZOOS_ENV`] and
+    /// [`REGISTRY_MAX_BYTES_ENV`].
+    pub fn from_env() -> Self {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&v| v > 0)
+        };
+        RegistryOptions {
+            artifact_dir: dir_from_env(),
+            max_zoos: parse(REGISTRY_MAX_ZOOS_ENV).map(|v| v as usize),
+            max_bytes: parse(REGISTRY_MAX_BYTES_ENV),
+        }
+    }
+}
+
+/// A resident handle plus its last-route tick (the LRU key).
+struct Resident {
+    handle: Arc<ZooHandle>,
+    last_route: u64,
+}
+
+/// Per-fingerprint build coordination: the first router in takes the slot
+/// mutex and builds; racers block on the same mutex and receive the built
+/// handle.
+#[derive(Default)]
+struct BuildSlot {
+    cell: Mutex<Option<Arc<ZooHandle>>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    resident: HashMap<u64, Resident>,
+    building: HashMap<u64, Arc<BuildSlot>>,
+}
+
+/// Thread-safe, fingerprint-routed registry of resident zoos with an
+/// LRU/size-bounded memory tier. See the [module docs](self) for the
+/// routing, build-once and eviction protocols.
+///
+/// ```
+/// use tg_zoo::ZooConfig;
+/// use transfergraph::{RegistryOptions, ZooRegistry};
+///
+/// let registry = ZooRegistry::new(RegistryOptions::default());
+/// let config = ZooConfig::small(7);
+/// let handle = registry.get_or_build(&config);
+/// // Same config routes to the same resident handle — no rebuild.
+/// let again = registry.get_or_build(&config);
+/// assert!(std::sync::Arc::ptr_eq(&handle, &again));
+/// let stats = registry.stats();
+/// assert_eq!((stats.builds, stats.route_hits), (1, 1));
+/// ```
+pub struct ZooRegistry {
+    options: RegistryOptions,
+    inner: Mutex<Inner>,
+    clock: AtomicU64,
+    route_hits: AtomicU64,
+    route_misses: AtomicU64,
+    builds: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ZooRegistry {
+    /// New registry with explicit options.
+    pub fn new(options: RegistryOptions) -> Self {
+        ZooRegistry {
+            options,
+            inner: Mutex::new(Inner::default()),
+            clock: AtomicU64::new(0),
+            route_hits: AtomicU64::new(0),
+            route_misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// New registry configured from the environment
+    /// ([`RegistryOptions::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(RegistryOptions::from_env())
+    }
+
+    /// The registry's options (bounds and artifact directory).
+    pub fn options(&self) -> &RegistryOptions {
+        &self.options
+    }
+
+    /// Routes `config` to its resident handle, building (and warming from
+    /// the artifact directory) on first touch. Concurrent calls for the
+    /// same fingerprint build the zoo exactly once; calls for different
+    /// fingerprints build in parallel. May evict the least-recently-routed
+    /// resident(s) to satisfy the configured bounds — never the handle
+    /// being returned.
+    pub fn get_or_build(&self, config: &ZooConfig) -> Arc<ZooHandle> {
+        let fingerprint = config.fingerprint();
+        let slot = {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            if let Some(r) = inner.resident.get_mut(&fingerprint) {
+                r.last_route = self.tick();
+                self.route_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&r.handle);
+            }
+            self.route_misses.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(inner.building.entry(fingerprint).or_default())
+        };
+
+        // Build outside the registry lock: other fingerprints keep routing
+        // (and building) while this zoo constructs.
+        let mut cell = slot.cell.lock().expect("build slot poisoned");
+        if let Some(handle) = cell.as_ref() {
+            // A racer built it while we waited on the slot. It is already
+            // resident (or was evicted again since — either way the handle
+            // is valid and bit-identical to a rebuild).
+            return Arc::clone(handle);
+        }
+        let handle = ZooHandle::build(config, self.options.artifact_dir.as_ref());
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        *cell = Some(Arc::clone(&handle));
+
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.resident.insert(
+            fingerprint,
+            Resident {
+                handle: Arc::clone(&handle),
+                last_route: self.tick(),
+            },
+        );
+        // Future routes for this fingerprint must start a fresh slot once
+        // the residency ends; drop the coordination entry now that the
+        // handle is resident.
+        inner.building.remove(&fingerprint);
+        self.evict_over_bounds(&mut inner, fingerprint);
+        handle
+    }
+
+    /// Persists every resident handle's artifacts (merge-on-persist). A
+    /// no-op per handle when the registry has no artifact directory.
+    pub fn persist_all(&self) -> io::Result<PersistStats> {
+        let handles: Vec<Arc<ZooHandle>> = {
+            let inner = self.inner.lock().expect("registry poisoned");
+            inner
+                .resident
+                .values()
+                .map(|r| Arc::clone(&r.handle))
+                .collect()
+        };
+        let mut total = PersistStats::default();
+        for handle in handles {
+            let stats = handle.store().persist()?;
+            total.entries += stats.entries;
+            total.bytes += stats.bytes;
+        }
+        Ok(total)
+    }
+
+    /// Fingerprints currently resident, in no particular order.
+    pub fn resident_fingerprints(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .resident
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> RegistryStats {
+        let (resident, resident_bytes) = {
+            let inner = self.inner.lock().expect("registry poisoned");
+            let bytes = inner
+                .resident
+                .values()
+                .map(|r| r.handle.resident_bytes())
+                .sum();
+            (inner.resident.len() as u64, bytes)
+        };
+        RegistryStats {
+            resident,
+            resident_bytes,
+            route_hits: self.route_hits.load(Ordering::Relaxed),
+            route_misses: self.route_misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Evicts least-recently-routed residents until both bounds hold,
+    /// never evicting `protect` (the fingerprint just routed). Eviction
+    /// persists the victim's artifacts first; a persist failure is reported
+    /// to stderr and the eviction proceeds (artifacts recompute on next
+    /// touch — correctness never depends on the disk tier).
+    fn evict_over_bounds(&self, inner: &mut Inner, protect: u64) {
+        loop {
+            let over_count = self
+                .options
+                .max_zoos
+                .is_some_and(|max| inner.resident.len() > max.max(1));
+            let over_bytes = self.options.max_bytes.is_some_and(|max| {
+                inner
+                    .resident
+                    .values()
+                    .map(|r| r.handle.resident_bytes())
+                    .sum::<u64>()
+                    > max
+            });
+            if !over_count && !over_bytes {
+                return;
+            }
+            let victim = inner
+                .resident
+                .iter()
+                .filter(|(&fp, _)| fp != protect)
+                .min_by_key(|(_, r)| r.last_route)
+                .map(|(&fp, _)| fp);
+            let Some(fp) = victim else {
+                return; // only the protected handle remains
+            };
+            let resident = inner.resident.remove(&fp).expect("victim just found");
+            if let Err(e) = resident.handle.store().persist() {
+                eprintln!("[registry] persist-on-evict failed for {fp:016x} (continuing): {e}");
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalOptions;
+    use crate::evaluate::evaluate;
+    use crate::strategy::Strategy;
+    use tg_zoo::Modality;
+
+    fn temp_registry_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tg-registry-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn routes_hit_resident_handles_without_rebuilding() {
+        let registry = ZooRegistry::new(RegistryOptions::default());
+        let a = registry.get_or_build(&ZooConfig::small(31));
+        let b = registry.get_or_build(&ZooConfig::small(31));
+        assert!(Arc::ptr_eq(&a, &b));
+        let other = registry.get_or_build(&ZooConfig::small(32));
+        assert!(!Arc::ptr_eq(&a, &other));
+        let stats = registry.stats();
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.route_hits, 1);
+        assert_eq!(stats.route_misses, 2);
+        assert_eq!(stats.resident, 2);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn concurrent_same_fingerprint_builds_exactly_once() {
+        let registry = ZooRegistry::new(RegistryOptions::default());
+        let config = ZooConfig::small(33);
+        let handles: Vec<Arc<ZooHandle>> = std::thread::scope(|scope| {
+            let spawned: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| registry.get_or_build(&config)))
+                .collect();
+            spawned.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for h in &handles[1..] {
+            assert!(Arc::ptr_eq(&handles[0], h));
+        }
+        assert_eq!(registry.stats().builds, 1, "zoo built exactly once");
+    }
+
+    #[test]
+    fn count_bound_evicts_least_recently_routed() {
+        let registry = ZooRegistry::new(RegistryOptions {
+            max_zoos: Some(2),
+            ..RegistryOptions::default()
+        });
+        let a = registry.get_or_build(&ZooConfig::small(41));
+        let _b = registry.get_or_build(&ZooConfig::small(42));
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        let a2 = registry.get_or_build(&ZooConfig::small(41));
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = registry.get_or_build(&ZooConfig::small(43));
+        let stats = registry.stats();
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.evictions, 1);
+        let resident = registry.resident_fingerprints();
+        assert!(resident.contains(&ZooConfig::small(41).fingerprint()));
+        assert!(resident.contains(&ZooConfig::small(43).fingerprint()));
+        assert!(!resident.contains(&ZooConfig::small(42).fingerprint()));
+    }
+
+    #[test]
+    fn byte_bound_keeps_only_the_protected_handle_when_tiny() {
+        // A 1-byte budget forces every insert to evict all other residents,
+        // but the handle being routed must survive.
+        let registry = ZooRegistry::new(RegistryOptions {
+            max_bytes: Some(1),
+            ..RegistryOptions::default()
+        });
+        registry.get_or_build(&ZooConfig::small(51));
+        registry.get_or_build(&ZooConfig::small(52));
+        let stats = registry.stats();
+        assert_eq!(stats.resident, 1);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(
+            registry.resident_fingerprints(),
+            vec![ZooConfig::small(52).fingerprint()]
+        );
+    }
+
+    #[test]
+    fn evicted_handle_persists_artifacts_and_rebuild_warms_from_them() {
+        let dir = temp_registry_dir("evict-persist");
+        let registry = ZooRegistry::new(RegistryOptions {
+            artifact_dir: Some(dir.clone()),
+            max_zoos: Some(1),
+            ..RegistryOptions::default()
+        });
+        let config = ZooConfig::small(61);
+        let target = {
+            let handle = registry.get_or_build(&config);
+            let target = handle.zoo().targets_of(Modality::Image)[0];
+            handle
+                .workbench()
+                .logme(handle.zoo().models_of(Modality::Image)[0], target);
+            target
+        };
+        // Routing a second config evicts (and persists) the first.
+        registry.get_or_build(&ZooConfig::small(62));
+        assert_eq!(registry.stats().evictions, 1);
+        // Re-routing rebuilds the zoo but warms its store from disk: the
+        // LogME value comes back without recomputation.
+        let back = registry.get_or_build(&config);
+        let m = back.zoo().models_of(Modality::Image)[0];
+        back.workbench().logme(m, target);
+        assert!(
+            back.store().disk_stats().hits > 0,
+            "rebuilt handle must serve persisted artifacts"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_then_reroute_predictions_bit_identical_to_cold_run() {
+        let registry = ZooRegistry::new(RegistryOptions {
+            max_zoos: Some(1),
+            ..RegistryOptions::default() // no disk: eviction drops artifacts
+        });
+        let config = ZooConfig::small(71);
+        let opts = EvalOptions::default();
+        let strategy = Strategy::lr_baseline();
+
+        let first = {
+            let handle = registry.get_or_build(&config);
+            let target = handle.zoo().targets_of(Modality::Image)[0];
+            evaluate(handle.workbench(), &strategy, target, &opts)
+        };
+        registry.get_or_build(&ZooConfig::small(72)); // evicts `config`
+        let rerouted = {
+            let handle = registry.get_or_build(&config);
+            let target = handle.zoo().targets_of(Modality::Image)[0];
+            evaluate(handle.workbench(), &strategy, target, &opts)
+        };
+        assert!(registry.stats().evictions >= 1);
+        assert_eq!(first.predictions, rerouted.predictions);
+        assert_eq!(first.pearson, rerouted.pearson);
+
+        // And both match a registry-free cold run.
+        let zoo = ModelZoo::build(&config);
+        let cold = evaluate(
+            &Workbench::new(&zoo),
+            &strategy,
+            zoo.targets_of(Modality::Image)[0],
+            &opts,
+        );
+        assert_eq!(first.predictions, cold.predictions);
+    }
+
+    #[test]
+    fn options_from_env_parse_bounds() {
+        // Serialise env mutation with a local lock-free approach: this test
+        // is the only writer of these variables in the core suite.
+        std::env::set_var(REGISTRY_MAX_ZOOS_ENV, "3");
+        std::env::set_var(REGISTRY_MAX_BYTES_ENV, "1048576");
+        let opts = RegistryOptions::from_env();
+        assert_eq!(opts.max_zoos, Some(3));
+        assert_eq!(opts.max_bytes, Some(1_048_576));
+        std::env::set_var(REGISTRY_MAX_ZOOS_ENV, "0");
+        std::env::remove_var(REGISTRY_MAX_BYTES_ENV);
+        let opts = RegistryOptions::from_env();
+        assert_eq!(opts.max_zoos, None);
+        assert_eq!(opts.max_bytes, None);
+        std::env::remove_var(REGISTRY_MAX_ZOOS_ENV);
+    }
+}

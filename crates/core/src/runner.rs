@@ -3,7 +3,7 @@
 //! The paper's experiment grids (Table 2, Figs. 6–13) evaluate many
 //! (strategy, target) combinations that are mutually independent: each
 //! derives its RNG stream from `(seed, target, strategy label)` alone
-//! ([`crate::evaluate::eval_rng`]), so execution order cannot influence any
+//! (`evaluate::eval_rng`), so execution order cannot influence any
 //! result. The runner exploits that by draining a job list over a scoped
 //! thread pool sharing one [`Workbench`] — no per-thread cache clones —
 //! and returning outcomes in job order, bit-identical to a sequential loop
@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use crate::artifacts::{Workbench, WorkbenchStats};
 use crate::config::EvalOptions;
 use crate::evaluate::{evaluate, EvalOutcome};
+use crate::registry::RegistryStats;
 use crate::strategy::Strategy;
 use tg_zoo::DatasetId;
 
@@ -48,18 +49,27 @@ pub struct RunSummary {
     /// are summed across workers and may exceed `wall_time` under
     /// parallelism.
     pub stats: WorkbenchStats,
+    /// Snapshot of the serving registry's telemetry, when the run went
+    /// through a [`ZooRegistry`](crate::registry::ZooRegistry) (the bench
+    /// harness fills this in); `None` for registry-free runs.
+    pub registry: Option<RegistryStats>,
 }
 
 impl RunSummary {
     /// Multi-line human-readable report.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{} evaluations on {} worker(s) in {:.3?}\n{}",
             self.outcomes.len(),
             self.workers,
             self.wall_time,
             self.stats.render(),
-        )
+        );
+        if let Some(registry) = &self.registry {
+            out.push('\n');
+            out.push_str(&registry.render());
+        }
+        out
     }
 }
 
@@ -120,6 +130,7 @@ pub fn run_jobs_on(
         workers,
         wall_time: start.elapsed(),
         stats: wb.stats().delta_since(&before),
+        registry: None,
     }
 }
 

@@ -6,14 +6,22 @@
 //! similarities are pure functions of the zoo. The store exploits that with
 //! two tiers:
 //!
-//! * an **in-memory tier** — sharded `RwLock<HashMap>`s shared by every
-//!   worker thread of a process ([`ShardedCache`]);
+//! * an **in-memory tier** — sharded `RwLock<HashMap>`s (`ShardedCache`)
+//!   shared by every worker thread of a process;
 //! * an optional **disk tier** — plain little-endian binary files, one per
 //!   cache, keyed by a [zoo fingerprint](tg_zoo::ZooConfig::fingerprint) so
 //!   artifacts of one world are never replayed into another. Files are
 //!   written atomically (temp file + rename) and corrupted, truncated or
 //!   mismatched files are silently ignored: the value is recomputed and the
 //!   file rewritten on the next [`ArtifactStore::persist`].
+//!
+//! Persisting is coordinated, not last-writer-wins: writers of the same
+//! fingerprint serialise on a process-wide per-fingerprint lock, and each
+//! write *merges* with whatever a concurrent store (or an earlier process)
+//! already put in the file, so two stores that each computed a disjoint
+//! slice of the artifact grid both survive a pair of persists. Values are
+//! pure functions of their key, so overlapping entries are bit-identical
+//! and merge order is immaterial.
 //!
 //! A lookup falls through memory → disk → compute. Disk-tier hits, misses
 //! and I/O volume are counted ([`DiskStats`]) and surfaced in
@@ -31,7 +39,7 @@ use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use tg_zoo::{DatasetId, ModelId};
 
@@ -303,6 +311,19 @@ impl<K: Eq + Hash + Clone, V: Clone> TieredCache<K, V> {
         self.mem.len()
     }
 
+    /// Approximate heap footprint of both tiers, using `entry` to cost one
+    /// (key, value) pair. Entries promoted from disk into memory are counted
+    /// twice — acceptable for an eviction heuristic, which only needs a
+    /// stable over-estimate.
+    fn approx_bytes(&self, entry: impl Fn(&K, &V) -> u64) -> u64 {
+        let mut total = 0;
+        self.mem.for_each(|k, v| total += entry(k, v));
+        for (k, v) in self.disk.read().expect("disk tier poisoned").iter() {
+            total += entry(k, v);
+        }
+        total
+    }
+
     pub(crate) fn counters(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -316,6 +337,23 @@ impl<K: Eq + Hash + Clone, V: Clone> TieredCache<K, V> {
             self.disk_misses.load(Ordering::Relaxed),
         )
     }
+}
+
+/// Process-wide per-fingerprint write lock taken for the whole of one
+/// [`ArtifactStore::persist`] call. Serialising writers of the same
+/// fingerprint makes the read-merge-write sequence atomic within a process,
+/// which is what upgrades persist from last-writer-wins to a true union
+/// (cross-process writers still converge because every write re-merges the
+/// current file contents).
+fn persist_lock(fingerprint: u64) -> Arc<Mutex<()>> {
+    static LOCKS: OnceLock<Mutex<HashMap<u64, Arc<Mutex<()>>>>> = OnceLock::new();
+    LOCKS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("persist-lock registry poisoned")
+        .entry(fingerprint)
+        .or_default()
+        .clone()
 }
 
 // ---------------------------------------------------------------------------
@@ -446,22 +484,57 @@ impl ArtifactStore {
             + self.load_cache(&self.similarity, &dir)
     }
 
-    /// Writes every cache (the union of both tiers) to the artifact
-    /// directory, one file per cache, atomically (temp file + rename). A
-    /// no-op without a configured directory. Concurrent writers are safe:
-    /// whole files are swapped in, and any complete file of the same
-    /// fingerprint holds bit-identical values.
+    /// Writes every cache to the artifact directory, one file per cache,
+    /// atomically (temp file + rename). A no-op without a configured
+    /// directory.
+    ///
+    /// Concurrent writers of the same fingerprint are *merged*, not raced:
+    /// the call holds a process-wide per-fingerprint write lock and each
+    /// file is rewritten as the union of (current file contents) ∪ (disk
+    /// tier) ∪ (memory tier). Entries computed by another store of the same
+    /// zoo are therefore preserved — and since every cached value is a pure
+    /// function of its key, overlapping entries are bit-identical.
+    ///
+    /// ```
+    /// use transfergraph::ArtifactStore;
+    ///
+    /// let dir = std::env::temp_dir().join("tg-doc-persist");
+    /// let store = ArtifactStore::with_dir(0xFEED, &dir);
+    /// // (caches fill via the Workbench in real use)
+    /// let stats = store.persist()?;
+    /// // A fresh store over the same dir + fingerprint starts warm.
+    /// let warm = ArtifactStore::with_dir(0xFEED, &dir);
+    /// assert_eq!(warm.warm_from_disk(), stats.entries as usize);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn persist(&self) -> io::Result<PersistStats> {
         let Some(dir) = self.dir.clone() else {
             return Ok(PersistStats::default());
         };
         std::fs::create_dir_all(&dir)?;
+        let lock = persist_lock(self.fingerprint);
+        let _guard = lock.lock().expect("persist lock poisoned");
         let mut stats = PersistStats::default();
         self.persist_cache(&self.logme, &dir, &mut stats)?;
         self.persist_cache(&self.ds_embed, &dir, &mut stats)?;
         self.persist_cache(&self.t2v_embed, &dir, &mut stats)?;
         self.persist_cache(&self.similarity, &dir, &mut stats)?;
         Ok(stats)
+    }
+
+    /// Approximate heap bytes held by this store's caches (both tiers).
+    ///
+    /// The estimate prices each entry at its payload size plus a flat
+    /// per-entry `HashMap` overhead; it is meant for the registry's
+    /// byte-bounded eviction policy, not exact accounting.
+    pub fn resident_bytes(&self) -> u64 {
+        // key/value payload + ~32B of HashMap bucket/entry overhead.
+        let embed = |_: &DatasetId, v: &Arc<[f64]>| 32 + 8 + 16 + v.len() as u64 * 8;
+        self.logme.approx_bytes(|_, _| 32 + 16 + 8)
+            + self.similarity.approx_bytes(|_, _| 32 + 24 + 8)
+            + self.ds_embed.approx_bytes(embed)
+            + self.t2v_embed.approx_bytes(embed)
     }
 
     /// Snapshot of the disk-tier counters.
@@ -521,9 +594,18 @@ impl ArtifactStore {
         K: DiskCodec + Eq + Hash + Clone,
         V: DiskCodec + Clone,
     {
-        // Union of both tiers: start from the disk snapshot, overlay the
-        // memory tier (values are pure, so overlapping entries agree).
-        let mut union: HashMap<K, V> = cache.disk.read().expect("disk tier poisoned").clone();
+        // Merge-on-persist: start from whatever the file currently holds
+        // (a concurrent writer of the same zoo may have added entries we
+        // never loaded), then overlay our disk snapshot and memory tier.
+        // Values are pure, so overlapping entries agree bit-for-bit.
+        let path = self.artifact_path(dir, cache.name);
+        let mut union: HashMap<K, V> = std::fs::read(&path)
+            .ok()
+            .and_then(|buf| decode_artifact::<K, V>(&buf, self.fingerprint))
+            .unwrap_or_default();
+        for (k, v) in cache.disk.read().expect("disk tier poisoned").iter() {
+            union.insert(k.clone(), v.clone());
+        }
         cache.mem.for_each(|k, v| {
             union.insert(k.clone(), v.clone());
         });
@@ -537,7 +619,6 @@ impl ArtifactStore {
             v.encode(&mut buf);
         }
 
-        let path = self.artifact_path(dir, cache.name);
         let tmp = dir.join(format!(
             ".{}.{:016x}.{}.tmp",
             cache.name,
@@ -739,6 +820,71 @@ mod tests {
         std::fs::write(&path, &full).unwrap();
         assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 4);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_merges_concurrent_writers_instead_of_last_writer_wins() {
+        let dir = temp_store_dir("merge");
+        // Two stores over the same zoo, each computing a disjoint slice.
+        let a = ArtifactStore::with_dir(0x77, &dir);
+        let b = ArtifactStore::with_dir(0x77, &dir);
+        a.logme
+            .get_or_insert_with((ModelId(1), DatasetId(1)), true, || 0.25);
+        b.logme
+            .get_or_insert_with((ModelId(2), DatasetId(2)), true, || 0.5);
+        // `b` persists after `a` without ever having loaded `a`'s entry;
+        // merge-on-persist must keep both.
+        a.persist().unwrap();
+        b.persist().unwrap();
+
+        let merged = ArtifactStore::with_dir(0x77, &dir);
+        assert_eq!(merged.warm_from_disk(), 2, "both writers' entries kept");
+        for (key, expect) in [
+            ((ModelId(1), DatasetId(1)), 0.25),
+            ((ModelId(2), DatasetId(2)), 0.5),
+        ] {
+            let v = merged
+                .logme
+                .get_or_insert_with(key, true, || panic!("must be on disk"));
+            assert_eq!(v.to_bits(), f64::to_bits(expect));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_persists_of_one_fingerprint_serialise_and_union() {
+        let dir = temp_store_dir("racing");
+        let stores: Vec<ArtifactStore> = (0..4)
+            .map(|i| {
+                let s = ArtifactStore::with_dir(0x99, &dir);
+                s.logme
+                    .get_or_insert_with((ModelId(i), DatasetId(0)), true, || i as f64);
+                s
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for s in &stores {
+                scope.spawn(move || s.persist().unwrap());
+            }
+        });
+        let merged = ArtifactStore::with_dir(0x99, &dir);
+        assert_eq!(merged.warm_from_disk(), 4, "no writer's entry was lost");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resident_bytes_grows_with_cached_entries() {
+        let store = ArtifactStore::new(5);
+        let empty = store.resident_bytes();
+        store
+            .logme
+            .get_or_insert_with((ModelId(0), DatasetId(0)), false, || 1.0);
+        let one = store.resident_bytes();
+        assert!(one > empty);
+        store
+            .ds_embed
+            .get_or_insert_with(DatasetId(0), false, || Arc::from(vec![0.0; 100]));
+        assert!(store.resident_bytes() >= one + 800);
     }
 
     #[test]

@@ -37,6 +37,8 @@
 //! assert_eq!(acc, zoo.fine_tune(m, d, FineTuneMethod::Full));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod datasets;
 pub mod features;
 pub mod finetune;

@@ -137,6 +137,31 @@ impl ModelZoo {
         }
     }
 
+    /// Approximate heap bytes held by the zoo's registries (dataset and
+    /// model tables, latent vectors, probe projection). Feeds the serving
+    /// registry's byte-bounded eviction policy; an estimate, not exact
+    /// accounting.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        let datasets: u64 = self
+            .datasets
+            .iter()
+            .map(|d| {
+                (std::mem::size_of::<DatasetInfo>() + d.name.len() + d.latent.len() * 8) as u64
+            })
+            .sum();
+        let models: u64 = self
+            .models
+            .iter()
+            .map(|m| {
+                (std::mem::size_of::<ModelInfo>()
+                    + m.name.len()
+                    + m.architecture.len()
+                    + m.bias.len() * 8) as u64
+            })
+            .sum();
+        datasets + models + (self.config.embed_dim * self.config.latent_dim * 8) as u64
+    }
+
     /// Dataset lookup.
     pub fn dataset(&self, id: DatasetId) -> &DatasetInfo {
         &self.datasets[id.0]

@@ -315,6 +315,86 @@ fn corrupted_artifact_files_never_panic_and_fall_back_to_recompute() {
 }
 
 #[test]
+fn registry_eviction_with_disk_tier_reroutes_bit_identically_and_warm() {
+    use transfergraph_repro::core::{RegistryOptions, ZooRegistry};
+    let dir = temp_artifact_dir("registry");
+    let registry = ZooRegistry::new(RegistryOptions {
+        artifact_dir: Some(dir.clone()),
+        max_zoos: Some(1),
+        max_bytes: None,
+    });
+    let config = ZooConfig::small(2024);
+    let strategy = Strategy::transfer_graph_default();
+    let first = {
+        let handle = registry.get_or_build(&config);
+        let target = handle.zoo().targets_of(Modality::Image)[0];
+        evaluate(handle.workbench(), &strategy, target, &fast_opts())
+    };
+    // Routing a second config exceeds the 1-zoo bound: the first handle is
+    // evicted, persisting its artifacts to the shared directory first.
+    registry.get_or_build(&ZooConfig::small(7));
+    assert_eq!(registry.stats().evictions, 1);
+    // Re-routing rebuilds the zoo, warms from the persisted artifacts, and
+    // must reproduce the pre-eviction predictions bit-for-bit.
+    let handle = registry.get_or_build(&config);
+    let target = handle.zoo().targets_of(Modality::Image)[0];
+    let rerouted = evaluate(handle.workbench(), &strategy, target, &fast_opts());
+    assert_eq!(first.predictions, rerouted.predictions);
+    assert_eq!(first.pearson, rerouted.pearson);
+    assert!(
+        handle.store().disk_stats().hits > 0,
+        "re-route must serve the evicted handle's persisted artifacts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn registry_concurrent_routing_builds_each_zoo_once_and_serves_all_threads() {
+    use transfergraph_repro::core::{RegistryOptions, ZooRegistry};
+    let registry = ZooRegistry::new(RegistryOptions::default());
+    let configs: Vec<ZooConfig> = (0..3).map(|i| ZooConfig::small(100 + i)).collect();
+    // Registry-free oracle predictions, one per config.
+    let oracle: Vec<Vec<f64>> = configs
+        .iter()
+        .map(|c| {
+            let zoo = ModelZoo::build(c);
+            let t = zoo.targets_of(Modality::Text)[0];
+            evaluate(
+                &Workbench::new(&zoo),
+                &Strategy::lr_all_logme(),
+                t,
+                &fast_opts(),
+            )
+            .predictions
+        })
+        .collect();
+    // Six threads race two-deep on each fingerprint; every one must get the
+    // right zoo and the oracle's exact predictions.
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let (registry, configs, oracle) = (&registry, &configs, &oracle);
+            scope.spawn(move || {
+                let i = t % configs.len();
+                let handle = registry.get_or_build(&configs[i]);
+                assert_eq!(handle.fingerprint(), configs[i].fingerprint());
+                let target = handle.zoo().targets_of(Modality::Text)[0];
+                let out = evaluate(
+                    handle.workbench(),
+                    &Strategy::lr_all_logme(),
+                    target,
+                    &fast_opts(),
+                );
+                assert_eq!(out.predictions, oracle[i]);
+            });
+        }
+    });
+    let stats = registry.stats();
+    assert_eq!(stats.builds, 3, "each fingerprint built exactly once");
+    assert_eq!(stats.resident, 3);
+    assert_eq!(stats.route_hits + stats.route_misses, 6);
+}
+
+#[test]
 fn shared_workbench_survives_concurrent_hammering() {
     // Concurrency smoke test: ≥4 threads interleave every cache entry
     // point against one shared workbench; values must match a sequential

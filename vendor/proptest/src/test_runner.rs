@@ -220,7 +220,7 @@ const MAX_SHRINK_STEPS: usize = 10_000;
 /// On a failure the runner greedily walks the strategy's shrink candidates:
 /// it re-checks each candidate in order and restarts from the first one
 /// that still fails, until no candidate fails (a fixpoint) or
-/// [`MAX_SHRINK_STEPS`] accepted steps. A `Reject` during shrinking counts
+/// `MAX_SHRINK_STEPS` (10 000) accepted steps. A `Reject` during shrinking counts
 /// as passing (the candidate is skipped). The final panic reports the
 /// shrunk inputs, the originating seed and the number of shrink steps.
 ///

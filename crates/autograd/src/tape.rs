@@ -591,6 +591,7 @@ impl Tape {
         let grads = self
             .cached_grads
             .as_ref()
+            // tg-check: allow(tg01, reason = "documented API contract: backward() must run before gradients are read")
             .expect("accumulate_grads: call backward first");
         for (node, grad) in self.nodes.iter().zip(grads) {
             if let Op::Param(id) = node.op {
@@ -604,6 +605,7 @@ impl Tape {
         &self
             .cached_grads
             .as_ref()
+            // tg-check: allow(tg01, reason = "documented API contract: backward() must run before gradients are read")
             .expect("grad: call backward first")[v.0]
     }
 }

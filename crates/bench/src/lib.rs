@@ -94,7 +94,7 @@ pub fn reported_targets(zoo: &ModelZoo, modality: Modality) -> Vec<tg_zoo::Datas
             (d, tg_linalg::stats::std_dev(&accs))
         })
         .collect();
-    with_std.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    with_std.sort_by(|a, b| b.1.total_cmp(&a.1));
     with_std
         .into_iter()
         .filter(|&(_, s)| s > 0.02)
@@ -127,12 +127,12 @@ pub fn attach_registry_stats(summary: &mut RunSummary) {
 pub fn persist_artifacts(wb: &Workbench) {
     match wb.persist() {
         Ok(stats) => {
-            if wb.artifact_dir().is_some() && summaries_enabled() {
+            if let Some(dir) = wb.artifact_dir().filter(|_| summaries_enabled()) {
                 eprintln!(
                     "[artifacts] persisted {} entries ({}B) to {}",
                     stats.entries,
                     stats.bytes,
-                    wb.artifact_dir().unwrap().display()
+                    dir.display()
                 );
             }
         }
@@ -186,6 +186,7 @@ pub fn evaluate_over_targets_on(
     opts: &EvalOptions,
 ) -> RunSummary {
     let before = wb.stats();
+    // tg-check: allow(tg02, reason = "run-summary wall time is reporting-only telemetry, never an input to predictions")
     let start = std::time::Instant::now();
     // Warm the expensive shared artefacts (LogME over every model × target
     // pair) once; afterwards every worker thread hits the shared cache.

@@ -1,0 +1,164 @@
+//! `tg-check.toml` parsing — a minimal TOML subset (sections, string and
+//! string-array values, `#` comments), hand-rolled because the build
+//! container has no crates.io access.
+//!
+//! The file declares everything repo-specific so the lint logic stays
+//! generic: scan roots and exclusions, the TG02 telemetry allowlist, and
+//! the TG04 lock-rank table (`order` plus one receiver-name list per
+//! class).
+
+use std::collections::HashMap;
+
+/// Parsed `tg-check.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories scanned by `--workspace`, relative to the config file.
+    pub roots: Vec<String>,
+    /// Path substrings never scanned (vendored stand-ins, lint fixtures).
+    pub exclude: Vec<String>,
+    /// Files where wall-clock reads are legitimate telemetry (TG02).
+    pub tg02_allow_files: Vec<String>,
+    /// Lock classes in acquisition order: a thread may only take locks in
+    /// non-decreasing rank (index) order.
+    pub lock_order: Vec<String>,
+    /// Receiver identifiers classified into each lock class, keyed by
+    /// class name from `lock_order`.
+    pub lock_classes: HashMap<String, Vec<String>>,
+}
+
+impl Config {
+    /// The rank of a receiver identifier under the lock table, if any.
+    pub fn lock_rank_of(&self, receiver: &str) -> Option<(usize, &str)> {
+        for (rank, class) in self.lock_order.iter().enumerate() {
+            if let Some(names) = self.lock_classes.get(class) {
+                if names.iter().any(|n| n == receiver) {
+                    return Some((rank, class));
+                }
+            }
+        }
+        None
+    }
+
+    /// Parses the TOML subset; unknown sections/keys are ignored so the
+    /// config can grow without breaking older binaries.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("tg-check.toml:{}: expected `key = value`", ln + 1));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let parsed = parse_value(value)
+                .ok_or_else(|| format!("tg-check.toml:{}: bad value `{value}`", ln + 1))?;
+            match (section.as_str(), key) {
+                ("scan", "roots") => cfg.roots = parsed,
+                ("scan", "exclude") => cfg.exclude = parsed,
+                ("tg02", "allow_files") => cfg.tg02_allow_files = parsed,
+                ("lock_order", "order") => cfg.lock_order = parsed,
+                ("lock_order.classes", class) => {
+                    cfg.lock_classes.insert(class.to_string(), parsed);
+                }
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        for class in cfg.lock_classes.keys() {
+            if !cfg.lock_order.iter().any(|c| c == class) {
+                return Err(format!(
+                    "tg-check.toml: lock class `{class}` is not in lock_order.order"
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strips a trailing `#` comment, respecting `"…"` strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"string"` or `["a", "b"]`; returns the element list (a bare
+/// string parses as a one-element list).
+fn parse_value(value: &str) -> Option<Vec<String>> {
+    if let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Some(Vec::new());
+        }
+        inner
+            .split(',')
+            .map(|item| parse_string(item.trim()))
+            .collect()
+    } else {
+        parse_string(value).map(|s| vec![s])
+    }
+}
+
+fn parse_string(item: &str) -> Option<String> {
+    item.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[scan]
+roots = ["crates", "src"]
+exclude = ["vendor/"]
+
+[tg02]
+allow_files = ["crates/core/src/artifacts.rs"]
+
+[lock_order]
+order = ["registry", "cache_shard"]
+
+[lock_order.classes]
+registry = ["inner"]
+cache_shard = ["shard", "shards"]
+"#;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.roots, ["crates", "src"]);
+        assert_eq!(cfg.exclude, ["vendor/"]);
+        assert_eq!(cfg.tg02_allow_files, ["crates/core/src/artifacts.rs"]);
+        assert_eq!(cfg.lock_rank_of("inner"), Some((0, "registry")));
+        assert_eq!(cfg.lock_rank_of("shards"), Some((1, "cache_shard")));
+        assert_eq!(cfg.lock_rank_of("unrelated"), None);
+    }
+
+    #[test]
+    fn rejects_classes_missing_from_the_order() {
+        let bad = "[lock_order]\norder = [\"a\"]\n[lock_order.classes]\nb = [\"x\"]\n";
+        assert!(Config::parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Config::parse("[scan]\nroots\n").is_err());
+        assert!(Config::parse("[scan]\nroots = nope\n").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! `tg-check`: in-tree static analysis for the TransferGraph reproduction.
+//!
+//! The workspace's headline guarantee — bit-identical predictions across
+//! sequential/parallel runs, warm/cold caches and registry eviction — rests
+//! on invariants no compiler checks: no panics in library paths, no
+//! wall-clock reads outside telemetry, justified atomic orderings, a fixed
+//! lock acquisition order, and total float comparisons. This crate enforces
+//! them mechanically with a hand-rolled token scanner (no `syn`; the build
+//! container has no crates.io access), configured by the checked-in
+//! `tg-check.toml` at the repo root.
+//!
+//! The same lock-order table TG04 checks statically is enforced dynamically
+//! by the debug-build tracker in `transfergraph::sync` — one declaration,
+//! two enforcement points.
+//!
+//! See DESIGN.md "Static analysis & invariants" for the lint table, the
+//! allow-directive grammar and the lock-rank mapping.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+
+pub use config::Config;
+pub use lints::{check_source, scope_of, FileScope, Finding, Lint};
+
+use std::path::{Path, PathBuf};
+
+/// Name of the config file marking the workspace root.
+pub const CONFIG_FILE: &str = "tg-check.toml";
+
+/// Locates the workspace root by walking up from `start` until a
+/// `tg-check.toml` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join(CONFIG_FILE).is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Loads the config from `<root>/tg-check.toml`.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join(CONFIG_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Config::parse(&text)
+}
+
+/// Scans every `.rs` file under the config's roots, returning all findings
+/// plus the number of files linted. Unreadable files are skipped (a vanished
+/// file is not a lint violation); excluded paths are never opened.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> (Vec<Finding>, usize) {
+    let mut files = Vec::new();
+    for scan_root in &cfg.roots {
+        collect_rs_files(&root.join(scan_root), &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    let mut scanned = 0;
+    for file in files {
+        let rel = match file.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => file.to_string_lossy().replace('\\', "/"),
+        };
+        if cfg.exclude.iter().any(|e| rel.contains(e.as_str())) {
+            continue;
+        }
+        let scope = scope_of(&rel);
+        if scope == FileScope::Skip {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        scanned += 1;
+        findings.extend(check_source(&rel, &source, scope, cfg));
+    }
+    (findings, scanned)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // `target/` never holds first-party sources; skip the build tree.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The TG lints: repo-specific invariants enforced over the lexed token
+//! stream. See DESIGN.md "Static analysis & invariants" for the rationale
+//! behind each lint and the lock-order table TG04 checks against.
+//!
+//! Any finding except `TG00` can be suppressed with an inline directive on
+//! the same line or the line directly above:
+//!
+//! ```text
+//! // tg-check: allow(tg01, reason = "SPD precondition documented on the fn")
+//! ```
+//!
+//! The `reason` is mandatory and must be non-empty; a malformed directive
+//! is itself a finding (`TG00`) and suppresses nothing.
+
+use std::collections::HashMap;
+
+use crate::config::Config;
+use crate::lexer::{lex, Lexed, Tok};
+
+/// Lint identifiers, in severity-neutral declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Malformed or reason-less `tg-check: allow` directive.
+    Tg00BadAllow,
+    /// `unwrap()` / `expect(` / `panic!` in library code.
+    Tg01NoPanic,
+    /// Wall-clock reads outside the declared telemetry allowlist.
+    Tg02Determinism,
+    /// Non-`Relaxed` atomic ordering without a justification comment.
+    Tg03AtomicOrdering,
+    /// Lock acquisition violating the declared rank order.
+    Tg04LockOrder,
+    /// `partial_cmp(..).unwrap()` on floats — use `total_cmp`.
+    Tg05FloatTotalOrder,
+}
+
+impl Lint {
+    /// The short code used in output and in allow directives.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::Tg00BadAllow => "TG00",
+            Lint::Tg01NoPanic => "TG01",
+            Lint::Tg02Determinism => "TG02",
+            Lint::Tg03AtomicOrdering => "TG03",
+            Lint::Tg04LockOrder => "TG04",
+            Lint::Tg05FloatTotalOrder => "TG05",
+        }
+    }
+
+    fn from_directive_code(code: &str) -> Option<Lint> {
+        match code.to_ascii_lowercase().as_str() {
+            "tg01" => Some(Lint::Tg01NoPanic),
+            "tg02" => Some(Lint::Tg02Determinism),
+            "tg03" => Some(Lint::Tg03AtomicOrdering),
+            "tg04" => Some(Lint::Tg04LockOrder),
+            "tg05" => Some(Lint::Tg05FloatTotalOrder),
+            _ => None,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: CODE message` — the output format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} {}",
+            self.path,
+            self.line,
+            self.lint.code(),
+            self.message
+        )
+    }
+}
+
+/// How a file is linted, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileScope {
+    /// Library code: all lints apply.
+    Lib,
+    /// Binaries, benches, examples: panics, wall-clock and float sorting
+    /// are tolerated (display/timing code), but lock-order and atomic
+    /// hygiene still apply.
+    Bin,
+    /// Integration tests: no lints.
+    Skip,
+}
+
+/// Classifies a repo-relative path (forward slashes).
+pub fn scope_of(rel_path: &str) -> FileScope {
+    let p = rel_path;
+    if p.starts_with("tests/") || p.contains("/tests/") {
+        return FileScope::Skip;
+    }
+    if p.starts_with("examples/")
+        || p.contains("/examples/")
+        || p.contains("/benches/")
+        || p.contains("/src/bin/")
+        || p.ends_with("build.rs")
+        || p.ends_with("/main.rs")
+        || p == "src/main.rs"
+    {
+        return FileScope::Bin;
+    }
+    FileScope::Lib
+}
+
+/// Lints one file, returning findings sorted by line.
+pub fn check_source(rel_path: &str, source: &str, scope: FileScope, cfg: &Config) -> Vec<Finding> {
+    if scope == FileScope::Skip {
+        return Vec::new();
+    }
+    let lexed = lex(source);
+    let (allows, mut findings) = parse_allow_directives(rel_path, &lexed);
+
+    let mut raw = Vec::new();
+    if scope == FileScope::Lib {
+        tg01_no_panic(rel_path, &lexed, &mut raw);
+        if !cfg.tg02_allow_files.iter().any(|f| f == rel_path) {
+            tg02_determinism(rel_path, &lexed, &mut raw);
+        }
+        tg05_float_total_order(rel_path, &lexed, &mut raw);
+    }
+    tg03_atomic_ordering(rel_path, &lexed, &mut raw);
+    tg04_lock_order(rel_path, &lexed, cfg, &mut raw);
+
+    findings.extend(raw.into_iter().filter(|f| !is_suppressed(f, &allows)));
+    findings.sort_by_key(|f| (f.line, f.lint));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------------
+
+/// Lints suppressed per line (directive on a line covers that line and the
+/// line below it, so a comment-only directive line guards the next line).
+type AllowMap = HashMap<u32, Vec<Lint>>;
+
+fn is_suppressed(f: &Finding, allows: &AllowMap) -> bool {
+    let covered = |line: u32| allows.get(&line).is_some_and(|l| l.contains(&f.lint));
+    covered(f.line) || (f.line > 1 && covered(f.line - 1))
+}
+
+/// Parses every `tg-check: allow(...)` directive in the comment table,
+/// returning the suppression map and a `TG00` finding per malformed
+/// directive (unknown lint code, missing or empty reason).
+fn parse_allow_directives(path: &str, lexed: &Lexed) -> (AllowMap, Vec<Finding>) {
+    let mut allows: AllowMap = HashMap::new();
+    let mut bad = Vec::new();
+    for (&line, text) in &lexed.comments {
+        // A directive is the *whole* comment: `// tg-check: allow(...)`.
+        // Prose that merely mentions tg-check (docs, this very function)
+        // must not parse as one.
+        let Some(rest) = text.trim_start().strip_prefix("tg-check:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let mut fail = |why: &str| {
+            bad.push(Finding {
+                lint: Lint::Tg00BadAllow,
+                path: path.to_string(),
+                line,
+                message: format!("malformed allow directive: {why}"),
+            });
+        };
+        let Some(body) = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('('))
+        else {
+            fail("expected `allow(<lint>, reason = \"...\")`");
+            continue;
+        };
+        let Some(body) = body.split(')').next() else {
+            fail("unclosed `(`");
+            continue;
+        };
+        // Split the lint-code list from the reason clause.
+        let Some(reason_at) = body.find("reason") else {
+            fail("missing `reason = \"...\"` (a reason is mandatory)");
+            continue;
+        };
+        let reason_clause = &body[reason_at + "reason".len()..];
+        let reason = reason_clause
+            .trim_start()
+            .strip_prefix('=')
+            .map(|r| r.trim())
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.split('"').next());
+        match reason {
+            Some(r) if !r.trim().is_empty() => {}
+            _ => {
+                fail("empty or unquoted reason (a non-empty reason is mandatory)");
+                continue;
+            }
+        }
+        let mut lints = Vec::new();
+        let mut ok = true;
+        for code in body[..reason_at].split(',') {
+            let code = code.trim();
+            if code.is_empty() {
+                continue;
+            }
+            match Lint::from_directive_code(code) {
+                Some(l) => lints.push(l),
+                None => {
+                    fail(&format!("unknown lint `{code}`"));
+                    ok = false;
+                }
+            }
+        }
+        if ok && lints.is_empty() {
+            fail("no lint codes listed");
+            ok = false;
+        }
+        if ok {
+            allows.entry(line).or_default().extend(lints);
+        }
+    }
+    (allows, bad)
+}
+
+// ---------------------------------------------------------------------------
+// TG01 — no panics in library code
+// ---------------------------------------------------------------------------
+
+fn tg01_no_panic(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if lexed.in_test[i] {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        let flagged = match name {
+            "unwrap" | "expect" => prev_is(lexed, i, '.') && next_is(lexed, i, '('),
+            "panic" => next_is(lexed, i, '!'),
+            _ => false,
+        };
+        if flagged {
+            out.push(Finding {
+                lint: Lint::Tg01NoPanic,
+                path: path.to_string(),
+                line: lexed.lines[i],
+                message: format!(
+                    "`{name}` in library code; return a recoverable error, fall back, \
+                     or annotate why it is unreachable"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TG02 — determinism: no wall-clock outside the telemetry allowlist
+// ---------------------------------------------------------------------------
+
+fn tg02_determinism(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if lexed.in_test[i] {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        let flagged = match name {
+            // Any touch of the system clock types is wall-clock.
+            "SystemTime" | "DateTime" | "chrono" => true,
+            "Instant" | "Utc" | "Local" => path_call_is(lexed, i, "now"),
+            _ => false,
+        };
+        if flagged {
+            out.push(Finding {
+                lint: Lint::Tg02Determinism,
+                path: path.to_string(),
+                line: lexed.lines[i],
+                message: format!(
+                    "wall-clock read (`{name}`) outside the telemetry allowlist; \
+                     pure paths must not observe time"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether token `i` is followed by `::method` for the given method name.
+fn path_call_is(lexed: &Lexed, i: usize, method: &str) -> bool {
+    next_is(lexed, i, ':')
+        && lexed.tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && lexed.tokens.get(i + 3).and_then(Tok::ident) == Some(method)
+}
+
+// ---------------------------------------------------------------------------
+// TG03 — explicit atomic orderings need a justification comment
+// ---------------------------------------------------------------------------
+
+const STRONG_ORDERINGS: [&str; 4] = ["Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn tg03_atomic_ordering(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if lexed.in_test[i] || tok.ident() != Some("Ordering") {
+            continue;
+        }
+        let variant =
+            if next_is(lexed, i, ':') && lexed.tokens.get(i + 2).is_some_and(|t| t.is_punct(':')) {
+                lexed.tokens.get(i + 3).and_then(Tok::ident)
+            } else {
+                None
+            };
+        let Some(variant) = variant else { continue };
+        if STRONG_ORDERINGS.contains(&variant) && !lexed.has_nearby_comment(lexed.lines[i]) {
+            out.push(Finding {
+                lint: Lint::Tg03AtomicOrdering,
+                path: path.to_string(),
+                line: lexed.lines[i],
+                message: format!(
+                    "`Ordering::{variant}` without a justification comment; counters \
+                     must be `Relaxed`, stronger orderings must say why"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TG04 — lock acquisition order
+// ---------------------------------------------------------------------------
+
+const ACQUIRE_METHODS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// A `let`-bound guard still alive at the current brace depth.
+struct HeldGuard {
+    name: Option<String>,
+    rank: usize,
+    class: String,
+    binding_depth: i32,
+}
+
+/// Flags any lock acquisition whose rank is below the rank of a guard the
+/// enclosing scope still holds, per the declared partial order.
+///
+/// Heuristics (documented in DESIGN.md): only `let`-bound guards are
+/// considered held (a guard inside a larger expression dies at the end of
+/// its statement); a guard is released at the end of its enclosing block or
+/// by an explicit `drop(name)`. This is a per-scope approximation — the
+/// debug-build runtime tracker in `crates/core` enforces the same table
+/// across function boundaries.
+fn tg04_lock_order(path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.lock_order.is_empty() {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let mut held: Vec<HeldGuard> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut stmt_start: usize = 0; // index just past the last `;` `{` `}`
+
+    for i in 0..toks.len() {
+        match &toks[i] {
+            Tok::Punct('{') => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                stmt_start = i + 1;
+                held.retain(|g| g.binding_depth <= depth);
+            }
+            Tok::Punct(';') => stmt_start = i + 1,
+            Tok::Ident(name) if name == "drop" && next_is(lexed, i, '(') => {
+                if let Some(Tok::Ident(arg)) = toks.get(i + 2) {
+                    if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                        if let Some(pos) = held
+                            .iter()
+                            .rposition(|g| g.name.as_deref() == Some(arg.as_str()))
+                        {
+                            held.remove(pos);
+                        }
+                    }
+                }
+            }
+            Tok::Ident(m)
+                if ACQUIRE_METHODS.contains(&m.as_str())
+                    && !lexed.in_test[i]
+                    && prev_is(lexed, i, '.')
+                    && next_is(lexed, i, '(') =>
+            {
+                let Some(receiver) = receiver_of(toks, i) else {
+                    continue;
+                };
+                let Some((rank, class)) = cfg.lock_rank_of(&receiver) else {
+                    continue;
+                };
+                for g in &held {
+                    if g.rank > rank {
+                        out.push(Finding {
+                            lint: Lint::Tg04LockOrder,
+                            path: path.to_string(),
+                            line: lexed.lines[i],
+                            message: format!(
+                                "acquires `{class}` (rank {rank}) while holding \
+                                 `{held_class}`{held_name} (rank {held_rank}); declared \
+                                 order: {order}",
+                                held_class = g.class,
+                                held_name = g
+                                    .name
+                                    .as_deref()
+                                    .map(|n| format!(" `{n}`"))
+                                    .unwrap_or_default(),
+                                held_rank = g.rank,
+                                order = cfg.lock_order.join(" -> "),
+                            ),
+                        });
+                    }
+                }
+                if let Some(bound) = let_binding_name(toks, stmt_start, i) {
+                    held.push(HeldGuard {
+                        name: bound,
+                        rank,
+                        class: class.to_string(),
+                        binding_depth: depth,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The receiver identifier of a `.lock()`-style call at token `i`:
+/// the last path segment before the method (`self.inner.lock()` → `inner`),
+/// skipping one balanced `(..)` or `[..]` group (`self.shard(k).read()` →
+/// `shard`, `self.shards[0].write()` → `shards`).
+fn receiver_of(toks: &[Tok], method_idx: usize) -> Option<String> {
+    let mut j = method_idx.checked_sub(2)?;
+    match &toks[j] {
+        Tok::Punct(close @ (')' | ']')) => {
+            let open = if *close == ')' { '(' } else { '[' };
+            let mut depth = 1;
+            while depth > 0 {
+                j = j.checked_sub(1)?;
+                if toks[j].is_punct(*close) {
+                    depth += 1;
+                } else if toks[j].is_punct(open) {
+                    depth -= 1;
+                }
+            }
+            toks.get(j.checked_sub(1)?)
+                .and_then(Tok::ident)
+                .map(str::to_string)
+        }
+        Tok::Ident(name) => Some(name.clone()),
+        _ => None,
+    }
+}
+
+/// If the statement holding the acquisition starts with `let`, the name it
+/// binds (`None` for tuple/struct patterns — still treated as held).
+#[allow(clippy::option_option)]
+fn let_binding_name(toks: &[Tok], stmt_start: usize, acq_idx: usize) -> Option<Option<String>> {
+    if toks.get(stmt_start).and_then(Tok::ident) != Some("let") {
+        return None;
+    }
+    let mut j = stmt_start + 1;
+    while j < acq_idx {
+        match &toks[j] {
+            Tok::Ident(k) if k == "mut" => j += 1,
+            Tok::Ident(name) => return Some(Some(name.clone())),
+            _ => return Some(None),
+        }
+    }
+    Some(None)
+}
+
+// ---------------------------------------------------------------------------
+// TG05 — float comparisons must be total
+// ---------------------------------------------------------------------------
+
+fn tg05_float_total_order(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if lexed.in_test[i]
+            || tok.ident() != Some("partial_cmp")
+            || !prev_is(lexed, i, '.')
+            || !next_is(lexed, i, '(')
+        {
+            continue;
+        }
+        // Skip the balanced argument list, then look for `.unwrap(`/`.expect(`.
+        let mut j = i + 1;
+        let mut depth = 0;
+        loop {
+            match toks.get(j) {
+                Some(Tok::Punct('(')) => depth += 1,
+                Some(Tok::Punct(')')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                None => return,
+                _ => {}
+            }
+            j += 1;
+        }
+        let unwrapped = toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+            && matches!(
+                toks.get(j + 2).and_then(Tok::ident),
+                Some("unwrap" | "expect")
+            );
+        if unwrapped {
+            out.push(Finding {
+                lint: Lint::Tg05FloatTotalOrder,
+                path: path.to_string(),
+                line: lexed.lines[i],
+                message: "`partial_cmp(..).unwrap()` is not a total order over floats; \
+                          use `f64::total_cmp` (deterministic, NaN-safe)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+fn prev_is(lexed: &Lexed, i: usize, c: char) -> bool {
+    i > 0 && lexed.tokens[i - 1].is_punct(c)
+}
+
+fn next_is(lexed: &Lexed, i: usize, c: char) -> bool {
+    lexed.tokens.get(i + 1).is_some_and(|t| t.is_punct(c))
+}

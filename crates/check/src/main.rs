@@ -1,0 +1,107 @@
+//! `tg-check` CLI: run the TG lints over the workspace or explicit files.
+//!
+//! ```text
+//! tg-check --workspace [--root DIR]   # scan per tg-check.toml, exit 1 on findings
+//! tg-check FILE...                    # lint specific files
+//! ```
+//!
+//! CI runs `cargo run -p tg-check -- --workspace` in the `analysis` job;
+//! the exit code is the contract (0 clean, 1 findings, 2 usage/config
+//! error).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tg_check::{check_source, find_root, load_config, scan_workspace, scope_of, FileScope};
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: tg-check --workspace [--root DIR] | tg-check FILE...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("nothing to do: pass --workspace or file paths");
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = root_arg.or_else(|| find_root(&cwd)) else {
+        eprintln!("tg-check: no tg-check.toml found above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+    let cfg = match load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("tg-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (findings, scanned) = if workspace {
+        scan_workspace(&root, &cfg)
+    } else {
+        let mut findings = Vec::new();
+        let mut scanned = 0;
+        for file in &files {
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            match std::fs::read_to_string(file) {
+                Ok(source) => {
+                    scanned += 1;
+                    // An explicitly named file is always linted: demote the
+                    // test-scope skip to Lib so fixtures and scratch files
+                    // can be checked directly instead of silently passing.
+                    let scope = match scope_of(&rel) {
+                        FileScope::Skip => FileScope::Lib,
+                        s => s,
+                    };
+                    findings.extend(check_source(&rel, &source, scope, &cfg));
+                }
+                Err(e) => {
+                    eprintln!("tg-check: cannot read {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        (findings, scanned)
+    };
+
+    for finding in &findings {
+        println!("{}", finding.render());
+    }
+    eprintln!(
+        "tg-check: {} finding(s) in {scanned} file(s) scanned",
+        findings.len()
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("tg-check: {why}");
+    eprintln!("usage: tg-check --workspace [--root DIR] | tg-check FILE...");
+    ExitCode::from(2)
+}

@@ -1,0 +1,144 @@
+//! Self-test of the TG lints: every lint must fire on its seeded-violation
+//! fixture (zero false negatives), stay silent on the clean fixture and the
+//! suppressed sites (zero false positives), and the whole workspace must
+//! scan clean with the checked-in `tg-check.toml`.
+
+use std::path::Path;
+
+use tg_check::{check_source, scan_workspace, Config, FileScope, Finding, Lint};
+
+/// The real repo config — fixtures are validated against the same lock
+/// table and allowlists CI enforces.
+fn repo_config() -> Config {
+    Config::parse(include_str!("../../../tg-check.toml")).expect("tg-check.toml parses")
+}
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = format!("crates/check/tests/fixtures/{name}");
+    let source = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/{name}")),
+    )
+    .expect("fixture readable");
+    // Fixtures are linted as library code even though they live under
+    // tests/ (the workspace scan excludes them; here we drive the linter
+    // directly).
+    check_source(&path, &source, FileScope::Lib, &repo_config())
+}
+
+fn lines_of(findings: &[Finding], lint: Lint) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.lint == lint)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn tg01_fires_on_each_seeded_panic_and_respects_allows() {
+    let findings = lint_fixture("tg01_panics.rs");
+    let tg01 = lines_of(&findings, Lint::Tg01NoPanic);
+    assert_eq!(tg01.len(), 3, "unwrap + expect + panic!: {findings:?}");
+    assert!(
+        tg01.iter().all(|&l| l < 15),
+        "the allowed unwrap and the test-module unwrap must not fire: {tg01:?}"
+    );
+    assert!(lines_of(&findings, Lint::Tg00BadAllow).is_empty());
+}
+
+#[test]
+fn tg02_fires_on_both_clock_reads() {
+    let findings = lint_fixture("tg02_clock.rs");
+    let tg02 = lines_of(&findings, Lint::Tg02Determinism);
+    // The SystemTime import fires too: any touch of the system clock type
+    // in un-allowlisted library code is a determinism hazard.
+    assert_eq!(
+        tg02.len(),
+        3,
+        "SystemTime import + Instant::now + SystemTime::now: {findings:?}"
+    );
+}
+
+#[test]
+fn tg03_fires_only_on_the_unjustified_strong_ordering() {
+    let findings = lint_fixture("tg03_ordering.rs");
+    let tg03 = lines_of(&findings, Lint::Tg03AtomicOrdering);
+    assert_eq!(tg03.len(), 1, "{findings:?}");
+    // The justified Acquire and the Relaxed counter stay silent; the one
+    // finding names SeqCst.
+    let f = findings
+        .iter()
+        .find(|f| f.lint == Lint::Tg03AtomicOrdering)
+        .expect("one TG03 finding");
+    assert!(f.message.contains("SeqCst"), "{}", f.message);
+}
+
+#[test]
+fn tg04_fires_on_the_inversion_and_honors_releases() {
+    let findings = lint_fixture("tg04_lock_order.rs");
+    let tg04 = lines_of(&findings, Lint::Tg04LockOrder);
+    assert_eq!(
+        tg04.len(),
+        1,
+        "only `inverted` violates the order (well_ordered, drop_then_reacquire \
+         and scoped_release are clean): {findings:?}"
+    );
+    let f = findings
+        .iter()
+        .find(|f| f.lint == Lint::Tg04LockOrder)
+        .expect("one TG04 finding");
+    assert!(
+        f.message.contains("registry") && f.message.contains("cache_shard"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn tg05_fires_on_partial_cmp_unwrap_only() {
+    let findings = lint_fixture("tg05_float.rs");
+    let tg05 = lines_of(&findings, Lint::Tg05FloatTotalOrder);
+    assert_eq!(tg05.len(), 1, "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.lint == Lint::Tg01NoPanic),
+        "the unwrap on the same line also fires TG01"
+    );
+}
+
+#[test]
+fn tg00_flags_every_malformed_allow_and_suppresses_nothing() {
+    let findings = lint_fixture("tg00_bad_allow.rs");
+    let tg00 = lines_of(&findings, Lint::Tg00BadAllow);
+    assert_eq!(
+        tg00.len(),
+        3,
+        "missing reason, empty reason, unknown lint: {findings:?}"
+    );
+    let tg01 = lines_of(&findings, Lint::Tg01NoPanic);
+    assert_eq!(tg01.len(), 3, "malformed directives must not suppress");
+}
+
+#[test]
+fn clean_fixture_yields_zero_findings() {
+    let findings = lint_fixture("clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn the_real_tree_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let cfg = repo_config();
+    let (findings, scanned) = scan_workspace(root, &cfg);
+    assert!(
+        scanned > 50,
+        "the workspace scan must actually cover the tree ({scanned} files)"
+    );
+    let rendered: Vec<String> = findings.iter().map(Finding::render).collect();
+    assert!(
+        findings.is_empty(),
+        "tg-check must exit clean on the real tree:\n{}",
+        rendered.join("\n")
+    );
+}

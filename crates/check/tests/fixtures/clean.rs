@@ -1,0 +1,42 @@
+// A representative clean library file: recoverable errors, Relaxed
+// counters, total float comparisons, well-ordered locking. tg-check must
+// report zero findings here (the self-test's false-positive guard).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+pub struct Clean {
+    inner: Mutex<HashMap<u64, u64>>,
+    shards: Vec<RwLock<HashMap<u64, u64>>>,
+    hits: AtomicU64,
+}
+
+impl Clean {
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let _inner = self.inner.lock();
+        let guard = self.shards[0].read().ok()?;
+        guard.get(&key).copied()
+    }
+
+    pub fn ranked(&self, scores: &mut [(u64, f64)]) {
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+    }
+
+    pub fn parse(&self, text: &str) -> Result<u64, std::num::ParseIntError> {
+        text.trim().parse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_free_to_panic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("test-only panic");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// Seeded TG00 violations: allow directives missing a reason, with an empty
+// reason, or naming an unknown lint are themselves findings — and they
+// suppress nothing, so the unwraps below still fire TG01.
+
+pub fn missing_reason(input: Option<u32>) -> u32 {
+    // tg-check: allow(tg01)
+    input.unwrap()
+}
+
+pub fn empty_reason(input: Option<u32>) -> u32 {
+    // tg-check: allow(tg01, reason = "")
+    input.unwrap()
+}
+
+pub fn unknown_lint(input: Option<u32>) -> u32 {
+    // tg-check: allow(tg99, reason = "no such lint")
+    input.unwrap()
+}

@@ -1,0 +1,25 @@
+// Seeded TG01 violations: three panic sites in library code must fire; the
+// annotated one and everything inside the test module must not.
+
+pub fn three_violations(input: Option<u32>) -> u32 {
+    let a = input.unwrap();
+    let b = input.expect("caller promised Some");
+    if a + b == 0 {
+        panic!("unreachable by construction");
+    }
+    a + b
+}
+
+pub fn suppressed(input: Option<u32>) -> u32 {
+    // tg-check: allow(tg01, reason = "fixture: documented precondition, caller validates input")
+    input.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+// Seeded TG02 violations: wall-clock reads in an un-allowlisted library
+// file. Both the monotonic and the system clock must fire.
+
+use std::time::{Instant, SystemTime};
+
+pub fn timed_compute(xs: &[f64]) -> (f64, u128) {
+    let start = Instant::now();
+    let sum: f64 = xs.iter().sum();
+    (sum, start.elapsed().as_nanos())
+}
+
+pub fn wall_clock_seed() -> u64 {
+    let t = SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}

@@ -1,0 +1,18 @@
+// Seeded TG03 violation: a strong atomic ordering with no justification
+// comment must fire; the justified one and the Relaxed counter must not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(flag: &AtomicU64) {
+    flag.store(1, Ordering::SeqCst);
+}
+
+pub fn justified(flag: &AtomicU64) -> u64 {
+    // Acquire pairs with the Release store in `publish`: the reader must
+    // observe the fully initialised payload.
+    flag.load(Ordering::Acquire)
+}
+
+pub fn counter(hits: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,12 @@
+// Seeded TG05 violation: sorting floats through `partial_cmp(..).unwrap()`
+// must fire (it is not a total order and panics on NaN); the `total_cmp`
+// rewrite must stay clean. The unwrap also fires TG01 — both lints watch
+// this line.
+
+pub fn sort_scores_badly(scores: &mut Vec<(u64, f64)>) {
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+}
+
+pub fn sort_scores_totally(scores: &mut Vec<(u64, f64)>) {
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+}

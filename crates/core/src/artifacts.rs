@@ -84,9 +84,15 @@ impl Telemetry {
     pub fn time<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let out = f();
-        self.stage_nanos[stage.index()]
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.record(stage, start.elapsed().as_nanos());
         out
+    }
+
+    /// Adds `nanos` to a stage accumulator, clamping to `u64::MAX` — an
+    /// `as u64` cast would silently wrap an over-wide reading instead.
+    fn record(&self, stage: Stage, nanos: u128) {
+        let clamped = u64::try_from(nanos).unwrap_or(u64::MAX);
+        self.stage_nanos[stage.index()].fetch_add(clamped, Ordering::Relaxed);
     }
 
     /// Accumulated time of one stage.
@@ -429,6 +435,21 @@ impl<'z> Workbench<'z> {
 mod tests {
     use super::*;
     use tg_zoo::ZooConfig;
+
+    #[test]
+    fn telemetry_record_saturates_instead_of_truncating() {
+        let t = Telemetry::default();
+        t.record(Stage::Regression, 1_500);
+        assert_eq!(t.stage_time(Stage::Regression), Duration::from_nanos(1_500));
+        // A reading wider than u64 clamps to the maximum representable
+        // duration; the old `as u64` cast wrapped it to near-zero garbage.
+        let t = Telemetry::default();
+        t.record(Stage::Regression, u128::from(u64::MAX) + 12_345);
+        assert_eq!(
+            t.stage_time(Stage::Regression),
+            Duration::from_nanos(u64::MAX)
+        );
+    }
 
     #[test]
     fn logme_is_cached_and_stable() {

@@ -379,6 +379,7 @@ pub(crate) fn evaluate_with_permuted_block(
                 Some((block, perm_rng)),
             )
         }
+        // tg-check: allow(tg01, reason = "crate-internal helper; its only caller (explain) filters to learned strategies first")
         _ => panic!("evaluate_with_permuted_block: only learned strategies"),
     }
 }

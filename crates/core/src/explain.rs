@@ -73,6 +73,7 @@ pub fn block_importance(
 ) -> Vec<BlockImportance> {
     let set = match strategy {
         Strategy::Learned { features, .. } | Strategy::TransferGraph { features, .. } => *features,
+        // tg-check: allow(tg01, reason = "documented API contract: permutation importance is only defined for learned strategies")
         _ => panic!("block_importance: only learned strategies have feature blocks"),
     };
     let baseline = evaluate(wb, strategy, target, opts);
@@ -100,7 +101,7 @@ pub fn block_importance(
             tau_drop: base_tau - tg_linalg::stats::mean(&taus),
         });
     }
-    out.sort_by(|a, b| b.tau_drop.partial_cmp(&a.tau_drop).unwrap());
+    out.sort_by(|a, b| b.tau_drop.total_cmp(&a.tau_drop));
     out
 }
 

@@ -61,6 +61,7 @@ pub fn pair_features(
         v.push(wb.logme(m, d));
     }
     if set.has_graph() {
+        // tg-check: allow(tg01, reason = "every caller that enables graph features threads embeddings; a None here is a pipeline wiring bug")
         let emb = embeddings.expect("pair_features: graph features requested without embeddings");
         for node in [model_node, dataset_node] {
             match node {

@@ -52,6 +52,7 @@ pub mod report;
 pub mod runner;
 pub mod store;
 pub mod strategy;
+pub(crate) mod sync;
 
 pub use artifacts::{Stage, Workbench, WorkbenchStats};
 pub use config::{EdgeSource, EvalOptions, FeatureSet, Representation};

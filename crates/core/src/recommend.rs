@@ -110,7 +110,7 @@ pub fn successive_halving(
         if scored.len() <= 1 {
             field = scored.into_iter().map(|(m, _)| m).collect();
         } else {
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             scored.truncate((scored.len() / 2).max(1));
             field = scored.into_iter().map(|(m, _)| m).collect();
         }

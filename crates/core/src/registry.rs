@@ -42,6 +42,7 @@ use tg_zoo::{ModelZoo, ZooConfig};
 
 use crate::artifacts::Workbench;
 use crate::store::{dir_from_env, ArtifactStore, PersistStats};
+use crate::sync::{rank_guard, unpoisoned, Rank};
 
 /// Environment variable bounding the number of resident zoos. Unset, empty
 /// or `0` means unbounded.
@@ -276,7 +277,8 @@ impl ZooRegistry {
     pub fn get_or_build(&self, config: &ZooConfig) -> Arc<ZooHandle> {
         let fingerprint = config.fingerprint();
         let slot = {
-            let mut inner = self.inner.lock().expect("registry poisoned");
+            let _rank = rank_guard(Rank::Registry);
+            let mut inner = unpoisoned(self.inner.lock());
             if let Some(r) = inner.resident.get_mut(&fingerprint) {
                 r.last_route = self.tick();
                 self.route_hits.fetch_add(1, Ordering::Relaxed);
@@ -288,18 +290,27 @@ impl ZooRegistry {
 
         // Build outside the registry lock: other fingerprints keep routing
         // (and building) while this zoo constructs.
-        let mut cell = slot.cell.lock().expect("build slot poisoned");
-        if let Some(handle) = cell.as_ref() {
-            // A racer built it while we waited on the slot. It is already
-            // resident (or was evicted again since — either way the handle
-            // is valid and bit-identical to a rebuild).
-            return Arc::clone(handle);
-        }
-        let handle = ZooHandle::build(config, self.options.artifact_dir.as_ref());
-        self.builds.fetch_add(1, Ordering::Relaxed);
-        *cell = Some(Arc::clone(&handle));
+        let handle = {
+            let _rank = rank_guard(Rank::BuildSlot);
+            let mut cell = unpoisoned(slot.cell.lock());
+            if let Some(handle) = cell.as_ref() {
+                // A racer built it while we waited on the slot. It is already
+                // resident (or was evicted again since — either way the handle
+                // is valid and bit-identical to a rebuild).
+                return Arc::clone(handle);
+            }
+            let handle = ZooHandle::build(config, self.options.artifact_dir.as_ref());
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            *cell = Some(Arc::clone(&handle));
+            handle
+        };
 
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        // The slot guard is released before re-taking the registry lock
+        // (declared order: registry before build_slot, never the reverse).
+        // Racers landing in this window still find the filled slot via
+        // `building` and return the same handle.
+        let _rank = rank_guard(Rank::Registry);
+        let mut inner = unpoisoned(self.inner.lock());
         inner.resident.insert(
             fingerprint,
             Resident {
@@ -319,7 +330,8 @@ impl ZooRegistry {
     /// no-op per handle when the registry has no artifact directory.
     pub fn persist_all(&self) -> io::Result<PersistStats> {
         let handles: Vec<Arc<ZooHandle>> = {
-            let inner = self.inner.lock().expect("registry poisoned");
+            let _rank = rank_guard(Rank::Registry);
+            let inner = unpoisoned(self.inner.lock());
             inner
                 .resident
                 .values()
@@ -337,9 +349,8 @@ impl ZooRegistry {
 
     /// Fingerprints currently resident, in no particular order.
     pub fn resident_fingerprints(&self) -> Vec<u64> {
-        self.inner
-            .lock()
-            .expect("registry poisoned")
+        let _rank = rank_guard(Rank::Registry);
+        unpoisoned(self.inner.lock())
             .resident
             .keys()
             .copied()
@@ -349,7 +360,8 @@ impl ZooRegistry {
     /// Telemetry snapshot.
     pub fn stats(&self) -> RegistryStats {
         let (resident, resident_bytes) = {
-            let inner = self.inner.lock().expect("registry poisoned");
+            let _rank = rank_guard(Rank::Registry);
+            let inner = unpoisoned(self.inner.lock());
             let bytes = inner
                 .resident
                 .values()
@@ -402,7 +414,9 @@ impl ZooRegistry {
             let Some(fp) = victim else {
                 return; // only the protected handle remains
             };
-            let resident = inner.resident.remove(&fp).expect("victim just found");
+            let Some(resident) = inner.resident.remove(&fp) else {
+                return; // unreachable: `fp` was just selected from this map
+            };
             if let Err(e) = resident.handle.store().persist() {
                 eprintln!("[registry] persist-on-evict failed for {fp:016x} (continuing): {e}");
             }
@@ -564,6 +578,52 @@ mod tests {
             &opts,
         );
         assert_eq!(first.predictions, cold.predictions);
+    }
+
+    /// A thread that routes while it still holds a store-level lock would
+    /// invert the declared order (registry must come first); the
+    /// debug-build tracker must refuse it before the deadlock can form.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn routing_while_holding_a_store_rank_trips_the_tracker() {
+        use crate::sync::{rank_guard, Rank};
+        let registry = ZooRegistry::new(RegistryOptions::default());
+        let _shard = rank_guard(Rank::StoreShard);
+        let _ = registry.get_or_build(&ZooConfig::small(81));
+    }
+
+    /// Multi-zoo serving under contention: racing routes across several
+    /// fingerprints with eviction-persist and artifact lookups walk every
+    /// ranked lock chain (registry → persist → shards, build-slot →
+    /// shards). In debug builds the whole test runs under the lock-order
+    /// tracker, so completing at all proves the order held.
+    #[test]
+    fn concurrent_multizoo_routing_with_eviction_obeys_the_lock_order() {
+        let dir = temp_registry_dir("race-order");
+        let registry = ZooRegistry::new(RegistryOptions {
+            artifact_dir: Some(dir.clone()),
+            max_zoos: Some(2),
+            ..RegistryOptions::default()
+        });
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let registry = &registry;
+                scope.spawn(move || {
+                    for i in 0..6u64 {
+                        let config = ZooConfig::small(90 + (t + i) % 3);
+                        let handle = registry.get_or_build(&config);
+                        let m = handle.zoo().models_of(Modality::Image)[0];
+                        let target = handle.zoo().targets_of(Modality::Image)[0];
+                        handle.workbench().logme(m, target);
+                    }
+                });
+            }
+        });
+        let stats = registry.stats();
+        assert!(stats.builds >= 3, "all three fingerprints were built");
+        assert!(stats.evictions >= 1, "the bound forced eviction traffic");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::config::EvalOptions;
 use crate::evaluate::{evaluate, EvalOutcome};
 use crate::registry::RegistryStats;
 use crate::strategy::Strategy;
+use crate::sync::unpoisoned;
 use tg_zoo::DatasetId;
 
 /// One independent unit of runner work.
@@ -114,14 +115,13 @@ pub fn run_jobs_on(
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
                     let out = evaluate(wb, &job.strategy, job.target, opts);
-                    slots.lock().expect("runner results poisoned")[i] = Some(out);
+                    unpoisoned(slots.lock())[i] = Some(out);
                 });
             }
         });
-        slots
-            .into_inner()
-            .expect("runner results poisoned")
+        unpoisoned(slots.into_inner())
             .into_iter()
+            // tg-check: allow(tg01, reason = "the claim counter hands out every index in 0..jobs.len() before any worker exits the scope")
             .map(|o| o.expect("every job index was claimed"))
             .collect()
     };

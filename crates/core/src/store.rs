@@ -45,6 +45,7 @@ use tg_zoo::{DatasetId, ModelId};
 
 use crate::artifacts::Telemetry;
 use crate::config::Representation;
+use crate::sync::{rank_guard, unpoisoned, Rank};
 
 /// Magic prefix of every artifact file (8 bytes, version-tagged).
 const MAGIC: [u8; 8] = *b"TGARTv1\0";
@@ -207,35 +208,33 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     }
 
     fn get(&self, key: &K) -> Option<V> {
-        self.shard(key)
-            .read()
-            .expect("cache shard poisoned")
-            .get(key)
-            .cloned()
+        let _rank = rank_guard(Rank::CacheShard);
+        unpoisoned(self.shard(key).read()).get(key).cloned()
     }
 
     /// Inserts `value` unless the key is already present (first insert wins —
     /// cached values are pure functions of the key, so a racing duplicate is
     /// bit-identical) and returns the stored value.
     fn insert(&self, key: K, value: V) -> V {
-        self.shard(&key)
-            .write()
-            .expect("cache shard poisoned")
+        let _rank = rank_guard(Rank::CacheShard);
+        unpoisoned(self.shard(&key).write())
             .entry(key)
             .or_insert(value)
             .clone()
     }
 
     fn len(&self) -> usize {
+        let _rank = rank_guard(Rank::CacheShard);
         self.shards
             .iter()
-            .map(|s| s.read().expect("cache shard poisoned").len())
+            .map(|shard| unpoisoned(shard.read()).len())
             .sum()
     }
 
     fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let _rank = rank_guard(Rank::CacheShard);
         for shard in &self.shards {
-            for (k, v) in shard.read().expect("cache shard poisoned").iter() {
+            for (k, v) in unpoisoned(shard.read()).iter() {
                 f(k, v);
             }
         }
@@ -289,12 +288,10 @@ impl<K: Eq + Hash + Clone, V: Clone> TieredCache<K, V> {
             return v;
         }
         if disk_enabled {
-            let found = self
-                .disk
-                .read()
-                .expect("disk tier poisoned")
-                .get(&key)
-                .cloned();
+            let found = {
+                let _rank = rank_guard(Rank::StoreShard);
+                unpoisoned(self.disk.read()).get(&key).cloned()
+            };
             if let Some(v) = found {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -318,7 +315,8 @@ impl<K: Eq + Hash + Clone, V: Clone> TieredCache<K, V> {
     fn approx_bytes(&self, entry: impl Fn(&K, &V) -> u64) -> u64 {
         let mut total = 0;
         self.mem.for_each(|k, v| total += entry(k, v));
-        for (k, v) in self.disk.read().expect("disk tier poisoned").iter() {
+        let _rank = rank_guard(Rank::StoreShard);
+        for (k, v) in unpoisoned(self.disk.read()).iter() {
             total += entry(k, v);
         }
         total
@@ -346,11 +344,11 @@ impl<K: Eq + Hash + Clone, V: Clone> TieredCache<K, V> {
 /// (cross-process writers still converge because every write re-merges the
 /// current file contents).
 fn persist_lock(fingerprint: u64) -> Arc<Mutex<()>> {
+    // The map lock is a short-lived meta-lock (clone an Arc out, release);
+    // it never nests with the serving-layer locks, so it sits outside the
+    // ranked order.
     static LOCKS: OnceLock<Mutex<HashMap<u64, Arc<Mutex<()>>>>> = OnceLock::new();
-    LOCKS
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("persist-lock registry poisoned")
+    unpoisoned(LOCKS.get_or_init(|| Mutex::new(HashMap::new())).lock())
         .entry(fingerprint)
         .or_default()
         .clone()
@@ -513,8 +511,9 @@ impl ArtifactStore {
             return Ok(PersistStats::default());
         };
         std::fs::create_dir_all(&dir)?;
-        let lock = persist_lock(self.fingerprint);
-        let _guard = lock.lock().expect("persist lock poisoned");
+        let persist = persist_lock(self.fingerprint);
+        let _rank = rank_guard(Rank::StoreShard);
+        let _guard = unpoisoned(persist.lock());
         let mut stats = PersistStats::default();
         self.persist_cache(&self.logme, &dir, &mut stats)?;
         self.persist_cache(&self.ds_embed, &dir, &mut stats)?;
@@ -580,7 +579,8 @@ impl ArtifactStore {
         self.bytes_read
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
         let n = map.len();
-        *cache.disk.write().expect("disk tier poisoned") = map;
+        let _rank = rank_guard(Rank::StoreShard);
+        *unpoisoned(cache.disk.write()) = map;
         n
     }
 
@@ -603,8 +603,11 @@ impl ArtifactStore {
             .ok()
             .and_then(|buf| decode_artifact::<K, V>(&buf, self.fingerprint))
             .unwrap_or_default();
-        for (k, v) in cache.disk.read().expect("disk tier poisoned").iter() {
-            union.insert(k.clone(), v.clone());
+        {
+            let _rank = rank_guard(Rank::StoreShard);
+            for (k, v) in unpoisoned(cache.disk.read()).iter() {
+                union.insert(k.clone(), v.clone());
+            }
         }
         cache.mem.for_each(|k, v| {
             union.insert(k.clone(), v.clone());

@@ -1,0 +1,214 @@
+//! Lock-order tracking and poison recovery for the serving layer.
+//!
+//! The registry/store stack holds a small family of locks with a declared
+//! partial order (see `tg-check.toml` and DESIGN.md):
+//!
+//! | rank | class         | locks                                         |
+//! |------|---------------|-----------------------------------------------|
+//! | 0    | `Registry`    | `ZooRegistry::inner`                          |
+//! | 1    | `BuildSlot`   | per-fingerprint `BuildSlot::cell`             |
+//! | 2    | `StoreShard`  | persist lock, `TieredCache::disk`             |
+//! | 3    | `CacheShard`  | `ShardedCache` shard `RwLock`s                |
+//!
+//! A thread may only acquire locks in non-decreasing rank order (equal
+//! ranks are fine: the persist lock wraps disk-tier reads at the same
+//! rank, and the sharded cache takes its shards one at a time). Any thread
+//! obeying this order can never participate in a deadlock cycle across
+//! these locks.
+//!
+//! Two layers enforce the order:
+//!
+//! * **statically**, `tg-check`'s TG04 lint classifies every `.lock()` /
+//!   `.read()` / `.write()` receiver in the tree and flags intra-function
+//!   inversions;
+//! * **dynamically** (debug builds only), [`rank_guard`] keeps a
+//!   thread-local stack of held ranks and asserts monotonicity on every
+//!   acquisition, catching cross-function orderings the lint cannot see.
+//!   In release builds the guard compiles to nothing.
+//!
+//! Call sites take the rank guard immediately before the matching lock
+//! call and keep it alive exactly as long as the lock guard:
+//!
+//! ```ignore
+//! let _rank = rank_guard(Rank::Registry);
+//! let inner = unpoisoned(self.inner.lock());
+//! ```
+
+use std::sync::PoisonError;
+
+/// The lock classes of the serving layer, in declared acquisition order.
+/// The discriminant is the rank: a thread holding rank `r` may only
+/// acquire ranks `>= r`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Rank {
+    /// `ZooRegistry::inner` — the routing table.
+    Registry = 0,
+    /// A per-fingerprint `BuildSlot::cell` build-coordination mutex.
+    BuildSlot = 1,
+    /// Store-level locks: the process-wide per-fingerprint persist lock
+    /// and a `TieredCache`'s disk-tier `RwLock`.
+    StoreShard = 2,
+    /// One shard of a `ShardedCache`.
+    CacheShard = 3,
+}
+
+/// Recovers the guard from a possibly poisoned lock result.
+///
+/// Every value behind these locks is a pure function of its key (cached
+/// artifacts) or simple bookkeeping that stays internally consistent
+/// under panic (routing tables, counters), so observing the state a
+/// panicking thread left behind is always safe — unlike propagating the
+/// poison, which turns one worker's panic into a process-wide outage.
+pub(crate) fn unpoisoned<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(debug_assertions)]
+mod tracker {
+    use super::Rank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks currently held by this thread, in acquisition order.
+        static HELD: RefCell<Vec<Rank>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// RAII token pairing one lock acquisition with its rank. Dropping it
+    /// un-registers the rank, so it must live exactly as long as the lock
+    /// guard it shadows (bind it immediately before the lock call).
+    pub(crate) struct RankGuard {
+        rank: Rank,
+    }
+
+    /// Registers the intent to acquire a lock of class `rank`, asserting
+    /// the declared order: `rank` must be >= every rank this thread
+    /// already holds.
+    #[track_caller]
+    pub(crate) fn rank_guard(rank: Rank) -> RankGuard {
+        // `try_with` so guards created during thread-local teardown
+        // degrade to untracked instead of aborting the process.
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&max) = held.iter().max() {
+                assert!(
+                    rank >= max,
+                    "lock-order violation: acquiring {rank:?} (rank {}) while holding \
+                     {max:?} (rank {}); declared order is registry -> build_slot -> \
+                     store_shard -> cache_shard",
+                    rank as u8,
+                    max as u8,
+                );
+            }
+            held.push(rank);
+        });
+        RankGuard { rank }
+    }
+
+    impl Drop for RankGuard {
+        fn drop(&mut self) {
+            let _ = HELD.try_with(|held| {
+                let mut held = held.borrow_mut();
+                // Guards may drop out of acquisition order; release the
+                // most recent entry of this guard's rank.
+                if let Some(i) = held.iter().rposition(|&r| r == self.rank) {
+                    held.remove(i);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod tracker {
+    use super::Rank;
+
+    /// Release builds: a zero-sized no-op token.
+    pub(crate) struct RankGuard;
+
+    #[inline(always)]
+    pub(crate) fn rank_guard(_rank: Rank) -> RankGuard {
+        RankGuard
+    }
+}
+
+pub(crate) use tracker::rank_guard;
+#[allow(unused_imports)] // re-exported for call sites that only bind it
+pub(crate) use tracker::RankGuard;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpoisoned_passes_healthy_guards_through() {
+        let m = std::sync::Mutex::new(41);
+        *unpoisoned(m.lock()) += 1;
+        assert_eq!(*unpoisoned(m.lock()), 42);
+    }
+
+    #[test]
+    fn unpoisoned_recovers_a_poisoned_lock() {
+        let m = std::sync::Arc::new(std::sync::Mutex::new(7));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock must actually be poisoned");
+        assert_eq!(*unpoisoned(m.lock()), 7);
+    }
+
+    #[test]
+    fn ordered_acquisition_is_accepted() {
+        let _a = rank_guard(Rank::Registry);
+        let _b = rank_guard(Rank::BuildSlot);
+        let _c = rank_guard(Rank::StoreShard);
+        let _d = rank_guard(Rank::CacheShard);
+    }
+
+    #[test]
+    fn equal_ranks_may_nest() {
+        let _a = rank_guard(Rank::StoreShard);
+        let _b = rank_guard(Rank::StoreShard);
+        let _c = rank_guard(Rank::CacheShard);
+    }
+
+    #[test]
+    fn release_then_lower_rank_is_accepted() {
+        {
+            let _high = rank_guard(Rank::CacheShard);
+        }
+        let _low = rank_guard(Rank::Registry);
+    }
+
+    #[test]
+    fn out_of_order_drops_release_correctly() {
+        let a = rank_guard(Rank::StoreShard);
+        let b = rank_guard(Rank::CacheShard);
+        drop(a); // dropped before `b`: still holding rank 3 only
+        let c = rank_guard(Rank::CacheShard);
+        drop(b);
+        drop(c); // everything released, in neither acquisition order
+        let _d = rank_guard(Rank::Registry);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn inversion_trips_the_tracker() {
+        let _shard = rank_guard(Rank::CacheShard);
+        let _registry = rank_guard(Rank::Registry);
+    }
+
+    #[test]
+    fn ranks_are_thread_local() {
+        let _high = rank_guard(Rank::CacheShard);
+        // Another thread holds nothing; low ranks are fine there.
+        std::thread::spawn(|| {
+            let _low = rank_guard(Rank::Registry);
+        })
+        .join()
+        .expect("spawned thread must not observe this thread's ranks");
+    }
+}

@@ -155,7 +155,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), DecompError> {
 fn sorted_eigen(m: &Matrix, v: &Matrix) -> (Vec<f64>, Matrix) {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| m.get(b, b).partial_cmp(&m.get(a, a)).unwrap());
+    order.sort_by(|&a, &b| m.get(b, b).total_cmp(&m.get(a, a)));
     let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
     let vectors = Matrix::from_fn(n, n, |r, c| v.get(r, order[c]));
     (values, vectors)

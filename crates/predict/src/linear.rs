@@ -83,6 +83,7 @@ impl Regressor for RidgeRegression {
             a.set(j, j, a.get(j, j) + reg);
         }
         let b = z.transpose().matvec(&yc);
+        // tg-check: allow(tg01, reason = "ZᵀZ + λnI with λ > 0 is symmetric positive definite by construction")
         let w = cholesky_solve(&a, &b).expect("RidgeRegression: normal equations not SPD");
         self.weights = Some(w);
         self.intercept = y_mean;
@@ -92,6 +93,7 @@ impl Regressor for RidgeRegression {
         let w = self
             .weights
             .as_ref()
+            // tg-check: allow(tg01, reason = "documented Predictor contract: fit() precedes predict()")
             .expect("RidgeRegression::predict called before fit");
         assert_eq!(
             x.cols(),

@@ -48,6 +48,7 @@ impl AliasTable {
         let fallback = weights
             .iter()
             .position(|&w| w > 0.0)
+            // tg-check: allow(tg01, reason = "guarded by the positive-total check above: a positive sum of non-negative weights has a positive element")
             .expect("AliasTable: positive total implies a positive weight");
         while let Some(s) = small.pop() {
             let Some(l) = large.pop() else {

@@ -53,6 +53,7 @@ pub fn h_score(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
             continue;
         }
         let w = cnt as f64 / n as f64;
+        // tg-check: allow(tg01, reason = "the shrinkage-regularised covariance is SPD by construction")
         let x = cholesky_solve(&cov, m).expect("h_score: covariance must be SPD");
         let quad: f64 = m.iter().zip(&x).map(|(a, b)| a * b).sum();
         score += w * quad;

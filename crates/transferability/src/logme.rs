@@ -22,6 +22,7 @@ pub fn log_me(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
     assert!(num_classes >= 2, "log_me: need at least two classes");
     let d = features.cols();
 
+    // tg-check: allow(tg01, reason = "SVD of finite simulator features always converges; a failure here flags a simulator bug worth crashing on")
     let svd = thin_svd(features).expect("log_me: SVD failed");
     // σ² spectrum (zero-padded to D when rank-deficient).
     let sigma2: Vec<f64> = svd.sigma.iter().map(|s| s * s).collect();

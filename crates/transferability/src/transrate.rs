@@ -27,6 +27,7 @@ fn coding_rate(z: &Matrix, eps: f64) -> f64 {
         idm + scale * gram.get(i, j)
     });
     // log det via Cholesky (A is SPD: identity + PSD).
+    // tg-check: allow(tg01, reason = "I + cZᵀZ with c > 0 is SPD: identity plus a PSD Gram matrix")
     let l = cholesky(&a).expect("coding_rate: I + cZᵀZ must be SPD");
     let mut logdet = 0.0;
     for i in 0..d {

@@ -36,7 +36,7 @@ impl ForwardPass {
                 let row = self.source_probs.row(r);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })

@@ -177,6 +177,7 @@ impl ModelZoo {
         self.datasets
             .iter()
             .find(|d| d.name == name)
+            // tg-check: allow(tg01, reason = "documented contract: registry names are static constants, so a miss is a typo caught by any test run")
             .unwrap_or_else(|| panic!("unknown dataset {name}"))
             .id
     }

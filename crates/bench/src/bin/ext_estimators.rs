@@ -37,7 +37,10 @@ fn main() {
                 for est in Estimator::ALL {
                     let scores: Vec<f64> = models
                         .iter()
-                        .map(|&m| est.score(&zoo.forward_pass(m, t)))
+                        .map(|&m| {
+                            est.score(&zoo.forward_pass(m, t))
+                                .expect("simulator forward passes are valid scorer input")
+                        })
                         .collect();
                     taus.push(tg_linalg::stats::pearson(&accs, &scores).unwrap_or(0.0));
                 }

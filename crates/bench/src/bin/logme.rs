@@ -1,0 +1,276 @@
+//! Batched-LogME kernel benchmark: cold-cache feature-collection timings.
+//!
+//! Three arms score the identical forward passes of every (image model,
+//! image target) pair:
+//!
+//! * **seed** — a verbatim copy of the pre-batching implementation
+//!   (per-class one-hot columns, column-major `u.get(r, i)` projection
+//!   loop), kept here as the historical baseline;
+//! * **reference** — `LogMe::scalar()`, the fixed row-major per-class
+//!   reference path;
+//! * **batched** — `LogMe::batched()`, the blocked `Z = YᵀU` GEMM +
+//!   struct-of-arrays fixed point.
+//!
+//! All three must agree bit for bit on every pair. The bench also times the
+//! shared thin SVD alone (to separate kernel gains from the common
+//! spectrum work) and the `Workbench` cold/warm collection paths (parallel
+//! warm-up via the runner pool versus a sequential loop versus a warm
+//! cache). Results land in `results/BENCH_logme.json`; the process exits
+//! nonzero if any arm disagrees or the batched arm fails to beat the
+//! scalar reference.
+
+use std::fs;
+use std::time::{Duration, Instant};
+
+use tg_bench::zoo_handle_from_env;
+use tg_linalg::decomp::thin_svd;
+use tg_linalg::Matrix;
+use tg_transfer::{Labels, LogMe, Scorer};
+use tg_zoo::Modality;
+use transfergraph::runner::default_workers;
+use transfergraph::Workbench;
+
+/// Fixed-point iterations of the seed implementation (unchanged since).
+const FIXED_POINT_ITERS: usize = 11;
+
+/// Timing repetitions per pair and arm; the minimum is kept.
+const REPS: usize = 3;
+
+/// Verbatim copy of the pre-batching `log_me` (the seed implementation):
+/// per-class one-hot column, column-major `u.get(r, i)` projections, scalar
+/// MacKay fixed point. The timing baseline the batched kernel replaces.
+fn seed_log_me(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+    let n = features.rows();
+    assert_eq!(n, labels.len(), "seed_log_me: feature/label count mismatch");
+    let d = features.cols();
+
+    let svd = thin_svd(features).expect("seed_log_me: SVD failed");
+    let sigma2: Vec<f64> = svd.sigma.iter().map(|s| s * s).collect();
+    let k = sigma2.len();
+
+    let mut total = 0.0;
+    for class in 0..num_classes {
+        let y: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l == class { 1.0 } else { 0.0 })
+            .collect();
+        let y_sq: f64 = y.iter().map(|v| v * v).sum();
+        let z: Vec<f64> = (0..k)
+            .map(|i| {
+                let mut s = 0.0;
+                for (r, &yr) in y.iter().enumerate() {
+                    s += svd.u.get(r, i) * yr;
+                }
+                s
+            })
+            .collect();
+        let z_sq: Vec<f64> = z.iter().map(|v| v * v).collect();
+        let r0 = (y_sq - z_sq.iter().sum::<f64>()).max(0.0);
+
+        let mut alpha = 1.0f64;
+        let mut beta = 1.0f64;
+        for _ in 0..FIXED_POINT_ITERS {
+            let mut gamma = 0.0;
+            let mut m2 = 0.0;
+            let mut res2 = r0;
+            for i in 0..k {
+                let denom = alpha + beta * sigma2[i];
+                gamma += beta * sigma2[i] / denom;
+                m2 += beta * beta * sigma2[i] * z_sq[i] / (denom * denom);
+                res2 += z_sq[i] * (alpha / denom) * (alpha / denom);
+            }
+            let new_alpha = if m2 > 1e-12 { gamma / m2 } else { alpha };
+            let new_beta = if res2 > 1e-12 {
+                (n as f64 - gamma) / res2
+            } else {
+                beta
+            };
+            if !new_alpha.is_finite() || !new_beta.is_finite() {
+                break;
+            }
+            alpha = new_alpha.clamp(1e-9, 1e12);
+            beta = new_beta.clamp(1e-9, 1e12);
+        }
+
+        let mut m2 = 0.0;
+        let mut res2 = r0;
+        let mut logdet = 0.0;
+        for i in 0..k {
+            let denom = alpha + beta * sigma2[i];
+            m2 += beta * beta * sigma2[i] * z_sq[i] / (denom * denom);
+            res2 += z_sq[i] * (alpha / denom) * (alpha / denom);
+            logdet += denom.ln();
+        }
+        logdet += (d.saturating_sub(k)) as f64 * alpha.ln();
+        let nf = n as f64;
+        let evidence = 0.5
+            * (d as f64 * alpha.ln() + nf * beta.ln()
+                - beta * res2
+                - alpha * m2
+                - logdet
+                - nf * (2.0 * std::f64::consts::PI).ln());
+        total += evidence / nf;
+    }
+    total / num_classes as f64
+}
+
+/// Minimum wall-clock of [`REPS`] runs of `f`, and `f`'s (stable) value.
+fn time_min<R>(mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let v = f();
+        best = best.min(start.elapsed());
+        out = Some(v);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn main() {
+    let handle = zoo_handle_from_env();
+    let zoo = handle.zoo();
+    let scale = match std::env::var("TG_SCALE").as_deref() {
+        Ok("small") => "small",
+        _ => "paper",
+    };
+
+    let models = zoo.models_of(Modality::Image);
+    let targets = zoo.targets_of(Modality::Image);
+    let pairs: Vec<_> = models
+        .iter()
+        .flat_map(|&m| targets.iter().map(move |&d| (m, d)))
+        .collect();
+
+    let batched = LogMe::batched();
+    let reference = LogMe::scalar();
+    let mut t_batched = Duration::ZERO;
+    let mut t_reference = Duration::ZERO;
+    let mut t_seed = Duration::ZERO;
+    let mut t_svd = Duration::ZERO;
+    let mut mismatches = 0usize;
+
+    for &(m, d) in &pairs {
+        let fp = zoo.forward_pass(m, d);
+        let labels = Labels::new(&fp.labels, fp.num_classes).expect("valid forward-pass labels");
+
+        let (dt, s_batched) = time_min(|| {
+            batched
+                .score(&fp.features, &labels)
+                .expect("batched LogME on valid features")
+        });
+        t_batched += dt;
+        let (dt, s_reference) = time_min(|| {
+            reference
+                .score(&fp.features, &labels)
+                .expect("scalar LogME on valid features")
+        });
+        t_reference += dt;
+        let (dt, s_seed) = time_min(|| seed_log_me(&fp.features, &fp.labels, fp.num_classes));
+        t_seed += dt;
+        let (dt, _) = time_min(|| thin_svd(&fp.features).expect("SVD of valid features"));
+        t_svd += dt;
+
+        if s_batched.to_bits() != s_reference.to_bits() || s_batched.to_bits() != s_seed.to_bits() {
+            mismatches += 1;
+            eprintln!(
+                "[logme] MISMATCH at ({m:?}, {d:?}): batched {s_batched:?} \
+                 reference {s_reference:?} seed {s_seed:?}"
+            );
+        }
+    }
+
+    // Workbench collection paths: cold parallel warm-up (runner pool), cold
+    // sequential loop, then the fully warm cache. Fresh memory-only
+    // workbenches so `TG_ARTIFACT_DIR` cannot pre-warm them.
+    let wb_par = Workbench::new(zoo);
+    let start = Instant::now();
+    wb_par.warm_logme(Modality::Image);
+    let cold_parallel = start.elapsed();
+    let workers = default_workers(pairs.len());
+
+    let wb_seq = Workbench::new(zoo);
+    let start = Instant::now();
+    for &(m, d) in &pairs {
+        wb_seq.logme(m, d);
+    }
+    let cold_sequential = start.elapsed();
+
+    let start = Instant::now();
+    wb_par.warm_logme(Modality::Image);
+    let warm = start.elapsed();
+
+    let bit_identical = mismatches == 0;
+    let speedup_ref = secs(t_reference) / secs(t_batched).max(1e-12);
+    let speedup_seed = secs(t_seed) / secs(t_batched).max(1e-12);
+    // Kernel-only view: subtract the shared SVD time every arm pays.
+    let kernel_batched = (secs(t_batched) - secs(t_svd)).max(1e-12);
+    let kernel_seed = (secs(t_seed) - secs(t_svd)).max(0.0);
+    let kernel_speedup_seed = kernel_seed / kernel_batched;
+    let parallel_speedup = secs(cold_sequential) / secs(cold_parallel).max(1e-12);
+
+    let json = format!(
+        "{{\n  \"scale\": \"{scale}\",\n  \"modality\": \"image\",\n  \"pairs\": {},\n  \
+         \"reps\": {REPS},\n  \"bit_identical\": {bit_identical},\n  \
+         \"score_total_s\": {{\n    \"batched\": {:.6},\n    \"reference\": {:.6},\n    \
+         \"seed_column_major\": {:.6},\n    \"shared_svd\": {:.6}\n  }},\n  \
+         \"speedup_vs_reference\": {speedup_ref:.3},\n  \
+         \"speedup_vs_seed\": {speedup_seed:.3},\n  \
+         \"kernel_speedup_vs_seed\": {kernel_speedup_seed:.3},\n  \
+         \"collection\": {{\n    \"workers\": {workers},\n    \
+         \"cold_parallel_s\": {:.6},\n    \"cold_sequential_s\": {:.6},\n    \
+         \"warm_s\": {:.6},\n    \"parallel_speedup\": {parallel_speedup:.3}\n  }}\n}}\n",
+        pairs.len(),
+        secs(t_batched),
+        secs(t_reference),
+        secs(t_seed),
+        secs(t_svd),
+        secs(cold_parallel),
+        secs(cold_sequential),
+        secs(warm),
+    );
+    let out_path =
+        std::env::var("TG_BENCH_JSON").unwrap_or_else(|_| "results/BENCH_logme.json".into());
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    fs::write(&out_path, &json).expect("write BENCH_logme.json");
+
+    println!(
+        "[logme] pairs={} bit_identical={} batched={:.3}s reference={:.3}s seed={:.3}s \
+         svd={:.3}s speedup_ref={speedup_ref:.2}x speedup_seed={speedup_seed:.2}x \
+         kernel_speedup_seed={kernel_speedup_seed:.2}x cold_par={:.3}s cold_seq={:.3}s \
+         warm={:.4}s par_speedup={parallel_speedup:.2}x workers={workers} -> {out_path}",
+        pairs.len(),
+        if bit_identical { "yes" } else { "no" },
+        secs(t_batched),
+        secs(t_reference),
+        secs(t_seed),
+        secs(t_svd),
+        secs(cold_parallel),
+        secs(cold_sequential),
+        secs(warm),
+    );
+
+    if !bit_identical {
+        eprintln!("[logme] FAIL: {mismatches} pair(s) disagree across kernels");
+        std::process::exit(1);
+    }
+    if t_batched >= t_reference {
+        eprintln!(
+            "[logme] FAIL: batched ({:?}) did not beat the scalar reference ({:?})",
+            t_batched, t_reference
+        );
+        std::process::exit(1);
+    }
+    if kernel_speedup_seed < 2.0 {
+        eprintln!(
+            "[logme] FAIL: kernel speedup vs seed ({kernel_speedup_seed:.2}x) under the 2x bar"
+        );
+        std::process::exit(1);
+    }
+}

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tg_transfer::log_me;
+use tg_transfer::{Labels, LogMe, Scorer};
 use tg_zoo::{DatasetId, Modality, ModelId, ModelZoo};
 
 use crate::config::Representation;
@@ -77,6 +77,8 @@ impl Stage {
 #[derive(Default)]
 pub struct Telemetry {
     stage_nanos: [AtomicU64; 3],
+    logme_kernel_nanos: AtomicU64,
+    logme_kernel_calls: AtomicU64,
 }
 
 impl Telemetry {
@@ -86,6 +88,27 @@ impl Telemetry {
         let out = f();
         self.record(stage, start.elapsed().as_nanos());
         out
+    }
+
+    /// Runs the batched LogME kernel closure, counting the call and its
+    /// wall-clock in the dedicated kernel accumulators. Kernel time is a
+    /// *subset* of the enclosing feature-collection stage time (the rest of
+    /// that stage is forward passes and embeddings).
+    pub fn time_logme_kernel<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.logme_kernel_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.logme_kernel_calls.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+
+    /// `(calls, accumulated wall-clock)` of the batched LogME kernel.
+    pub fn logme_kernel(&self) -> (u64, Duration) {
+        (
+            self.logme_kernel_calls.load(Ordering::Relaxed),
+            Duration::from_nanos(self.logme_kernel_nanos.load(Ordering::Relaxed)),
+        )
     }
 
     /// Adds `nanos` to a stage accumulator, clamping to `u64::MAX` — an
@@ -115,6 +138,9 @@ pub struct WorkbenchStats {
     pub disk: DiskStats,
     /// Accumulated wall-clock per stage, in [`Stage`] declaration order.
     pub stage_time: [Duration; 3],
+    /// `(calls, wall-clock)` of the batched LogME kernel — the evidence
+    /// maximisation alone, a subset of the feature-collection stage time.
+    pub logme_kernel: (u64, Duration),
 }
 
 impl WorkbenchStats {
@@ -131,6 +157,10 @@ impl WorkbenchStats {
                 self.stage_time[1] - earlier.stage_time[1],
                 self.stage_time[2] - earlier.stage_time[2],
             ],
+            logme_kernel: (
+                self.logme_kernel.0 - earlier.logme_kernel.0,
+                self.logme_kernel.1 - earlier.logme_kernel.1,
+            ),
         }
     }
 
@@ -169,10 +199,13 @@ impl WorkbenchStats {
             }
         };
         format!(
-            "stages: collection {:.3?}, graph {:.3?}, regression {:.3?} | \
+            "stages: collection {:.3?} (logme-kernel {}x {:.3?}), graph {:.3?}, \
+             regression {:.3?} | \
              cache hit rates: logme {} ({}h/{}m), repr {} ({}h/{}m), sim {} ({}h/{}m) | \
              disk {}h/{}m ({}B read, {}B written)",
             self.stage(Stage::FeatureCollection),
+            self.logme_kernel.0,
+            self.logme_kernel.1,
             self.stage(Stage::GraphLearning),
             self.stage(Stage::Regression),
             pct(self.logme),
@@ -327,14 +360,31 @@ impl<'z> Workbench<'z> {
         &self.store.telemetry
     }
 
-    /// LogME score of model `m` on dataset `d` (forward pass + evidence
-    /// maximisation), cached.
+    /// LogME score of model `m` on dataset `d` (forward pass + batched
+    /// evidence maximisation), cached. The kernel portion is additionally
+    /// attributed to the dedicated LogME-kernel telemetry.
     pub fn logme(&self, m: ModelId, d: DatasetId) -> f64 {
+        const LOGME: LogMe = LogMe::batched();
         let disk = self.store.disk_enabled();
         self.store.logme.get_or_insert_with((m, d), disk, || {
             self.telemetry().time(Stage::FeatureCollection, || {
                 let fp = self.zoo.get().forward_pass(m, d);
-                log_me(&fp.features, &fp.labels, fp.num_classes)
+                let scored = Labels::new(&fp.labels, fp.num_classes).and_then(|labels| {
+                    self.telemetry()
+                        .time_logme_kernel(|| LOGME.score(&fp.features, &labels))
+                });
+                // Simulator forward passes are valid by construction; a
+                // score error here flags a zoo bug worth crashing on.
+                assert!(
+                    scored.is_ok(),
+                    "workbench logme({m:?}, {d:?}): {}",
+                    scored
+                        .as_ref()
+                        .err()
+                        .map(|e| e.to_string())
+                        .unwrap_or_default()
+                );
+                scored.unwrap_or_default()
             })
         })
     }
@@ -374,9 +424,11 @@ impl<'z> Workbench<'z> {
     }
 
     /// Pre-computes LogME for every (model, target-dataset) pair of a
-    /// modality, fanning out over all available cores. Called by experiment
-    /// harnesses to front-load the expensive part before timing the
-    /// pipeline; afterwards every worker thread hits a warm cache.
+    /// modality through the runner's shared worker pool
+    /// ([`crate::runner::drain_indexed`]), fanning out over all available
+    /// cores. Called by experiment harnesses to front-load the expensive
+    /// part before timing the pipeline; afterwards every worker thread hits
+    /// a warm cache.
     pub fn warm_logme(&self, modality: Modality) {
         let models = self.zoo.get().models_of(modality);
         let targets = self.zoo.get().targets_of(modality);
@@ -384,25 +436,10 @@ impl<'z> Workbench<'z> {
             .iter()
             .flat_map(|&m| targets.iter().map(move |&d| (m, d)))
             .collect();
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(pairs.len().max(1));
-        if workers <= 1 {
-            for &(m, d) in &pairs {
-                self.logme(m, d);
-            }
-            return;
-        }
-        let next = AtomicU64::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                    let Some(&(m, d)) = pairs.get(i) else { break };
-                    self.logme(m, d);
-                });
-            }
+        let workers = crate::runner::default_workers(pairs.len());
+        crate::runner::drain_indexed(pairs.len(), workers, |i| {
+            let (m, d) = pairs[i];
+            self.logme(m, d);
         });
     }
 
@@ -427,6 +464,7 @@ impl<'z> Workbench<'z> {
                 self.telemetry().stage_time(Stage::GraphLearning),
                 self.telemetry().stage_time(Stage::Regression),
             ],
+            logme_kernel: self.telemetry().logme_kernel(),
         }
     }
 }
@@ -449,6 +487,26 @@ mod tests {
             t.stage_time(Stage::Regression),
             Duration::from_nanos(u64::MAX)
         );
+    }
+
+    #[test]
+    fn logme_kernel_telemetry_counts_misses_only() {
+        let zoo = ModelZoo::build(&ZooConfig::small(7));
+        let wb = Workbench::new(&zoo);
+        let m = zoo.models_of(Modality::Image)[0];
+        let ds = zoo.targets_of(Modality::Image);
+        wb.logme(m, ds[0]);
+        wb.logme(m, ds[1]);
+        wb.logme(m, ds[0]); // cache hit: no kernel invocation
+        let stats = wb.stats();
+        assert_eq!(stats.logme_kernel.0, 2);
+        assert!(stats.logme_kernel.1 <= stats.stage(Stage::FeatureCollection));
+        assert!(stats.render().contains("logme-kernel 2x"));
+        // Deltas subtract kernel counters like every other counter.
+        let before = wb.stats();
+        wb.logme(m, ds[2]);
+        let delta = wb.stats().delta_since(&before);
+        assert_eq!(delta.logme_kernel.0, 1);
     }
 
     #[test]

@@ -82,6 +82,36 @@ pub fn default_workers(jobs: usize) -> usize {
         .min(jobs.max(1))
 }
 
+/// The runner's shared worker pool: drains `count` independent work items
+/// across `workers` scoped threads, each item claimed from an atomic
+/// counter so a slow item never stalls the rest behind a static partition.
+/// `workers <= 1` (or a single item) degenerates to a sequential loop.
+///
+/// Items must be order-insensitive: [`run_jobs_on`] writes results into
+/// per-index slots and [`Workbench::warm_logme`] fills a deterministic
+/// cache, so both are safe under any interleaving.
+pub fn drain_indexed(count: usize, workers: usize, work: impl Fn(usize) + Sync) {
+    let workers = workers.clamp(1, count.max(1));
+    if workers == 1 {
+        for i in 0..count {
+            work(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                work(i);
+            });
+        }
+    });
+}
+
 /// Runs every job against the shared workbench, in parallel, with
 /// [`default_workers`] threads.
 pub fn run_jobs(wb: &Workbench, jobs: &[EvalJob], opts: &EvalOptions) -> RunSummary {
@@ -104,20 +134,11 @@ pub fn run_jobs_on(
             .map(|j| evaluate(wb, &j.strategy, j.target, opts))
             .collect()
     } else {
-        // Atomic work queue: workers claim the next unstarted job, so a
-        // slow job (e.g. a TransferGraph evaluation) never stalls the rest
-        // of the grid behind a static partition.
-        let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<EvalOutcome>>> = Mutex::new(vec![None; jobs.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let out = evaluate(wb, &job.strategy, job.target, opts);
-                    unpoisoned(slots.lock())[i] = Some(out);
-                });
-            }
+        drain_indexed(jobs.len(), workers, |i| {
+            let job = &jobs[i];
+            let out = evaluate(wb, &job.strategy, job.target, opts);
+            unpoisoned(slots.lock())[i] = Some(out);
         });
         unpoisoned(slots.into_inner())
             .into_iter()
@@ -215,6 +236,20 @@ mod tests {
         assert_eq!(second.stats.logme.1, 0);
         assert_eq!(second.stats.hit_rate(), 1.0);
         assert!(second.render().contains("worker(s)"));
+    }
+
+    #[test]
+    fn drain_indexed_visits_every_index_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        for workers in [1, 4, 16] {
+            let counts: Vec<AtomicU32> = (0..53).map(|_| AtomicU32::new(0)).collect();
+            drain_indexed(counts.len(), workers, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+        // Zero items: must not spin or panic.
+        drain_indexed(0, 8, |_| unreachable!());
     }
 
     #[test]

@@ -7,22 +7,27 @@
 
 use tg_linalg::Matrix;
 
+use crate::scorer::{shim_error, Gbc, Labels, ScoreError, Scorer};
+
 /// Variance floor to keep the Bhattacharyya distance defined for
 //  near-degenerate dimensions.
 const VAR_FLOOR: f64 = 1e-6;
 
-/// GBC score of features against labels. Higher is better.
-pub fn gbc(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+/// Fallible GBC implementation behind [`crate::Gbc`].
+pub(crate) fn gbc_impl(features: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
     let n = features.rows();
-    assert_eq!(n, labels.len(), "gbc: feature/label count mismatch");
-    assert!(n > 0, "gbc: empty input");
+    labels.check_rows(n)?;
+    if n == 0 {
+        return Err(ScoreError::TooFewSamples { rows: 0, needed: 1 });
+    }
     let d = features.cols();
+    let num_classes = labels.num_classes();
+    let label_slice = labels.as_slice();
 
     // Per-class diagonal Gaussians.
     let mut means = vec![vec![0.0; d]; num_classes];
     let mut counts = vec![0usize; num_classes];
-    for (i, &c) in labels.iter().enumerate() {
-        debug_assert!(c < num_classes, "gbc: label out of range");
+    for (i, &c) in label_slice.iter().enumerate() {
         for j in 0..d {
             means[c][j] += features.get(i, j);
         }
@@ -36,7 +41,7 @@ pub fn gbc(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
         }
     }
     let mut vars = vec![vec![VAR_FLOOR; d]; num_classes];
-    for (i, &c) in labels.iter().enumerate() {
+    for (i, &c) in label_slice.iter().enumerate() {
         for j in 0..d {
             let diff = features.get(i, j) - means[c][j];
             vars[c][j] += diff * diff;
@@ -74,7 +79,15 @@ pub fn gbc(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
             score -= (-bd).exp();
         }
     }
-    score
+    Ok(score)
+}
+
+/// GBC score of features against labels. Higher is better.
+#[deprecated(note = "use `Gbc` through the `Scorer` trait")]
+pub fn gbc(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+    let scored = Labels::new(labels, num_classes).and_then(|labels| Gbc.score(features, &labels));
+    assert!(scored.is_ok(), "gbc: {}", shim_error(&scored));
+    scored.unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -82,6 +95,10 @@ mod tests {
     use super::*;
     use crate::testutil::clustered_features;
     use tg_rng::Rng;
+
+    fn gbc(f: &Matrix, y: &[usize], c: usize) -> f64 {
+        Gbc.score(f, &Labels::new(y, c).unwrap()).unwrap()
+    }
 
     #[test]
     fn separable_beats_noise() {
@@ -129,5 +146,15 @@ mod tests {
         let mut rng = Rng::seed_from_u64(5);
         let (f, y) = clustered_features(&mut rng, 90, 6, 3, 2.0);
         assert!(gbc(&f, &y, 10).is_finite());
+    }
+
+    #[test]
+    fn label_count_mismatch_is_an_error() {
+        let f = Matrix::zeros(5, 3);
+        let labels = Labels::new(&[0, 1], 2).unwrap();
+        assert_eq!(
+            Gbc.score(&f, &labels),
+            Err(ScoreError::LabelCountMismatch { labels: 2, rows: 5 })
+        );
     }
 }

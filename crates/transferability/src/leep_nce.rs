@@ -3,21 +3,22 @@
 
 use tg_linalg::Matrix;
 
-/// LEEP: log expected empirical prediction.
-///
-/// Given the source-head soft predictions `θ` (`n × Z`, rows sum to 1) and
-/// target labels `y`, LEEP builds the empirical joint `P(y, z)`, forms the
-/// conditional `P(y | z)`, and scores the mean log-likelihood of the target
-/// labels under the composed classifier `x ↦ Σ_z P(y|z) θ(x)_z`.
-pub fn leep(source_probs: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+use crate::scorer::{shim_error, Labels, Leep, ScoreError, Scorer};
+
+/// Fallible LEEP implementation behind [`crate::Leep`]: `source_probs` is
+/// the `n × Z` source-head soft-prediction matrix (rows sum to 1).
+pub(crate) fn leep_impl(source_probs: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
     let n = source_probs.rows();
-    assert_eq!(n, labels.len(), "leep: probs/label count mismatch");
-    assert!(n > 0, "leep: empty input");
+    labels.check_rows(n)?;
+    if n == 0 {
+        return Err(ScoreError::TooFewSamples { rows: 0, needed: 1 });
+    }
+    let num_classes = labels.num_classes();
     let z_dim = source_probs.cols();
 
     // Empirical joint P(y, z) and marginal P(z).
     let mut joint = Matrix::zeros(num_classes, z_dim);
-    for (i, &y) in labels.iter().enumerate() {
+    for (i, &y) in labels.as_slice().iter().enumerate() {
         for z in 0..z_dim {
             joint.set(y, z, joint.get(y, z) + source_probs.get(i, z) / n as f64);
         }
@@ -39,30 +40,47 @@ pub fn leep(source_probs: &Matrix, labels: &[usize], num_classes: usize) -> f64 
 
     // Mean log-likelihood.
     let mut total = 0.0;
-    for (i, &y) in labels.iter().enumerate() {
+    for (i, &y) in labels.as_slice().iter().enumerate() {
         let mut p = 0.0;
         for z in 0..z_dim {
             p += cond.get(y, z) * source_probs.get(i, z);
         }
         total += p.max(1e-12).ln();
     }
-    total / n as f64
+    Ok(total / n as f64)
 }
 
-/// NCE: negative conditional entropy `−H(Y | Z)` of target labels given
-/// hard source pseudo-labels. Higher (closer to 0) is better.
-pub fn nce(
+/// Fallible NCE implementation shared by [`crate::Nce`] (which derives the
+/// hard pseudo-labels by argmax) and the deprecated [`nce`] shim (which
+/// takes them directly).
+pub(crate) fn nce_impl(
     source_labels: &[usize],
-    labels: &[usize],
+    labels: &Labels,
     num_source_classes: usize,
-    num_classes: usize,
-) -> f64 {
+) -> Result<f64, ScoreError> {
     let n = labels.len();
-    assert_eq!(n, source_labels.len(), "nce: label count mismatch");
-    assert!(n > 0, "nce: empty input");
+    if source_labels.len() != n {
+        return Err(ScoreError::LabelCountMismatch {
+            labels: n,
+            rows: source_labels.len(),
+        });
+    }
+    if n == 0 {
+        return Err(ScoreError::TooFewSamples { rows: 0, needed: 1 });
+    }
+    for (index, &z) in source_labels.iter().enumerate() {
+        if z >= num_source_classes {
+            return Err(ScoreError::LabelOutOfRange {
+                index,
+                label: z,
+                num_classes: num_source_classes,
+            });
+        }
+    }
+    let num_classes = labels.num_classes();
 
     let mut joint = Matrix::zeros(num_classes, num_source_classes);
-    for (&z, &y) in source_labels.iter().zip(labels) {
+    for (&z, &y) in source_labels.iter().zip(labels.as_slice()) {
         joint.set(y, z, joint.get(y, z) + 1.0 / n as f64);
     }
     let mut pz = vec![0.0; num_source_classes];
@@ -81,13 +99,51 @@ pub fn nce(
             }
         }
     }
-    nce
+    Ok(nce)
+}
+
+/// LEEP: log expected empirical prediction.
+///
+/// Given the source-head soft predictions `θ` (`n × Z`, rows sum to 1) and
+/// target labels `y`, LEEP builds the empirical joint `P(y, z)`, forms the
+/// conditional `P(y | z)`, and scores the mean log-likelihood of the target
+/// labels under the composed classifier `x ↦ Σ_z P(y|z) θ(x)_z`.
+#[deprecated(note = "use `Leep` through the `Scorer` trait")]
+pub fn leep(source_probs: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+    let scored =
+        Labels::new(labels, num_classes).and_then(|labels| Leep.score(source_probs, &labels));
+    assert!(scored.is_ok(), "leep: {}", shim_error(&scored));
+    scored.unwrap_or_default()
+}
+
+/// NCE: negative conditional entropy `−H(Y | Z)` of target labels given
+/// hard source pseudo-labels. Higher (closer to 0) is better.
+#[deprecated(note = "use `Nce` through the `Scorer` trait (it derives the argmax pseudo-labels)")]
+pub fn nce(
+    source_labels: &[usize],
+    labels: &[usize],
+    num_source_classes: usize,
+    num_classes: usize,
+) -> f64 {
+    let scored = Labels::new(labels, num_classes)
+        .and_then(|labels| nce_impl(source_labels, &labels, num_source_classes));
+    assert!(scored.is_ok(), "nce: {}", shim_error(&scored));
+    scored.unwrap_or_default()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scorer::Nce;
     use tg_rng::Rng;
+
+    fn leep(p: &Matrix, y: &[usize], c: usize) -> f64 {
+        Leep.score(p, &Labels::new(y, c).unwrap()).unwrap()
+    }
+
+    fn nce(zs: &[usize], y: &[usize], zc: usize, c: usize) -> f64 {
+        nce_impl(zs, &Labels::new(y, c).unwrap(), zc).unwrap()
+    }
 
     /// Source predictions that reveal the target label with probability
     /// `informativeness`.
@@ -190,5 +246,40 @@ mod tests {
         let low = score_at(0.2, &mut rng);
         let high = score_at(0.9, &mut rng);
         assert!(high > low);
+    }
+
+    #[test]
+    fn nce_scorer_matches_argmax_pseudo_labels() {
+        // Scoring the soft predictions through the trait must agree with
+        // feeding the hard argmax labels to nce_impl directly.
+        let mut rng = Rng::seed_from_u64(4);
+        let (p, y) = synthetic(&mut rng, 200, 3, 5, 0.8);
+        let labels = Labels::new(&y, 3).unwrap();
+        let via_trait = Nce.score(&p, &labels).unwrap();
+        let hard: Vec<usize> = (0..p.rows())
+            .map(|r| {
+                p.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let direct = nce_impl(&hard, &labels, 5).unwrap();
+        assert_eq!(via_trait.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn nce_out_of_range_source_label_is_an_error() {
+        let labels = Labels::new(&[0, 1, 0], 2).unwrap();
+        assert_eq!(
+            nce_impl(&[0, 7, 1], &labels, 4),
+            Err(ScoreError::LabelOutOfRange {
+                index: 1,
+                label: 7,
+                num_classes: 4
+            })
+        );
     }
 }

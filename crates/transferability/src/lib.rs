@@ -1,4 +1,5 @@
-//! Transferability estimators: LogME, LEEP, NCE, PARC, TransRate, H-score.
+//! Transferability estimators: LogME, LEEP, NCE, PARC, TransRate, H-score,
+//! GBC.
 //!
 //! These are the feature-based model-selection baselines of the paper
 //! (§II-A, "feature-based model selection"). Each consumes the result of a
@@ -6,25 +7,36 @@
 //! and/or source-head predictions plus the target labels — and returns a
 //! scalar score where **higher means more transferable**.
 //!
-//! * [`log_me`] — the paper's primary baseline and the source of the
-//!   transferability edges in the TransferGraph graph (§V-A3).
-//! * [`leep`], [`nce`] — pseudo-label transfer estimators.
-//! * [`parc`], [`trans_rate`], [`h_score`] — representation-analysis
+//! Every estimator is reachable through the unified, fallible [`Scorer`]
+//! trait: construct a validated [`Labels`] view once, then call
+//! `score(&features, &labels)`, which returns [`ScoreError`] instead of
+//! panicking on bad input. The historical free functions ([`log_me`],
+//! [`leep`], …) remain as `#[deprecated]` panicking shims.
+//!
+//! * [`LogMe`] — the paper's primary baseline and the source of the
+//!   transferability edges in the TransferGraph graph (§V-A3). Runs the
+//!   batched `Z = YᵀU` kernel by default; [`LogMe::scalar`] selects the
+//!   bit-identical per-class reference.
+//! * [`Leep`], [`Nce`] — pseudo-label transfer estimators (their `features`
+//!   argument is the source-head probability matrix).
+//! * [`Parc`], [`TransRate`], [`HScore`], [`Gbc`] — representation-analysis
 //!   estimators, implemented for completeness of the related-work table.
 //!
 //! # Example
 //!
 //! ```
 //! use tg_zoo::{ModelZoo, ZooConfig, Modality};
-//! use tg_transfer::{log_me, leep};
+//! use tg_transfer::{Labels, Leep, LogMe, Scorer};
 //!
 //! let zoo = ModelZoo::build(&ZooConfig::small(3));
 //! let m = zoo.models_of(Modality::Image)[0];
 //! let d = zoo.targets_of(Modality::Image)[0];
 //! let fp = zoo.forward_pass(m, d);
-//! let s1 = log_me(&fp.features, &fp.labels, fp.num_classes);
-//! let s2 = leep(&fp.source_probs, &fp.labels, fp.num_classes);
+//! let labels = Labels::new(&fp.labels, fp.num_classes)?;
+//! let s1 = LogMe::batched().score(&fp.features, &labels)?;
+//! let s2 = Leep.score(&fp.source_probs, &labels)?;
 //! assert!(s1.is_finite() && s2.is_finite());
+//! # Ok::<(), tg_transfer::ScoreError>(())
 //! ```
 
 mod gbc;
@@ -32,13 +44,23 @@ mod hscore;
 mod leep_nce;
 mod logme;
 mod parc;
+mod scorer;
 mod transrate;
 
+#[allow(deprecated)]
 pub use gbc::gbc;
+#[allow(deprecated)]
 pub use hscore::h_score;
+#[allow(deprecated)]
 pub use leep_nce::{leep, nce};
+#[allow(deprecated)]
 pub use logme::log_me;
+#[allow(deprecated)]
 pub use parc::parc;
+pub use scorer::{
+    Gbc, HScore, Labels, Leep, LogMe, LogMeKernel, Nce, Parc, ScoreError, Scorer, TransRate,
+};
+#[allow(deprecated)]
 pub use transrate::trans_rate;
 
 use tg_zoo::ForwardPass;
@@ -77,33 +99,34 @@ impl Estimator {
 
     /// Display name.
     pub fn name(&self) -> &'static str {
+        self.scorer().name()
+    }
+
+    /// The [`Scorer`] implementation behind this estimator (LogME uses the
+    /// batched kernel).
+    pub fn scorer(&self) -> &'static dyn Scorer {
+        const BATCHED_LOGME: LogMe = LogMe::batched();
         match self {
-            Estimator::LogMe => "LogME",
-            Estimator::Leep => "LEEP",
-            Estimator::Nce => "NCE",
-            Estimator::Parc => "PARC",
-            Estimator::TransRate => "TransRate",
-            Estimator::HScore => "H-score",
-            Estimator::Gbc => "GBC",
+            Estimator::LogMe => &BATCHED_LOGME,
+            Estimator::Leep => &Leep,
+            Estimator::Nce => &Nce,
+            Estimator::Parc => &Parc,
+            Estimator::TransRate => &TransRate,
+            Estimator::HScore => &HScore,
+            Estimator::Gbc => &Gbc,
         }
     }
 
-    /// Scores one forward pass.
-    pub fn score(&self, fp: &ForwardPass) -> f64 {
-        match self {
-            Estimator::LogMe => log_me(&fp.features, &fp.labels, fp.num_classes),
-            Estimator::Leep => leep(&fp.source_probs, &fp.labels, fp.num_classes),
-            Estimator::Nce => nce(
-                &fp.source_labels(),
-                &fp.labels,
-                fp.num_source_classes,
-                fp.num_classes,
-            ),
-            Estimator::Parc => parc(&fp.features, &fp.labels, fp.num_classes),
-            Estimator::TransRate => trans_rate(&fp.features, &fp.labels, fp.num_classes),
-            Estimator::HScore => h_score(&fp.features, &fp.labels, fp.num_classes),
-            Estimator::Gbc => gbc(&fp.features, &fp.labels, fp.num_classes),
-        }
+    /// Scores one forward pass, routing the right input matrix (features
+    /// for feature-based estimators, source-head probabilities for
+    /// [`Estimator::Leep`]/[`Estimator::Nce`]) into [`Scorer::score`].
+    pub fn score(&self, fp: &ForwardPass) -> Result<f64, ScoreError> {
+        let labels = Labels::new(&fp.labels, fp.num_classes)?;
+        let features = match self {
+            Estimator::Leep | Estimator::Nce => &fp.source_probs,
+            _ => &fp.features,
+        };
+        self.scorer().score(features, &labels)
     }
 }
 
@@ -153,9 +176,29 @@ mod tests {
         let d = zoo.targets_of(Modality::Image)[2];
         let fp = zoo.forward_pass(m, d);
         for est in Estimator::ALL {
-            let s = est.score(&fp);
+            let s = est.score(&fp).unwrap();
             assert!(s.is_finite(), "{} returned {s}", est.name());
         }
+    }
+
+    #[test]
+    fn estimator_dispatch_matches_direct_scorers() {
+        // `Estimator::score` must route the right matrix into each scorer.
+        let zoo = ModelZoo::build(&ZooConfig::small(7));
+        let m = zoo.models_of(Modality::Image)[0];
+        let d = zoo.targets_of(Modality::Image)[1];
+        let fp = zoo.forward_pass(m, d);
+        let labels = Labels::new(&fp.labels, fp.num_classes).unwrap();
+        let direct = LogMe::batched().score(&fp.features, &labels).unwrap();
+        assert_eq!(
+            Estimator::LogMe.score(&fp).unwrap().to_bits(),
+            direct.to_bits()
+        );
+        let direct = Leep.score(&fp.source_probs, &labels).unwrap();
+        assert_eq!(
+            Estimator::Leep.score(&fp).unwrap().to_bits(),
+            direct.to_bits()
+        );
     }
 
     #[test]
@@ -175,11 +218,13 @@ mod tests {
             .iter()
             .map(|&m| zoo.fine_tune(m, d, tg_zoo::FineTuneMethod::Full))
             .collect();
+        let logme = LogMe::default();
         let logme_scores: Vec<f64> = sub
             .iter()
             .map(|&m| {
                 let fp = zoo.forward_pass(m, d);
-                log_me(&fp.features, &fp.labels, fp.num_classes)
+                let labels = Labels::new(&fp.labels, fp.num_classes).unwrap();
+                logme.score(&fp.features, &labels).unwrap()
             })
             .collect();
         let r = tg_linalg::stats::pearson(&sub_accs, &logme_scores).unwrap();

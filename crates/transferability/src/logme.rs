@@ -5,98 +5,271 @@
 //! Bayesian linear regression from `F` to each one-vs-rest label column,
 //! optimised over the prior precision `α` and noise precision `β` with
 //! MacKay's fixed-point updates. The SVD of `F` makes each iteration O(D).
+//!
+//! # Kernels
+//!
+//! Two implementations share this module and are exposed through
+//! [`crate::LogMe`]:
+//!
+//! * **Batched** ([`log_me_batched`]) — the default. Computes all per-class
+//!   projections at once as one blocked GEMM `Z = YᵀU` over the dense
+//!   one-hot label matrix (`Matrix::matmul_at_b`), then runs the MacKay
+//!   fixed point for every class simultaneously as a struct-of-arrays sweep
+//!   over `alpha[]/beta[]/gamma[]`.
+//! * **Scalar reference** ([`log_me_scalar`]) — one class at a time, with a
+//!   cache-friendly row-major pass over `U` (the historical column-major
+//!   `u.get(r, i)` inner loop walked the row stride `k` on every step).
+//!
+//! # Determinism and bit-identity
+//!
+//! Both kernels produce **bit-identical** scores (asserted by unit and
+//! property tests, see `tests/property_tests.rs`):
+//!
+//! * every reduction accumulates in ascending sample-row order `r` — the
+//!   GEMM blocks only tile the *output*, never the reduction;
+//! * the one-hot zero-skip in `matmul_at_b` is bit-neutral for finite
+//!   inputs (adding `±0.0` to a partial sum that started at `+0.0` never
+//!   changes its bits), and non-finite features are rejected up front as
+//!   [`ScoreError::NonFiniteInput`];
+//! * `Σ_r 1.0` over a class equals `count as f64` exactly for any class
+//!   size below 2⁵³;
+//! * the fixed-point update and the evidence formula are literally the same
+//!   functions ([`mackay_step`], [`evidence`]) called by both kernels, and
+//!   per-class state is independent, so interleaving classes (batched)
+//!   versus finishing one class at a time (scalar) executes the same scalar
+//!   operations in the same order per class.
+//!
+//! The same argument chains back to the pre-batched implementation, so
+//! scores (and any disk-cached artifacts keyed on them) are unchanged.
 
 use tg_linalg::decomp::thin_svd;
 use tg_linalg::Matrix;
+
+use crate::scorer::{shim_error, Labels, LogMe, ScoreError, Scorer};
 
 /// Number of fixed-point iterations; the original implementation uses 11
 /// and observes convergence well before that.
 const FIXED_POINT_ITERS: usize = 11;
 
-/// LogME score of features (`n × D`) against integer labels in
-/// `0..num_classes`. Higher is better. Returns the mean per-class log
-/// evidence per sample.
-pub fn log_me(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
-    let n = features.rows();
-    assert_eq!(n, labels.len(), "log_me: feature/label count mismatch");
-    assert!(num_classes >= 2, "log_me: need at least two classes");
-    let d = features.cols();
-
-    // tg-check: allow(tg01, reason = "SVD of finite simulator features always converges; a failure here flags a simulator bug worth crashing on")
-    let svd = thin_svd(features).expect("log_me: SVD failed");
-    // σ² spectrum (zero-padded to D when rank-deficient).
+/// Shared preamble: shape/finiteness validation and the thin SVD.
+/// Returns `(u, sigma², n, d)` with `sigma²` of length `k = min(n, d)`.
+fn prepare(features: &Matrix, labels: &Labels) -> Result<(Matrix, Vec<f64>), ScoreError> {
+    labels.check_rows(features.rows())?;
+    for r in 0..features.rows() {
+        if features.row(r).iter().any(|v| !v.is_finite()) {
+            return Err(ScoreError::NonFiniteInput);
+        }
+    }
+    let svd = thin_svd(features)?;
+    // σ² spectrum, length k = min(n, d) (zero-clamped when rank-deficient).
     let sigma2: Vec<f64> = svd.sigma.iter().map(|s| s * s).collect();
+    Ok((svd.u, sigma2))
+}
+
+/// One MacKay fixed-point update for a single class.
+///
+/// Reads the current `(alpha, beta)`, accumulates `gamma`/`m2`/`res2` over
+/// the shared σ² spectrum in ascending index order, and writes the clamped
+/// next iterate back. Returns `false` (leaving the state untouched) when
+/// the step goes non-finite, which freezes the class at its last finite
+/// iterate — the historical `break` behaviour.
+///
+/// Both kernels call this exact function so their per-class arithmetic is
+/// identical operation for operation.
+#[inline]
+fn mackay_step(
+    sigma2: &[f64],
+    z_sq: &[f64],
+    r0: f64,
+    nf: f64,
+    alpha: &mut f64,
+    beta: &mut f64,
+    gamma_out: &mut f64,
+) -> bool {
+    let a = *alpha;
+    let b = *beta;
+    let mut gamma = 0.0;
+    let mut m2 = 0.0;
+    let mut res2 = r0;
+    for i in 0..sigma2.len() {
+        let denom = a + b * sigma2[i];
+        gamma += b * sigma2[i] / denom;
+        m2 += b * b * sigma2[i] * z_sq[i] / (denom * denom);
+        res2 += z_sq[i] * (a / denom) * (a / denom);
+    }
+    let new_alpha = if m2 > 1e-12 { gamma / m2 } else { a };
+    let new_beta = if res2 > 1e-12 { (nf - gamma) / res2 } else { b };
+    if !new_alpha.is_finite() || !new_beta.is_finite() {
+        return false;
+    }
+    *alpha = new_alpha.clamp(1e-9, 1e12);
+    *beta = new_beta.clamp(1e-9, 1e12);
+    *gamma_out = gamma;
+    true
+}
+
+/// Per-class log evidence at the optimised `(alpha, beta)`, **not** yet
+/// divided by `n`. Shared verbatim by both kernels.
+#[inline]
+fn evidence(
+    sigma2: &[f64],
+    z_sq: &[f64],
+    r0: f64,
+    alpha: f64,
+    beta: f64,
+    nf: f64,
+    d: usize,
+) -> f64 {
     let k = sigma2.len();
+    let mut m2 = 0.0;
+    let mut res2 = r0;
+    let mut logdet = 0.0;
+    for i in 0..k {
+        let denom = alpha + beta * sigma2[i];
+        m2 += beta * beta * sigma2[i] * z_sq[i] / (denom * denom);
+        res2 += z_sq[i] * (alpha / denom) * (alpha / denom);
+        logdet += denom.ln();
+    }
+    // Dimensions beyond the numerical rank contribute ln α each.
+    logdet += (d.saturating_sub(k)) as f64 * alpha.ln();
+    0.5 * (d as f64 * alpha.ln() + nf * beta.ln()
+        - beta * res2
+        - alpha * m2
+        - logdet
+        - nf * (2.0 * std::f64::consts::PI).ln())
+}
+
+/// Scalar reference kernel: one class at a time.
+///
+/// The projection `z = Uᵀy` is accumulated row-major over `U` (for each
+/// sample row `r`, axpy `y[r] · u_r` into `z`), which keeps the inner loop
+/// on contiguous memory while preserving the ascending-`r` summation order
+/// of the original column-major loop bit for bit.
+pub(crate) fn log_me_scalar(features: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
+    let (u, sigma2) = prepare(features, labels)?;
+    let n = features.rows();
+    let d = features.cols();
+    let k = sigma2.len();
+    let nf = n as f64;
+    let num_classes = labels.num_classes();
+    let label_slice = labels.as_slice();
 
     let mut total = 0.0;
     for class in 0..num_classes {
-        // One-vs-rest target column.
-        let y: Vec<f64> = labels
-            .iter()
-            .map(|&l| if l == class { 1.0 } else { 0.0 })
-            .collect();
-        let y_sq: f64 = y.iter().map(|v| v * v).sum();
-        // Projections z = Uᵀ y.
-        let z: Vec<f64> = (0..k)
-            .map(|i| {
-                let mut s = 0.0;
-                for r in 0..n {
-                    s += svd.u.get(r, i) * y[r];
-                }
-                s
-            })
-            .collect();
+        // Projections z = Uᵀ y and ‖y‖², row-major over U.
+        let mut z = vec![0.0; k];
+        let mut y_sq = 0.0;
+        for r in 0..n {
+            let yr = if label_slice[r] == class { 1.0 } else { 0.0 };
+            y_sq += yr * yr;
+            for (zi, &ui) in z.iter_mut().zip(u.row(r)) {
+                *zi += ui * yr;
+            }
+        }
         let z_sq: Vec<f64> = z.iter().map(|v| v * v).collect();
         // Residual outside the column space of F.
         let r0 = (y_sq - z_sq.iter().sum::<f64>()).max(0.0);
 
         let mut alpha = 1.0f64;
         let mut beta = 1.0f64;
+        let mut gamma = 0.0f64;
         for _ in 0..FIXED_POINT_ITERS {
-            let mut gamma = 0.0;
-            let mut m2 = 0.0;
-            let mut res2 = r0;
-            for i in 0..k {
-                let denom = alpha + beta * sigma2[i];
-                gamma += beta * sigma2[i] / denom;
-                m2 += beta * beta * sigma2[i] * z_sq[i] / (denom * denom);
-                res2 += z_sq[i] * (alpha / denom) * (alpha / denom);
-            }
-            let new_alpha = if m2 > 1e-12 { gamma / m2 } else { alpha };
-            let new_beta = if res2 > 1e-12 {
-                (n as f64 - gamma) / res2
-            } else {
-                beta
-            };
-            if !new_alpha.is_finite() || !new_beta.is_finite() {
+            if !mackay_step(&sigma2, &z_sq, r0, nf, &mut alpha, &mut beta, &mut gamma) {
                 break;
             }
-            alpha = new_alpha.clamp(1e-9, 1e12);
-            beta = new_beta.clamp(1e-9, 1e12);
         }
-
-        // Evidence at the optimum.
-        let mut m2 = 0.0;
-        let mut res2 = r0;
-        let mut logdet = 0.0;
-        for i in 0..k {
-            let denom = alpha + beta * sigma2[i];
-            m2 += beta * beta * sigma2[i] * z_sq[i] / (denom * denom);
-            res2 += z_sq[i] * (alpha / denom) * (alpha / denom);
-            logdet += denom.ln();
-        }
-        // Dimensions beyond the numerical rank contribute ln α each.
-        logdet += (d.saturating_sub(k)) as f64 * alpha.ln();
-        let nf = n as f64;
-        let evidence = 0.5
-            * (d as f64 * alpha.ln() + nf * beta.ln()
-                - beta * res2
-                - alpha * m2
-                - logdet
-                - nf * (2.0 * std::f64::consts::PI).ln());
-        total += evidence / nf;
+        total += evidence(&sigma2, &z_sq, r0, alpha, beta, nf, d) / nf;
     }
-    total / num_classes as f64
+    Ok(total / num_classes as f64)
+}
+
+/// Batched kernel: all classes at once.
+///
+/// One blocked GEMM `Z = YᵀU` over the dense one-hot label matrix replaces
+/// `num_classes` separate projection passes (the kernel's one-hot zero-skip
+/// makes it an `O(n·k)` scatter of `U` rows into per-class `Z` rows), then
+/// the MacKay fixed point runs for every class inside each sweep —
+/// struct-of-arrays `alpha[]/beta[]/gamma[]` with a `frozen[]` mask
+/// replacing the scalar path's early `break`.
+pub(crate) fn log_me_batched(features: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
+    let (u, sigma2) = prepare(features, labels)?;
+    let n = features.rows();
+    let d = features.cols();
+    let k = sigma2.len();
+    let nf = n as f64;
+    let num_classes = labels.num_classes();
+
+    // Z = YᵀU, one contiguous row of projections per class (C × k).
+    let z = labels.one_hot().matmul_at_b(&u);
+    let counts = labels.class_counts();
+
+    // z², plus the out-of-column-space residual r0 per class. The running
+    // sum mirrors the reference's ascending-index `z_sq.iter().sum()`, and
+    // `count as f64` is exactly the reference's Σ y_r² (a sum of 1.0s).
+    let mut z_sq = vec![0.0; num_classes * k];
+    let mut r0 = vec![0.0; num_classes];
+    for (class, r0c) in r0.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        for (zs, &zi) in z_sq[class * k..(class + 1) * k]
+            .iter_mut()
+            .zip(z.row(class))
+        {
+            *zs = zi * zi;
+            sum += *zs;
+        }
+        *r0c = (counts[class] as f64 - sum).max(0.0);
+    }
+
+    // Struct-of-arrays MacKay sweep: iteration-outer, class-inner. Classes
+    // are independent, so this interleaving is bit-identical to finishing
+    // one class at a time.
+    let mut alpha = vec![1.0f64; num_classes];
+    let mut beta = vec![1.0f64; num_classes];
+    let mut gamma = vec![0.0f64; num_classes];
+    let mut frozen = vec![false; num_classes];
+    for _ in 0..FIXED_POINT_ITERS {
+        for class in 0..num_classes {
+            if frozen[class] {
+                continue;
+            }
+            if !mackay_step(
+                &sigma2,
+                &z_sq[class * k..(class + 1) * k],
+                r0[class],
+                nf,
+                &mut alpha[class],
+                &mut beta[class],
+                &mut gamma[class],
+            ) {
+                frozen[class] = true;
+            }
+        }
+    }
+
+    let mut total = 0.0;
+    for class in 0..num_classes {
+        total += evidence(
+            &sigma2,
+            &z_sq[class * k..(class + 1) * k],
+            r0[class],
+            alpha[class],
+            beta[class],
+            nf,
+            d,
+        ) / nf;
+    }
+    Ok(total / num_classes as f64)
+}
+
+/// LogME score of features (`n × D`) against integer labels in
+/// `0..num_classes`. Higher is better. Returns the mean per-class log
+/// evidence per sample.
+#[deprecated(note = "use `LogMe` (batched by default) through the `Scorer` trait")]
+pub fn log_me(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+    let scored = Labels::new(labels, num_classes)
+        .and_then(|labels| LogMe::batched().score(features, &labels));
+    assert!(scored.is_ok(), "log_me: {}", shim_error(&scored));
+    scored.unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -105,13 +278,30 @@ mod tests {
     use crate::testutil::clustered_features;
     use tg_rng::Rng;
 
+    fn score(kernel: LogMe, f: &Matrix, y: &[usize], c: usize) -> f64 {
+        kernel.score(f, &Labels::new(y, c).unwrap()).unwrap()
+    }
+
+    fn both_identical(f: &Matrix, y: &[usize], c: usize) -> f64 {
+        let b = score(LogMe::batched(), f, y, c);
+        let s = score(LogMe::scalar(), f, y, c);
+        assert_eq!(
+            b.to_bits(),
+            s.to_bits(),
+            "batched {b} != scalar {s} on {}x{}, {c} classes",
+            f.rows(),
+            f.cols()
+        );
+        b
+    }
+
     #[test]
     fn separable_scores_higher_than_noise() {
         let mut rng = Rng::seed_from_u64(1);
         let (f_good, y) = clustered_features(&mut rng, 200, 16, 4, 3.0);
         let (f_bad, _) = clustered_features(&mut rng, 200, 16, 4, 0.0);
-        let good = log_me(&f_good, &y, 4);
-        let bad = log_me(&f_bad, &y, 4);
+        let good = both_identical(&f_good, &y, 4);
+        let bad = both_identical(&f_bad, &y, 4);
         assert!(good > bad, "good {good} should beat bad {bad}");
     }
 
@@ -121,7 +311,7 @@ mod tests {
         let mut last = f64::NEG_INFINITY;
         for sep in [0.0, 1.0, 2.0, 4.0] {
             let (f, y) = clustered_features(&mut rng, 240, 12, 3, sep);
-            let s = log_me(&f, &y, 3);
+            let s = both_identical(&f, &y, 3);
             assert!(s > last, "sep {sep}: {s} <= {last}");
             last = s;
         }
@@ -133,8 +323,8 @@ mod tests {
         // feature rescaling (the evidence adapts α, β).
         let mut rng = Rng::seed_from_u64(3);
         let (f, y) = clustered_features(&mut rng, 150, 8, 3, 2.0);
-        let s1 = log_me(&f, &y, 3);
-        let s2 = log_me(&f.scale(10.0), &y, 3);
+        let s1 = both_identical(&f, &y, 3);
+        let s2 = both_identical(&f.scale(10.0), &y, 3);
         assert!((s1 - s2).abs() < 1.0, "s1 {s1} s2 {s2}");
     }
 
@@ -144,19 +334,77 @@ mod tests {
         let mut rng = Rng::seed_from_u64(4);
         let (half, y) = clustered_features(&mut rng, 120, 6, 3, 2.0);
         let f = half.hstack(&half);
-        let s = log_me(&f, &y, 3);
-        assert!(s.is_finite());
+        assert!(both_identical(&f, &y, 3).is_finite());
     }
 
     #[test]
     fn binary_case_works() {
         let mut rng = Rng::seed_from_u64(5);
         let (f, y) = clustered_features(&mut rng, 160, 10, 2, 2.5);
-        assert!(log_me(&f, &y, 2).is_finite());
+        assert!(both_identical(&f, &y, 2).is_finite());
+    }
+
+    #[test]
+    fn single_sample_and_absent_classes() {
+        // Class 2 has exactly one sample; class 3 never occurs.
+        let mut rng = Rng::seed_from_u64(6);
+        let (f, mut y) = clustered_features(&mut rng, 90, 6, 2, 2.0);
+        y[17] = 2;
+        assert!(both_identical(&f, &y, 4).is_finite());
+    }
+
+    #[test]
+    fn wide_features_more_dims_than_samples() {
+        // n < D exercises the k = n branch of the thin SVD.
+        let mut rng = Rng::seed_from_u64(7);
+        let (f, y) = clustered_features(&mut rng, 12, 20, 3, 2.0);
+        assert!(both_identical(&f, &y, 3).is_finite());
+    }
+
+    #[test]
+    fn mismatched_labels_error_instead_of_panic() {
+        let f = Matrix::zeros(10, 4);
+        let labels = Labels::new(&[0, 1], 2).unwrap();
+        assert_eq!(
+            LogMe::batched().score(&f, &labels),
+            Err(ScoreError::LabelCountMismatch {
+                labels: 2,
+                rows: 10
+            })
+        );
+        assert_eq!(
+            LogMe::scalar().score(&f, &labels),
+            Err(ScoreError::LabelCountMismatch {
+                labels: 2,
+                rows: 10
+            })
+        );
+    }
+
+    #[test]
+    fn non_finite_features_error() {
+        let mut f = Matrix::zeros(6, 2);
+        f.set(3, 1, f64::NAN);
+        let labels_vec: Vec<usize> = (0..6).map(|i| i % 2).collect();
+        let labels = Labels::new(&labels_vec, 2).unwrap();
+        assert_eq!(
+            LogMe::batched().score(&f, &labels),
+            Err(ScoreError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_and_panics() {
+        let mut rng = Rng::seed_from_u64(8);
+        let (f, y) = clustered_features(&mut rng, 120, 8, 3, 2.0);
+        let via_shim = log_me(&f, &y, 3);
+        assert_eq!(via_shim.to_bits(), both_identical(&f, &y, 3).to_bits());
     }
 
     #[test]
     #[should_panic(expected = "log_me")]
+    #[allow(deprecated)]
     fn rejects_mismatched_labels() {
         let f = Matrix::zeros(10, 4);
         log_me(&f, &[0, 1], 2);

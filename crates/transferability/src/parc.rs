@@ -9,34 +9,38 @@
 use tg_linalg::stats::spearman;
 use tg_linalg::Matrix;
 
+use crate::scorer::{shim_error, Labels, Parc, ScoreError, Scorer};
+
 /// Maximum number of samples used; PARC is O(n²) in memory so the reference
 /// implementation subsamples.
 const MAX_SAMPLES: usize = 256;
 
-/// PARC score of features against labels. Higher is better.
-pub fn parc(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+/// Fallible PARC implementation behind [`crate::Parc`].
+pub(crate) fn parc_impl(features: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
     let n_total = features.rows();
-    assert_eq!(n_total, labels.len(), "parc: feature/label count mismatch");
+    labels.check_rows(n_total)?;
     // Deterministic stride subsample.
     let stride = n_total.div_ceil(MAX_SAMPLES).max(1);
     let idx: Vec<usize> = (0..n_total).step_by(stride).collect();
     let n = idx.len();
-    assert!(n >= 3, "parc: need at least three samples");
+    if n < 3 {
+        return Err(ScoreError::TooFewSamples {
+            rows: n_total,
+            needed: 3,
+        });
+    }
+    let label_slice = labels.as_slice();
 
     // Pearson-distance matrix of feature rows.
     let fdist = pearson_distance_rows(features, &idx);
     // One-hot label matrix and its Pearson-distance.
-    let onehot = Matrix::from_fn(
-        n,
-        num_classes,
-        |r, c| {
-            if labels[idx[r]] == c {
-                1.0
-            } else {
-                0.0
-            }
-        },
-    );
+    let onehot = Matrix::from_fn(n, labels.num_classes(), |r, c| {
+        if label_slice[idx[r]] == c {
+            1.0
+        } else {
+            0.0
+        }
+    });
     let all: Vec<usize> = (0..n).collect();
     let ldist = pearson_distance_rows(&onehot, &all);
 
@@ -49,7 +53,15 @@ pub fn parc(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
             ys.push(ldist.get(i, j));
         }
     }
-    spearman(&xs, &ys).unwrap_or(0.0) * 100.0
+    Ok(spearman(&xs, &ys).unwrap_or(0.0) * 100.0)
+}
+
+/// PARC score of features against labels. Higher is better.
+#[deprecated(note = "use `Parc` through the `Scorer` trait")]
+pub fn parc(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+    let scored = Labels::new(labels, num_classes).and_then(|labels| Parc.score(features, &labels));
+    assert!(scored.is_ok(), "parc: {}", shim_error(&scored));
+    scored.unwrap_or_default()
 }
 
 /// `1 − pearson(row_i, row_j)` for the selected rows.
@@ -87,6 +99,10 @@ mod tests {
     use crate::testutil::clustered_features;
     use tg_rng::Rng;
 
+    fn parc(f: &Matrix, y: &[usize], c: usize) -> f64 {
+        Parc.score(f, &Labels::new(y, c).unwrap()).unwrap()
+    }
+
     #[test]
     fn separable_beats_noise() {
         let mut rng = Rng::seed_from_u64(1);
@@ -120,6 +136,16 @@ mod tests {
         assert!(
             s.abs() < 15.0,
             "uninformative features should be near 0: {s}"
+        );
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        let f = Matrix::zeros(2, 4);
+        let labels = Labels::new(&[0, 1], 2).unwrap();
+        assert_eq!(
+            Parc.score(&f, &labels),
+            Err(ScoreError::TooFewSamples { rows: 2, needed: 3 })
         );
     }
 }

@@ -5,8 +5,10 @@
 //! through coding rate: `R(Z, ε) − R(Z|Y, ε)`, where
 //! `R(Z, ε) = ½ log det(I + d/(nε²) ZᵀZ)` for mean-centred features `Z`.
 
-use tg_linalg::decomp::cholesky;
+use tg_linalg::decomp::{cholesky, DecompError};
 use tg_linalg::Matrix;
+
+use crate::scorer::{shim_error, Labels, ScoreError, Scorer, TransRate};
 
 /// Distortion parameter ε of the coding rate. The reference implementation
 /// defaults to values in this ballpark; results are insensitive within an
@@ -14,11 +16,15 @@ use tg_linalg::Matrix;
 const EPSILON: f64 = 1.0;
 
 /// Coding rate of the (already centred) rows in `z`.
-fn coding_rate(z: &Matrix, eps: f64) -> f64 {
+///
+/// `I + cZᵀZ` with `c > 0` is SPD (identity plus a PSD Gram matrix), so a
+/// Cholesky failure is never expected; it propagates as an error rather
+/// than a panic.
+fn coding_rate(z: &Matrix, eps: f64) -> Result<f64, DecompError> {
     let n = z.rows();
     let d = z.cols();
     if n == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let scale = d as f64 / (n as f64 * eps * eps);
     let gram = z.gram(); // d×d
@@ -26,28 +32,30 @@ fn coding_rate(z: &Matrix, eps: f64) -> f64 {
         let idm = if i == j { 1.0 } else { 0.0 };
         idm + scale * gram.get(i, j)
     });
-    // log det via Cholesky (A is SPD: identity + PSD).
-    // tg-check: allow(tg01, reason = "I + cZᵀZ with c > 0 is SPD: identity plus a PSD Gram matrix")
-    let l = cholesky(&a).expect("coding_rate: I + cZᵀZ must be SPD");
+    // log det via Cholesky.
+    let l = cholesky(&a)?;
     let mut logdet = 0.0;
     for i in 0..d {
         logdet += l.get(i, i).ln();
     }
-    logdet // = ½ log det(A) since det(A) = det(L)², so Σ ln L_ii = ½ ln det A
+    Ok(logdet) // = ½ log det(A) since det(A) = det(L)², so Σ ln L_ii = ½ ln det A
 }
 
-/// TransRate score. Higher is better.
-pub fn trans_rate(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+/// Fallible TransRate implementation behind [`crate::TransRate`].
+pub(crate) fn trans_rate_impl(features: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
     let n = features.rows();
-    assert_eq!(n, labels.len(), "trans_rate: feature/label count mismatch");
-    assert!(n > 0, "trans_rate: empty input");
+    labels.check_rows(n)?;
+    if n == 0 {
+        return Err(ScoreError::TooFewSamples { rows: 0, needed: 1 });
+    }
 
     let z = features.center_columns();
-    let whole = coding_rate(&z, EPSILON);
+    let whole = coding_rate(&z, EPSILON)?;
 
     let mut conditional = 0.0;
-    for c in 0..num_classes {
+    for c in 0..labels.num_classes() {
         let rows: Vec<usize> = labels
+            .as_slice()
             .iter()
             .enumerate()
             .filter(|(_, &l)| l == c)
@@ -57,9 +65,18 @@ pub fn trans_rate(features: &Matrix, labels: &[usize], num_classes: usize) -> f6
             continue;
         }
         let sub = Matrix::from_fn(rows.len(), z.cols(), |r, col| z.get(rows[r], col));
-        conditional += (rows.len() as f64 / n as f64) * coding_rate(&sub, EPSILON);
+        conditional += (rows.len() as f64 / n as f64) * coding_rate(&sub, EPSILON)?;
     }
-    whole - conditional
+    Ok(whole - conditional)
+}
+
+/// TransRate score. Higher is better.
+#[deprecated(note = "use `TransRate` through the `Scorer` trait")]
+pub fn trans_rate(features: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+    let scored =
+        Labels::new(labels, num_classes).and_then(|labels| TransRate.score(features, &labels));
+    assert!(scored.is_ok(), "trans_rate: {}", shim_error(&scored));
+    scored.unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -67,6 +84,10 @@ mod tests {
     use super::*;
     use crate::testutil::clustered_features;
     use tg_rng::Rng;
+
+    fn trans_rate(f: &Matrix, y: &[usize], c: usize) -> f64 {
+        TransRate.score(f, &Labels::new(y, c).unwrap()).unwrap()
+    }
 
     #[test]
     fn separable_beats_noise() {
@@ -100,7 +121,7 @@ mod tests {
     #[test]
     fn coding_rate_zero_for_zero_features() {
         let z = Matrix::zeros(50, 6);
-        assert!(coding_rate(&z, 1.0).abs() < 1e-12);
+        assert!(coding_rate(&z, 1.0).unwrap().abs() < 1e-12);
     }
 
     #[test]
@@ -109,5 +130,15 @@ mod tests {
         let mut rng = Rng::seed_from_u64(4);
         let (f, y) = clustered_features(&mut rng, 90, 6, 3, 2.0);
         assert!(trans_rate(&f, &y, 10).is_finite());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let f = Matrix::zeros(0, 4);
+        let labels = Labels::new(&[], 2).unwrap();
+        assert_eq!(
+            TransRate.score(&f, &labels),
+            Err(ScoreError::TooFewSamples { rows: 0, needed: 1 })
+        );
     }
 }

@@ -12,7 +12,7 @@
 use transfergraph_repro::core::{evaluate, EvalOptions, FeatureSet, Strategy, Workbench};
 use transfergraph_repro::embed::LearnerKind;
 use transfergraph_repro::predict::RegressorKind;
-use transfergraph_repro::transfer::{leep, log_me, nce};
+use transfergraph_repro::transfer::{Labels, Leep, LogMe, Nce, Scorer};
 use transfergraph_repro::zoo::{Modality, ModelZoo, ZooConfig};
 
 fn main() {
@@ -20,20 +20,22 @@ fn main() {
     let target = zoo.dataset_by_name("tweet_eval/irony");
     let models = zoo.models_of(Modality::Text);
 
-    // Direct use of the transferability estimators on one candidate.
+    // Direct use of the transferability estimators on one candidate, via
+    // the unified `Scorer` trait: validate the labels once, then score.
+    // LEEP and NCE consume the source-head probabilities as their matrix.
     let candidate = models[0];
     let fp = zoo.forward_pass(candidate, target);
+    let labels = Labels::new(&fp.labels, fp.num_classes).expect("valid forward-pass labels");
     println!(
         "candidate {}: LogME {:.3}, LEEP {:.3}, NCE {:.3}\n",
         zoo.model(candidate).name,
-        log_me(&fp.features, &fp.labels, fp.num_classes),
-        leep(&fp.source_probs, &fp.labels, fp.num_classes),
-        nce(
-            &fp.source_labels(),
-            &fp.labels,
-            fp.num_source_classes,
-            fp.num_classes
-        ),
+        LogMe::batched()
+            .score(&fp.features, &labels)
+            .expect("LogME scores valid features"),
+        Leep.score(&fp.source_probs, &labels)
+            .expect("LEEP scores valid probabilities"),
+        Nce.score(&fp.source_probs, &labels)
+            .expect("NCE scores valid probabilities"),
     );
 
     // Compare TransferGraph variants on the irony-detection target.

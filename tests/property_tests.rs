@@ -152,3 +152,73 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batched LogME kernel is bit-identical to the scalar reference
+    /// across random shapes (tall and wide), class counts, and labelings —
+    /// including labelings where some classes get a single sample or none
+    /// at all (random draws hit both regularly at these sizes).
+    #[test]
+    fn logme_batched_matches_scalar_bitwise(
+        n in 2usize..40,
+        d in 1usize..9,
+        num_classes in 2usize..7,
+        vals in prop::collection::vec(-10f64..10.0, 40 * 8),
+        raw_labels in prop::collection::vec(0usize..64, 40),
+    ) {
+        use transfergraph_repro::transfer::{Labels, LogMe, Scorer};
+        let features = Matrix::from_fn(n, d, |r, c| vals[r * 8 + c]);
+        let labels_vec: Vec<usize> = raw_labels[..n].iter().map(|&l| l % num_classes).collect();
+        let labels = Labels::new(&labels_vec, num_classes).unwrap();
+        let batched = LogMe::batched().score(&features, &labels).unwrap();
+        let scalar = LogMe::scalar().score(&features, &labels).unwrap();
+        prop_assert!(
+            batched.to_bits() == scalar.to_bits(),
+            "batched {batched:?} != scalar {scalar:?} at n={n} d={d} C={num_classes}"
+        );
+    }
+
+    /// Bit-identity also holds on rank-deficient feature matrices: every
+    /// column is a multiple of one base column, so the numerical rank is 1
+    /// regardless of the requested width.
+    #[test]
+    fn logme_batched_matches_scalar_on_rank_deficient(
+        n in 2usize..30,
+        d in 2usize..9,
+        num_classes in 2usize..5,
+        base in prop::collection::vec(-5f64..5.0, 30),
+        raw_labels in prop::collection::vec(0usize..64, 30),
+    ) {
+        use transfergraph_repro::transfer::{Labels, LogMe, Scorer};
+        let features = Matrix::from_fn(n, d, |r, c| base[r] * (c + 1) as f64);
+        let labels_vec: Vec<usize> = raw_labels[..n].iter().map(|&l| l % num_classes).collect();
+        let labels = Labels::new(&labels_vec, num_classes).unwrap();
+        let batched = LogMe::batched().score(&features, &labels).unwrap();
+        let scalar = LogMe::scalar().score(&features, &labels).unwrap();
+        prop_assert!(batched.to_bits() == scalar.to_bits());
+    }
+
+    /// A label vector of the wrong length surfaces as `ScoreError` from
+    /// every kernel — never a panic.
+    #[test]
+    fn logme_mismatched_labels_always_error(
+        n in 2usize..20,
+        wrong in 1usize..25,
+        num_classes in 2usize..5,
+    ) {
+        use transfergraph_repro::transfer::{Labels, LogMe, ScoreError, Scorer};
+        prop_assume!(wrong != n);
+        let features = Matrix::from_fn(n, 3, |r, c| (r + c) as f64);
+        let labels_vec: Vec<usize> = (0..wrong).map(|i| i % num_classes).collect();
+        let labels = Labels::new(&labels_vec, num_classes).unwrap();
+        for kernel in [LogMe::batched(), LogMe::scalar()] {
+            let got = kernel.score(&features, &labels);
+            prop_assert_eq!(
+                got,
+                Err(ScoreError::LabelCountMismatch { labels: wrong, rows: n })
+            );
+        }
+    }
+}

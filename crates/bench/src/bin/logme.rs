@@ -1,6 +1,7 @@
-//! Batched-LogME kernel benchmark: cold-cache feature-collection timings.
+//! Batched-LogME decomposition benchmark: cold-cache feature-collection
+//! timings across every decomposition arm.
 //!
-//! Three arms score the identical forward passes of every (image model,
+//! Six arms score the identical forward passes of every (image model,
 //! image target) pair:
 //!
 //! * **seed** — a verbatim copy of the pre-batching implementation
@@ -8,26 +9,33 @@
 //!   loop), kept here as the historical baseline;
 //! * **reference** — `LogMe::scalar()`, the fixed row-major per-class
 //!   reference path;
-//! * **batched** — `LogMe::batched()`, the blocked `Z = YᵀU` GEMM +
-//!   struct-of-arrays fixed point.
+//! * **svd** — `LogMe::batched()` pinned to [`DecompPath::Svd`], the
+//!   bit-exactness reference arm;
+//! * **auto** — `LogMe::batched()` on the default heuristic (resolves to
+//!   the Gram path at the simulator's tall shapes) — the production
+//!   configuration whose end-to-end win the bench gates;
+//! * **jacobi** — one-sided Jacobi SVD with parallel rotation sweeps;
+//! * **truncated** — the Gram path with spectral truncation (opt-in fast
+//!   mode, relaxed `1e-3` contract).
 //!
-//! All three must agree bit for bit on every pair. The bench also times the
-//! shared thin SVD alone (to separate kernel gains from the common
-//! spectrum work) and the `Workbench` cold/warm collection paths (parallel
-//! warm-up via the runner pool versus a sequential loop versus a warm
-//! cache). Results land in `results/BENCH_logme.json`; the process exits
-//! nonzero if any arm disagrees or the batched arm fails to beat the
-//! scalar reference.
+//! Gates (nonzero exit on violation): seed ≡ reference ≡ svd bit for bit;
+//! auto and jacobi within `1e-6` of svd, truncated within `1e-3`; the svd
+//! arm beats the scalar reference; kernel speedup vs seed ≥ 2×; end-to-end
+//! auto-vs-seed speedup ≥ 3× at paper scale (≥ 2× at small scale). The
+//! bench also times the `Workbench` cold/warm collection paths and reports
+//! the worker count the warm-up pool *actually* used (returned by
+//! `warm_logme`, not re-derived). Results land in
+//! `results/BENCH_logme.json` with per-arm total and decomposition time.
 
 use std::fs;
 use std::time::{Duration, Instant};
 
+use tg_bench::json::JsonObject;
 use tg_bench::zoo_handle_from_env;
 use tg_linalg::decomp::thin_svd;
 use tg_linalg::Matrix;
-use tg_transfer::{Labels, LogMe, Scorer};
+use tg_transfer::{DecompArm, DecompPath, JacobiConfig, Labels, LogMe, ScoreError};
 use tg_zoo::Modality;
-use transfergraph::runner::default_workers;
 use transfergraph::Workbench;
 
 /// Fixed-point iterations of the seed implementation (unchanged since).
@@ -35,6 +43,13 @@ const FIXED_POINT_ITERS: usize = 11;
 
 /// Timing repetitions per pair and arm; the minimum is kept.
 const REPS: usize = 3;
+
+/// Parity tolerance of the exact alternative decompositions (auto/gram,
+/// jacobi) against the SVD reference arm.
+const EXACT_TOL: f64 = 1e-6;
+
+/// Parity tolerance of the truncated fast mode (documented contract).
+const TRUNC_TOL: f64 = 1e-3;
 
 /// Verbatim copy of the pre-batching `log_me` (the seed implementation):
 /// per-class one-hot column, column-major `u.get(r, i)` projections, scalar
@@ -131,6 +146,53 @@ fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
+/// Relative-or-absolute deviation of `b` from the reference `a`:
+/// `|a − b| / max(1, |a|)`, so scores near zero fall back to absolute.
+fn deviation(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(1.0)
+}
+
+/// One scored decomposition arm: accumulated wall-clock, accumulated
+/// decomposition time (from the kernel's own report), and per-resolved-arm
+/// call counts (interesting for the auto arm).
+#[derive(Default)]
+struct ArmTotals {
+    total: Duration,
+    decomp: Duration,
+    resolved: [u64; 4],
+}
+
+impl ArmTotals {
+    /// Accumulates the best-of-[`REPS`] total and decomposition time of one
+    /// pair (both minimised independently, so `decomp <= total` holds).
+    fn measure(&mut self, arm: &LogMe, features: &Matrix, labels: &Labels) -> f64 {
+        let mut best_total = Duration::MAX;
+        let mut best_decomp = Duration::MAX;
+        let mut score = 0.0;
+        let mut report = None;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let (s, rep) = arm
+                .score_with_report(features, labels)
+                .unwrap_or_else(|e: ScoreError| panic!("{} arm failed: {e}", arm.name_of_path()));
+            best_total = best_total.min(start.elapsed());
+            best_decomp = best_decomp.min(rep.decomp);
+            score = s;
+            report = Some(rep);
+        }
+        self.total += best_total;
+        self.decomp += best_decomp;
+        self.resolved[report.expect("REPS >= 1").arm.index()] += 1;
+        score
+    }
+
+    fn json(&self) -> JsonObject {
+        JsonObject::new()
+            .f64("total_s", secs(self.total))
+            .f64("decomp_s", secs(self.decomp))
+    }
+}
+
 fn main() {
     let handle = zoo_handle_from_env();
     let zoo = handle.zoo();
@@ -138,6 +200,9 @@ fn main() {
         Ok("small") => "small",
         _ => "paper",
     };
+    // The gated end-to-end bar: the tentpole claim is >=3x at paper scale;
+    // the small smoke scale has smaller n where the Gram win shrinks.
+    let end_to_end_bar = if scale == "paper" { 3.0 } else { 2.0 };
 
     let models = zoo.models_of(Modality::Image);
     let targets = zoo.targets_of(Modality::Image);
@@ -146,52 +211,74 @@ fn main() {
         .flat_map(|&m| targets.iter().map(move |&d| (m, d)))
         .collect();
 
-    let batched = LogMe::batched();
+    let jacobi_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let svd_arm = LogMe::batched().with_path(DecompPath::Svd);
+    let auto_arm = LogMe::batched();
+    let jacobi_arm = LogMe::batched()
+        .with_path(DecompPath::Jacobi)
+        .with_jacobi(JacobiConfig {
+            workers: jacobi_workers,
+            ..JacobiConfig::DEFAULT
+        });
+    let trunc_arm = LogMe::batched().with_path(DecompPath::Truncated);
     let reference = LogMe::scalar();
-    let mut t_batched = Duration::ZERO;
+
     let mut t_reference = Duration::ZERO;
     let mut t_seed = Duration::ZERO;
-    let mut t_svd = Duration::ZERO;
+    let mut t_shared_svd = Duration::ZERO;
+    let (mut svd, mut auto, mut jac, mut trunc) = (
+        ArmTotals::default(),
+        ArmTotals::default(),
+        ArmTotals::default(),
+        ArmTotals::default(),
+    );
     let mut mismatches = 0usize;
+    let (mut dev_auto, mut dev_jacobi, mut dev_trunc) = (0f64, 0f64, 0f64);
 
     for &(m, d) in &pairs {
         let fp = zoo.forward_pass(m, d);
         let labels = Labels::new(&fp.labels, fp.num_classes).expect("valid forward-pass labels");
 
-        let (dt, s_batched) = time_min(|| {
-            batched
-                .score(&fp.features, &labels)
-                .expect("batched LogME on valid features")
-        });
-        t_batched += dt;
+        let s_svd = svd.measure(&svd_arm, &fp.features, &labels);
+        let s_auto = auto.measure(&auto_arm, &fp.features, &labels);
+        let s_jacobi = jac.measure(&jacobi_arm, &fp.features, &labels);
+        let s_trunc = trunc.measure(&trunc_arm, &fp.features, &labels);
         let (dt, s_reference) = time_min(|| {
             reference
-                .score(&fp.features, &labels)
+                .score_with_report(&fp.features, &labels)
+                .map(|(s, _)| s)
                 .expect("scalar LogME on valid features")
         });
         t_reference += dt;
         let (dt, s_seed) = time_min(|| seed_log_me(&fp.features, &fp.labels, fp.num_classes));
         t_seed += dt;
         let (dt, _) = time_min(|| thin_svd(&fp.features).expect("SVD of valid features"));
-        t_svd += dt;
+        t_shared_svd += dt;
 
-        if s_batched.to_bits() != s_reference.to_bits() || s_batched.to_bits() != s_seed.to_bits() {
+        if s_svd.to_bits() != s_reference.to_bits() || s_svd.to_bits() != s_seed.to_bits() {
             mismatches += 1;
             eprintln!(
-                "[logme] MISMATCH at ({m:?}, {d:?}): batched {s_batched:?} \
+                "[logme] MISMATCH at ({m:?}, {d:?}): svd {s_svd:?} \
                  reference {s_reference:?} seed {s_seed:?}"
             );
         }
+        dev_auto = dev_auto.max(deviation(s_svd, s_auto));
+        dev_jacobi = dev_jacobi.max(deviation(s_svd, s_jacobi));
+        dev_trunc = dev_trunc.max(deviation(s_svd, s_trunc));
     }
 
     // Workbench collection paths: cold parallel warm-up (runner pool), cold
     // sequential loop, then the fully warm cache. Fresh memory-only
-    // workbenches so `TG_ARTIFACT_DIR` cannot pre-warm them.
+    // workbenches so `TG_ARTIFACT_DIR` cannot pre-warm them. The worker
+    // count comes back from `warm_logme` itself — the pool size the warm-up
+    // actually ran with, not a post-hoc re-derivation.
     let wb_par = Workbench::new(zoo);
     let start = Instant::now();
-    wb_par.warm_logme(Modality::Image);
+    let workers = wb_par.warm_logme(Modality::Image);
     let cold_parallel = start.elapsed();
-    let workers = default_workers(pairs.len());
 
     let wb_seq = Workbench::new(zoo);
     let start = Instant::now();
@@ -201,38 +288,83 @@ fn main() {
     let cold_sequential = start.elapsed();
 
     let start = Instant::now();
-    wb_par.warm_logme(Modality::Image);
+    let warm_workers = wb_par.warm_logme(Modality::Image);
     let warm = start.elapsed();
+    assert_eq!(workers, warm_workers, "same grid, same pool size");
 
     let bit_identical = mismatches == 0;
-    let speedup_ref = secs(t_reference) / secs(t_batched).max(1e-12);
-    let speedup_seed = secs(t_seed) / secs(t_batched).max(1e-12);
-    // Kernel-only view: subtract the shared SVD time every arm pays.
-    let kernel_batched = (secs(t_batched) - secs(t_svd)).max(1e-12);
-    let kernel_seed = (secs(t_seed) - secs(t_svd)).max(0.0);
-    let kernel_speedup_seed = kernel_seed / kernel_batched;
+    let speedup_ref = secs(t_reference) / secs(svd.total).max(1e-12);
+    let end_to_end = secs(t_seed) / secs(auto.total).max(1e-12);
+    // Kernel-only view of the svd arm: subtract the shared thin-SVD time
+    // that arm and the seed both pay.
+    let kernel_svd = (secs(svd.total) - secs(t_shared_svd)).max(1e-12);
+    let kernel_seed = (secs(t_seed) - secs(t_shared_svd)).max(0.0);
+    let kernel_speedup_seed = kernel_seed / kernel_svd;
     let parallel_speedup = secs(cold_sequential) / secs(cold_parallel).max(1e-12);
 
-    let json = format!(
-        "{{\n  \"scale\": \"{scale}\",\n  \"modality\": \"image\",\n  \"pairs\": {},\n  \
-         \"reps\": {REPS},\n  \"bit_identical\": {bit_identical},\n  \
-         \"score_total_s\": {{\n    \"batched\": {:.6},\n    \"reference\": {:.6},\n    \
-         \"seed_column_major\": {:.6},\n    \"shared_svd\": {:.6}\n  }},\n  \
-         \"speedup_vs_reference\": {speedup_ref:.3},\n  \
-         \"speedup_vs_seed\": {speedup_seed:.3},\n  \
-         \"kernel_speedup_vs_seed\": {kernel_speedup_seed:.3},\n  \
-         \"collection\": {{\n    \"workers\": {workers},\n    \
-         \"cold_parallel_s\": {:.6},\n    \"cold_sequential_s\": {:.6},\n    \
-         \"warm_s\": {:.6},\n    \"parallel_speedup\": {parallel_speedup:.3}\n  }}\n}}\n",
-        pairs.len(),
-        secs(t_batched),
-        secs(t_reference),
-        secs(t_seed),
-        secs(t_svd),
-        secs(cold_parallel),
-        secs(cold_sequential),
-        secs(warm),
-    );
+    // Per-arm decomposition telemetry of the parallel warm-up workbench —
+    // what production collection actually ran (the auto heuristic).
+    let wb_decomp = wb_par.stats().decomp;
+    let mut wb_decomp_json = JsonObject::new();
+    for arm in DecompArm::ALL {
+        let (calls, took) = wb_decomp[arm.index()];
+        if calls > 0 {
+            wb_decomp_json = wb_decomp_json.object(
+                arm.name(),
+                JsonObject::new()
+                    .u64("calls", calls)
+                    .f64("total_s", secs(took)),
+            );
+        }
+    }
+
+    let auto_resolved = DecompArm::ALL.iter().fold(JsonObject::new(), |obj, arm| {
+        obj.u64(arm.name(), auto.resolved[arm.index()])
+    });
+    let json = JsonObject::new()
+        .str("scale", scale)
+        .str("modality", "image")
+        .usize("pairs", pairs.len())
+        .usize("reps", REPS)
+        .bool("bit_identical", bit_identical)
+        .object(
+            "arms",
+            JsonObject::new()
+                .object(
+                    "seed_column_major",
+                    JsonObject::new().f64("total_s", secs(t_seed)),
+                )
+                .object(
+                    "reference_scalar",
+                    JsonObject::new().f64("total_s", secs(t_reference)),
+                )
+                .object("svd", svd.json())
+                .object("auto", auto.json().object("resolved", auto_resolved))
+                .object("jacobi", jac.json().usize("workers", jacobi_workers))
+                .object("truncated", trunc.json()),
+        )
+        .f64("shared_svd_s", secs(t_shared_svd))
+        .object(
+            "parity_max_deviation",
+            JsonObject::new()
+                .f64("auto_vs_svd", dev_auto)
+                .f64("jacobi_vs_svd", dev_jacobi)
+                .f64("truncated_vs_svd", dev_trunc),
+        )
+        .f64("speedup_vs_reference", speedup_ref)
+        .f64("end_to_end_speedup_vs_seed", end_to_end)
+        .f64("kernel_speedup_vs_seed", kernel_speedup_seed)
+        .object(
+            "collection",
+            JsonObject::new()
+                .usize("workers", workers)
+                .f64("cold_parallel_s", secs(cold_parallel))
+                .f64("cold_sequential_s", secs(cold_sequential))
+                .f64("warm_s", secs(warm))
+                .f64("parallel_speedup", parallel_speedup)
+                .object("decomp", wb_decomp_json),
+        )
+        .render();
     let out_path =
         std::env::var("TG_BENCH_JSON").unwrap_or_else(|_| "results/BENCH_logme.json".into());
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
@@ -241,36 +373,86 @@ fn main() {
     fs::write(&out_path, &json).expect("write BENCH_logme.json");
 
     println!(
-        "[logme] pairs={} bit_identical={} batched={:.3}s reference={:.3}s seed={:.3}s \
-         svd={:.3}s speedup_ref={speedup_ref:.2}x speedup_seed={speedup_seed:.2}x \
-         kernel_speedup_seed={kernel_speedup_seed:.2}x cold_par={:.3}s cold_seq={:.3}s \
-         warm={:.4}s par_speedup={parallel_speedup:.2}x workers={workers} -> {out_path}",
+        "[logme] pairs={} bit_identical={} svd={:.3}s auto={:.3}s jacobi={:.3}s \
+         truncated={:.3}s reference={:.3}s seed={:.3}s shared_svd={:.3}s \
+         end_to_end_vs_seed={end_to_end:.2}x speedup_ref={speedup_ref:.2}x \
+         kernel_speedup_seed={kernel_speedup_seed:.2}x dev_auto={dev_auto:.2e} \
+         dev_jacobi={dev_jacobi:.2e} dev_trunc={dev_trunc:.2e} cold_par={:.3}s \
+         cold_seq={:.3}s warm={:.4}s par_speedup={parallel_speedup:.2}x \
+         workers={workers} -> {out_path}",
         pairs.len(),
         if bit_identical { "yes" } else { "no" },
-        secs(t_batched),
+        secs(svd.total),
+        secs(auto.total),
+        secs(jac.total),
+        secs(trunc.total),
         secs(t_reference),
         secs(t_seed),
-        secs(t_svd),
+        secs(t_shared_svd),
         secs(cold_parallel),
         secs(cold_sequential),
         secs(warm),
     );
 
+    let mut failed = false;
     if !bit_identical {
-        eprintln!("[logme] FAIL: {mismatches} pair(s) disagree across kernels");
-        std::process::exit(1);
+        eprintln!("[logme] FAIL: {mismatches} pair(s) disagree across seed/reference/svd");
+        failed = true;
     }
-    if t_batched >= t_reference {
+    if dev_auto > EXACT_TOL {
+        eprintln!("[logme] FAIL: auto arm deviates {dev_auto:.3e} from svd (tol {EXACT_TOL:.0e})");
+        failed = true;
+    }
+    if dev_jacobi > EXACT_TOL {
         eprintln!(
-            "[logme] FAIL: batched ({:?}) did not beat the scalar reference ({:?})",
-            t_batched, t_reference
+            "[logme] FAIL: jacobi arm deviates {dev_jacobi:.3e} from svd (tol {EXACT_TOL:.0e})"
         );
-        std::process::exit(1);
+        failed = true;
+    }
+    if dev_trunc > TRUNC_TOL {
+        eprintln!(
+            "[logme] FAIL: truncated arm deviates {dev_trunc:.3e} from svd (tol {TRUNC_TOL:.0e})"
+        );
+        failed = true;
+    }
+    if svd.total >= t_reference {
+        eprintln!(
+            "[logme] FAIL: batched svd arm ({:?}) did not beat the scalar reference ({:?})",
+            svd.total, t_reference
+        );
+        failed = true;
     }
     if kernel_speedup_seed < 2.0 {
         eprintln!(
             "[logme] FAIL: kernel speedup vs seed ({kernel_speedup_seed:.2}x) under the 2x bar"
         );
+        failed = true;
+    }
+    if end_to_end < end_to_end_bar {
+        eprintln!(
+            "[logme] FAIL: end-to-end auto-vs-seed speedup ({end_to_end:.2}x) under the \
+             {end_to_end_bar:.1}x bar at {scale} scale"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
+    }
+}
+
+/// Small display helper so arm panics name the path they ran.
+trait PathName {
+    fn name_of_path(&self) -> &'static str;
+}
+
+impl PathName for LogMe {
+    fn name_of_path(&self) -> &'static str {
+        match self.path() {
+            DecompPath::Auto => "auto",
+            DecompPath::Svd => "svd",
+            DecompPath::Gram => "gram",
+            DecompPath::Jacobi => "jacobi",
+            DecompPath::Truncated => "truncated",
+        }
     }
 }

@@ -1,0 +1,208 @@
+//! Minimal key/value JSON object writer for the bench binaries.
+//!
+//! The experiment binaries emit small result files like
+//! `results/BENCH_logme.json`. These used to be assembled with one giant
+//! `format!` string — fragile to edit (a misplaced `\n  \` breaks the
+//! document) and silently invalid when a metric is `NaN`/`Inf`, which
+//! `{:.3}` happily prints even though JSON has no such literals. This
+//! writer keeps the zero-dependency constraint while guaranteeing:
+//!
+//! * keys and string values are escaped (`"`, `\`, control characters);
+//! * non-finite floats serialize as `null` instead of invalid `NaN`;
+//! * nesting and indentation are structural, not hand-counted.
+//!
+//! Insertion order is preserved, so diffs of checked-in result files stay
+//! stable across regenerations.
+
+use std::fmt::Write as _;
+
+/// An ordered JSON object under construction. Values are rendered with
+/// two-space indentation by [`JsonObject::render`].
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    entries: Vec<(String, Value)>,
+}
+
+#[derive(Debug)]
+enum Value {
+    Str(String),
+    U64(u64),
+    Bool(bool),
+    /// Finite floats only; non-finite inputs are stored as [`Value::Null`].
+    F64(f64),
+    Null,
+    Obj(JsonObject),
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    /// Adds a string field (escaped on render).
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        self.entries.push((key.into(), Value::Str(value.into())));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> JsonObject {
+        self.entries.push((key.into(), Value::U64(value)));
+        self
+    }
+
+    /// Adds a `usize` field (bench counters are usually lengths).
+    pub fn usize(self, key: &str, value: usize) -> JsonObject {
+        self.u64(key, value as u64)
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> JsonObject {
+        self.entries.push((key.into(), Value::Bool(value)));
+        self
+    }
+
+    /// Adds a float field. `NaN` and `±Inf` have no JSON literal and are
+    /// written as `null` — readers treat an absent-or-null metric as "not
+    /// measured" rather than choking on an invalid document.
+    pub fn f64(mut self, key: &str, value: f64) -> JsonObject {
+        let v = if value.is_finite() {
+            Value::F64(value)
+        } else {
+            Value::Null
+        };
+        self.entries.push((key.into(), v));
+        self
+    }
+
+    /// Adds a nested object field.
+    pub fn object(mut self, key: &str, value: JsonObject) -> JsonObject {
+        self.entries.push((key.into(), Value::Obj(value)));
+        self
+    }
+
+    /// Renders the document with a trailing newline, ready for
+    /// `fs::write`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        if self.entries.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        let pad = "  ".repeat(depth + 1);
+        out.push_str("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            out.push_str(&pad);
+            write_escaped(out, key);
+            out.push_str(": ");
+            match value {
+                Value::Str(s) => write_escaped(out, s),
+                Value::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                // `{}` on a finite f64 is the shortest round-trip decimal
+                // form, always a valid JSON number.
+                Value::F64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Null => out.push_str("null"),
+                Value::Obj(obj) => obj.write_into(out, depth + 1),
+            }
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(&"  ".repeat(depth));
+        out.push('}');
+    }
+}
+
+/// Writes `s` as a quoted JSON string, escaping the characters JSON
+/// requires (quote, backslash, and control characters below U+0020).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_fields_in_insertion_order() {
+        let json = JsonObject::new()
+            .str("scale", "paper")
+            .usize("pairs", 3)
+            .bool("ok", true)
+            .f64("speedup", 2.5)
+            .render();
+        assert_eq!(
+            json,
+            "{\n  \"scale\": \"paper\",\n  \"pairs\": 3,\n  \"ok\": true,\n  \
+             \"speedup\": 2.5\n}\n"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let json = JsonObject::new()
+            .f64("nan", f64::NAN)
+            .f64("inf", f64::INFINITY)
+            .f64("neg_inf", f64::NEG_INFINITY)
+            .f64("fine", 1.0)
+            .render();
+        assert!(json.contains("\"nan\": null"));
+        assert!(json.contains("\"inf\": null"));
+        assert!(json.contains("\"neg_inf\": null"));
+        assert!(json.contains("\"fine\": 1"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn nested_objects_indent_structurally() {
+        let json = JsonObject::new()
+            .object("outer", JsonObject::new().u64("inner", 7))
+            .object("empty", JsonObject::new())
+            .render();
+        assert_eq!(
+            json,
+            "{\n  \"outer\": {\n    \"inner\": 7\n  },\n  \"empty\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = JsonObject::new().str("k\"ey", "a\\b\nc\u{1}").render();
+        assert_eq!(json, "{\n  \"k\\\"ey\": \"a\\\\b\\nc\\u0001\"\n}\n");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest_form() {
+        let json = JsonObject::new().f64("v", 0.1 + 0.2).render();
+        assert!(json.contains("\"v\": 0.30000000000000004"));
+    }
+}

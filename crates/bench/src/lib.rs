@@ -15,6 +15,8 @@
 //! * `TG_RUNNER_SUMMARY` — `1`/`0` forces run-summary printing on/off
 //!   (default: on in release builds, off in debug builds).
 
+pub mod json;
+
 use std::sync::{Arc, OnceLock};
 
 use tg_zoo::{Modality, ModelZoo, ZooConfig};

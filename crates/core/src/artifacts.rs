@@ -27,10 +27,10 @@
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use tg_transfer::{Labels, LogMe, Scorer};
+use tg_transfer::{DecompArm, Labels, LogMe};
 use tg_zoo::{DatasetId, Modality, ModelId, ModelZoo};
 
 use crate::config::Representation;
@@ -79,6 +79,8 @@ pub struct Telemetry {
     stage_nanos: [AtomicU64; 3],
     logme_kernel_nanos: AtomicU64,
     logme_kernel_calls: AtomicU64,
+    decomp_nanos: [AtomicU64; 4],
+    decomp_calls: [AtomicU64; 4],
 }
 
 impl Telemetry {
@@ -111,6 +113,29 @@ impl Telemetry {
         )
     }
 
+    /// Credits one LogME decomposition to its arm's accumulators. The
+    /// duration comes from the scorer's own [`tg_transfer::LogMeReport`]
+    /// (measured inside the kernel, a subset of the LogME-kernel time).
+    pub fn record_decomp(&self, arm: DecompArm, took: Duration) {
+        let i = arm.index();
+        let nanos = u64::try_from(took.as_nanos()).unwrap_or(u64::MAX);
+        self.decomp_nanos[i].fetch_add(nanos, Ordering::Relaxed);
+        self.decomp_calls[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-arm `(calls, accumulated wall-clock)` of the LogME
+    /// decompositions, indexed by [`DecompArm::index`] (see
+    /// [`DecompArm::ALL`] for the order).
+    pub fn decomp_arms(&self) -> [(u64, Duration); 4] {
+        DecompArm::ALL.map(|arm| {
+            let i = arm.index();
+            (
+                self.decomp_calls[i].load(Ordering::Relaxed),
+                Duration::from_nanos(self.decomp_nanos[i].load(Ordering::Relaxed)),
+            )
+        })
+    }
+
     /// Adds `nanos` to a stage accumulator, clamping to `u64::MAX` — an
     /// `as u64` cast would silently wrap an over-wide reading instead.
     fn record(&self, stage: Stage, nanos: u128) {
@@ -141,6 +166,10 @@ pub struct WorkbenchStats {
     /// `(calls, wall-clock)` of the batched LogME kernel — the evidence
     /// maximisation alone, a subset of the feature-collection stage time.
     pub logme_kernel: (u64, Duration),
+    /// Per-arm `(calls, wall-clock)` of the LogME decompositions (a subset
+    /// of the kernel time), indexed by
+    /// [`DecompArm::index`](tg_transfer::DecompArm::index).
+    pub decomp: [(u64, Duration); 4],
 }
 
 impl WorkbenchStats {
@@ -161,6 +190,12 @@ impl WorkbenchStats {
                 self.logme_kernel.0 - earlier.logme_kernel.0,
                 self.logme_kernel.1 - earlier.logme_kernel.1,
             ),
+            decomp: [0, 1, 2, 3].map(|i| {
+                (
+                    self.decomp[i].0 - earlier.decomp[i].0,
+                    self.decomp[i].1 - earlier.decomp[i].1,
+                )
+            }),
         }
     }
 
@@ -198,11 +233,25 @@ impl WorkbenchStats {
                 format!("{:.1}%", 100.0 * h as f64 / (h + m) as f64)
             }
         };
+        let decomp = DecompArm::ALL
+            .iter()
+            .filter(|arm| self.decomp[arm.index()].0 > 0)
+            .map(|arm| {
+                let (calls, took) = self.decomp[arm.index()];
+                format!("{} {calls}x {took:.3?}", arm.name())
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let decomp = if decomp.is_empty() {
+            String::new()
+        } else {
+            format!(" | decomp: {decomp}")
+        };
         format!(
             "stages: collection {:.3?} (logme-kernel {}x {:.3?}), graph {:.3?}, \
              regression {:.3?} | \
              cache hit rates: logme {} ({}h/{}m), repr {} ({}h/{}m), sim {} ({}h/{}m) | \
-             disk {}h/{}m ({}B read, {}B written)",
+             disk {}h/{}m ({}B read, {}B written){}",
             self.stage(Stage::FeatureCollection),
             self.logme_kernel.0,
             self.logme_kernel.1,
@@ -221,6 +270,7 @@ impl WorkbenchStats {
             self.disk.misses,
             self.disk.bytes_read,
             self.disk.bytes_written,
+            decomp,
         )
     }
 }
@@ -362,17 +412,26 @@ impl<'z> Workbench<'z> {
 
     /// LogME score of model `m` on dataset `d` (forward pass + batched
     /// evidence maximisation), cached. The kernel portion is additionally
-    /// attributed to the dedicated LogME-kernel telemetry.
+    /// attributed to the dedicated LogME-kernel telemetry, and the
+    /// decomposition inside it to the per-arm decomposition telemetry.
+    ///
+    /// The decomposition path is resolved once per process from the
+    /// environment (`TG_LOGME_DECOMP`, `TG_JACOBI_WORKERS`); the default
+    /// auto heuristic picks the Gram path at the simulator's tall shapes.
     pub fn logme(&self, m: ModelId, d: DatasetId) -> f64 {
-        const LOGME: LogMe = LogMe::batched();
+        static LOGME: OnceLock<LogMe> = OnceLock::new();
+        let logme = *LOGME.get_or_init(LogMe::from_env);
         let disk = self.store.disk_enabled();
         self.store.logme.get_or_insert_with((m, d), disk, || {
             self.telemetry().time(Stage::FeatureCollection, || {
                 let fp = self.zoo.get().forward_pass(m, d);
                 let scored = Labels::new(&fp.labels, fp.num_classes).and_then(|labels| {
                     self.telemetry()
-                        .time_logme_kernel(|| LOGME.score(&fp.features, &labels))
+                        .time_logme_kernel(|| logme.score_with_report(&fp.features, &labels))
                 });
+                if let Ok((_, report)) = &scored {
+                    self.telemetry().record_decomp(report.arm, report.decomp);
+                }
                 // Simulator forward passes are valid by construction; a
                 // score error here flags a zoo bug worth crashing on.
                 assert!(
@@ -384,7 +443,7 @@ impl<'z> Workbench<'z> {
                         .map(|e| e.to_string())
                         .unwrap_or_default()
                 );
-                scored.unwrap_or_default()
+                scored.map(|(score, _)| score).unwrap_or_default()
             })
         })
     }
@@ -428,8 +487,9 @@ impl<'z> Workbench<'z> {
     /// ([`crate::runner::drain_indexed`]), fanning out over all available
     /// cores. Called by experiment harnesses to front-load the expensive
     /// part before timing the pipeline; afterwards every worker thread hits
-    /// a warm cache.
-    pub fn warm_logme(&self, modality: Modality) {
+    /// a warm cache. Returns the number of worker threads actually used, so
+    /// callers can report it truthfully instead of re-deriving it.
+    pub fn warm_logme(&self, modality: Modality) -> usize {
         let models = self.zoo.get().models_of(modality);
         let targets = self.zoo.get().targets_of(modality);
         let pairs: Vec<(ModelId, DatasetId)> = models
@@ -441,6 +501,7 @@ impl<'z> Workbench<'z> {
             let (m, d) = pairs[i];
             self.logme(m, d);
         });
+        workers
     }
 
     /// Number of cached LogME entries (diagnostic).
@@ -465,6 +526,7 @@ impl<'z> Workbench<'z> {
                 self.telemetry().stage_time(Stage::Regression),
             ],
             logme_kernel: self.telemetry().logme_kernel(),
+            decomp: self.telemetry().decomp_arms(),
         }
     }
 }
@@ -574,6 +636,34 @@ mod tests {
         wb.warm_logme(Modality::Image);
         assert_eq!(wb.logme_cache_len(), expected);
         assert_eq!(wb.stats().logme.1, misses_before);
+    }
+
+    #[test]
+    fn warm_logme_reports_the_worker_count_it_used() {
+        let zoo = ModelZoo::build(&ZooConfig::small(9));
+        let wb = Workbench::new(&zoo);
+        let workers = wb.warm_logme(Modality::Image);
+        assert!(workers >= 1);
+        let pairs = zoo.models_of(Modality::Image).len() * zoo.targets_of(Modality::Image).len();
+        assert_eq!(workers, crate::runner::default_workers(pairs));
+    }
+
+    #[test]
+    fn decomp_telemetry_credits_one_arm_per_miss() {
+        let zoo = ModelZoo::build(&ZooConfig::small(8));
+        let wb = Workbench::new(&zoo);
+        let m = zoo.models_of(Modality::Image)[0];
+        let d = zoo.targets_of(Modality::Image)[0];
+        wb.logme(m, d);
+        let stats = wb.stats();
+        let calls: u64 = stats.decomp.iter().map(|(c, _)| c).sum();
+        assert_eq!(calls, 1, "exactly one decomposition per cold miss");
+        // A cache hit must not record another decomposition.
+        wb.logme(m, d);
+        let again: u64 = wb.stats().decomp.iter().map(|(c, _)| c).sum();
+        assert_eq!(again, 1);
+        // The active arm shows up in the rendered summary line.
+        assert!(wb.stats().render().contains("decomp:"));
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! | 1    | `BuildSlot`   | per-fingerprint `BuildSlot::cell`             |
 //! | 2    | `StoreShard`  | persist lock, `TieredCache::disk`             |
 //! | 3    | `CacheShard`  | `ShardedCache` shard `RwLock`s                |
+//! | 4    | *(static only)* | `cols` — per-column Jacobi rotation mutexes |
+//!
+//! Rank 4 covers the parallel Jacobi sweep's per-column locks in
+//! `tg-linalg` (`decomp.rs`). That crate sits below this one and cannot
+//! reach the runtime tracker, so the rank exists only in `tg-check.toml`
+//! for the static TG04 layer; it is a leaf rank (a rotation holds two
+//! same-rank column locks and acquires nothing else).
 //!
 //! A thread may only acquire locks in non-decreasing rank order (equal
 //! ranks are fine: the persist lock wraps disk-tier reads at the same

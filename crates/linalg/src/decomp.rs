@@ -1,15 +1,29 @@
 //! Matrix decompositions: Cholesky, symmetric eigendecomposition (cyclic
-//! Jacobi), and thin SVD.
+//! Jacobi), thin SVD, and a one-sided (Hestenes) Jacobi SVD with optional
+//! blocked-parallel sweeps.
 //!
 //! These are the numeric workhorses of the reproduction:
 //! * ridge regression (`tg-predict`) solves normal equations with
 //!   [`cholesky_solve`];
 //! * LogME (`tg-transfer`) projects labels onto the right singular basis of
-//!   the feature matrix, obtained with [`thin_svd`];
+//!   the feature matrix, obtained with [`thin_svd`] or
+//!   [`one_sided_jacobi_svd`];
 //! * PARC and dataset-similarity computations use the eigen routines
 //!   indirectly through correlation matrices.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
 use crate::matrix::Matrix;
+use crate::pool;
+
+/// Singular values at or below this absolute threshold are treated as zero:
+/// the corresponding left singular vectors are not formed (columns of `U`
+/// stay zero) and downstream projections through `Σ⁻¹` skip them.
+pub const SIGMA_CLAMP: f64 = 1e-12;
+
+/// Default sweep budget of every Jacobi iteration in this module.
+pub const MAX_SWEEPS: usize = 64;
 
 /// Errors from decomposition routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,23 +109,58 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, DecompError> {
 /// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted in
 /// descending order; eigenvector `k` is column `k` of the returned matrix.
 pub fn symmetric_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), DecompError> {
+    symmetric_eigen_with_sweeps(a, MAX_SWEEPS).map(|(vals, vecs, _)| (vals, vecs))
+}
+
+/// [`symmetric_eigen`] with an explicit sweep budget, additionally returning
+/// the number of full sweeps that ran before convergence (0 for an already
+/// diagonal input).
+///
+/// Convergence is checked once more *after* the final sweep — the historical
+/// loop checked only before each sweep, so an input that reached tolerance
+/// during its last allowed sweep was misreported as [`DecompError::NoConvergence`].
+pub fn symmetric_eigen_with_sweeps(
+    a: &Matrix,
+    max_sweeps: usize,
+) -> Result<(Vec<f64>, Matrix, usize), DecompError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(DecompError::NotSquare);
     }
+    // The sweep maintains only the upper triangle of M (the lower triangle
+    // goes stale after the first rotation and is never read): a two-sided
+    // Jacobi rotation keeps M symmetric, so tracking one triangle halves
+    // the matrix work per rotation, and the (p,p)/(q,q)/(p,q) entries have
+    // exact closed forms (Golub & Van Loan §8.5). `sorted_eigen` reads
+    // only the diagonal, and the convergence norm reads only the upper
+    // triangle, so the stale half is never observed.
+    // Eigenvectors are accumulated transposed (`vt` row k is eigenvector
+    // k): a Givens update touches eigenvector *columns* p and q, which in
+    // `vt` are two contiguous rows — the per-element arithmetic is
+    // unchanged (bit-identical), but the accesses vectorize instead of
+    // striding across every row. One exact transpose restores V at the end.
     let mut m = a.clone();
-    let mut v = Matrix::identity(n);
-    let max_sweeps = 64;
-    for _sweep in 0..max_sweeps {
-        // Off-diagonal Frobenius norm: convergence criterion.
-        let mut off = 0.0;
+    let mut vt = Matrix::identity(n);
+    for sweep in 0..=max_sweeps {
+        // Off-diagonal Frobenius norm (upper triangle): convergence
+        // criterion, scale-relative against the full Frobenius norm
+        // reconstructed from the triangle.
+        let mut off2 = 0.0;
+        let mut diag2 = 0.0;
         for i in 0..n {
-            for j in (i + 1)..n {
-                off += m.get(i, j) * m.get(i, j);
+            let row = m.row(i);
+            diag2 += row[i] * row[i];
+            for x in &row[i + 1..] {
+                off2 += x * x;
             }
         }
-        if off.sqrt() < 1e-12 * (1.0 + m.frobenius_norm()) {
-            return Ok(sorted_eigen(&m, &v));
+        let frob = (diag2 + 2.0 * off2).sqrt();
+        if off2.sqrt() < 1e-12 * (1.0 + frob) {
+            let (vals, vecs) = sorted_eigen(&m, &vt.transpose());
+            return Ok((vals, vecs, sweep));
+        }
+        if sweep == max_sweeps {
+            break;
         }
         for p in 0..n {
             for q in (p + 1)..n {
@@ -121,35 +170,74 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), DecompError> {
                 }
                 let app = m.get(p, p);
                 let aqq = m.get(q, q);
+                // Threshold Jacobi: an off-diagonal element already at
+                // rounding level relative to its diagonal pair cannot be
+                // improved by a rotation — its computed angle is pure
+                // noise. Skipping it leaves off² contributions of at most
+                // (ε·√|app·aqq|)² per entry, far inside the convergence
+                // tolerance below, and makes late sweeps (where almost
+                // every entry qualifies) nearly free.
+                if apq * apq <= f64::EPSILON * f64::EPSILON * (app * aqq).abs() {
+                    continue;
+                }
                 // Jacobi rotation angle.
                 let theta = (aqq - app) / (2.0 * apq);
                 let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
-                // Apply rotation to rows/cols p and q of M.
-                for k in 0..n {
-                    let mkp = m.get(k, p);
-                    let mkq = m.get(k, q);
-                    m.set(k, p, c * mkp - s * mkq);
-                    m.set(k, q, s * mkp + c * mkq);
-                }
-                for k in 0..n {
-                    let mpk = m.get(p, k);
-                    let mqk = m.get(q, k);
-                    m.set(p, k, c * mpk - s * mqk);
-                    m.set(q, k, s * mpk + c * mqk);
-                }
-                // Accumulate eigenvectors.
-                for k in 0..n {
-                    let vkp = v.get(k, p);
-                    let vkq = v.get(k, q);
-                    v.set(k, p, c * vkp - s * vkq);
-                    v.set(k, q, s * vkp + c * vkq);
+                rotate_upper(m.as_mut_slice(), n, p, q, t, c, s);
+                // Accumulate eigenvectors: rows p and q of Vᵀ, contiguous.
+                let (head, tail) = vt.as_mut_slice().split_at_mut(q * n);
+                let rp = &mut head[p * n..p * n + n];
+                let rq = &mut tail[..n];
+                for (xp, xq) in rp.iter_mut().zip(rq.iter_mut()) {
+                    let (x, y) = (*xp, *xq);
+                    *xp = c * x - s * y;
+                    *xq = s * x + c * y;
                 }
             }
         }
     }
     Err(DecompError::NoConvergence)
+}
+
+/// Applies the two-sided Jacobi rotation `M ← JᵀMJ` for the pair `p < q`
+/// to the upper triangle of a row-major `n × n` buffer, leaving the lower
+/// triangle stale. Diagonal and pivot entries use the exact closed forms
+/// `a_pp − t·a_pq` / `a_qq + t·a_pq` / `0`; every other affected entry
+/// `(k,p)`/`(k,q)` lives in one of three triangle segments (`k < p`,
+/// `p < k < q`, `k > q`) and is updated with the standard Givens formulas
+/// in ascending-`k` order.
+fn rotate_upper(data: &mut [f64], n: usize, p: usize, q: usize, t: f64, c: f64, s: f64) {
+    debug_assert!(p < q);
+    let apq = data[p * n + q];
+    data[p * n + p] -= t * apq;
+    data[q * n + q] += t * apq;
+    data[p * n + q] = 0.0;
+    // k < p: both entries are column reads a[k][p], a[k][q].
+    for row in data[..p * n].chunks_exact_mut(n) {
+        let (x, y) = (row[p], row[q]);
+        row[p] = c * x - s * y;
+        row[q] = s * x + c * y;
+    }
+    // Split so row p (in `head`) and rows p+1.. (in `tail`) borrow
+    // disjointly; row p's tail holds a[p][k] for k > p, and column q of
+    // the later rows holds a[k][q].
+    let (head, tail) = data.split_at_mut((p + 1) * n);
+    let rowp = &mut head[p * n..];
+    // p < k < q: a[p][k] is contiguous in row p, a[k][q] is a column read.
+    for (i, row) in tail.chunks_exact_mut(n).take(q - p - 1).enumerate() {
+        let (x, y) = (rowp[p + 1 + i], row[q]);
+        rowp[p + 1 + i] = c * x - s * y;
+        row[q] = s * x + c * y;
+    }
+    // k > q: both entries are contiguous row reads a[p][k], a[q][k].
+    let rowq = &mut tail[(q - p - 1) * n..(q - p) * n];
+    for k in (q + 1)..n {
+        let (x, y) = (rowp[k], rowq[k]);
+        rowp[k] = c * x - s * y;
+        rowq[k] = s * x + c * y;
+    }
 }
 
 fn sorted_eigen(m: &Matrix, v: &Matrix) -> (Vec<f64>, Matrix) {
@@ -180,9 +268,15 @@ pub struct Svd {
 /// conditioning encountered here (feature matrices with moderate dynamic
 /// range) and keeps the implementation compact.
 pub fn thin_svd(a: &Matrix) -> Result<Svd, DecompError> {
+    thin_svd_with_sweeps(a).map(|(svd, _)| svd)
+}
+
+/// [`thin_svd`] additionally reporting the Jacobi sweep count of the inner
+/// Gram eigendecomposition (telemetry for the decomposition benches).
+pub fn thin_svd_with_sweeps(a: &Matrix) -> Result<(Svd, usize), DecompError> {
     let (n, d) = a.shape();
     if n >= d {
-        let (mut evals, v) = symmetric_eigen(&a.gram())?;
+        let (mut evals, v, sweeps) = symmetric_eigen_with_sweeps(&a.gram(), MAX_SWEEPS)?;
         for e in &mut evals {
             *e = e.max(0.0);
         }
@@ -190,22 +284,214 @@ pub fn thin_svd(a: &Matrix) -> Result<Svd, DecompError> {
         // U = A V Σ⁻¹ (columns with σ≈0 are left as zero vectors).
         let av = a.matmul(&v);
         let u = Matrix::from_fn(n, d, |r, c| {
-            if sigma[c] > 1e-12 {
+            if sigma[c] > SIGMA_CLAMP {
                 av.get(r, c) / sigma[c]
             } else {
                 0.0
             }
         });
-        Ok(Svd { u, sigma, v })
+        Ok((Svd { u, sigma, v }, sweeps))
     } else {
         let at = a.transpose();
-        let sv = thin_svd(&at)?;
-        Ok(Svd {
-            u: sv.v,
-            sigma: sv.sigma,
-            v: sv.u,
-        })
+        let (sv, sweeps) = thin_svd_with_sweeps(&at)?;
+        Ok((
+            Svd {
+                u: sv.v,
+                sigma: sv.sigma,
+                v: sv.u,
+            },
+            sweeps,
+        ))
     }
+}
+
+/// Options for [`one_sided_jacobi_svd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JacobiOpts {
+    /// Full-sweep budget before the iteration gives up with
+    /// [`DecompError::NoConvergence`].
+    pub max_sweeps: usize,
+    /// Relative per-pair orthogonality threshold: columns `(p, q)` are
+    /// rotated only while `|aₚ·a_q| > tol · ‖aₚ‖ ‖a_q‖`. A sweep that
+    /// applies no rotation means every pair is orthogonal to tolerance and
+    /// the iteration has converged.
+    pub tol: f64,
+    /// Worker threads for the rotation rounds (`<= 1` = sequential). Any
+    /// value produces bit-identical factors — see the determinism note on
+    /// [`one_sided_jacobi_svd`].
+    pub workers: usize,
+}
+
+impl Default for JacobiOpts {
+    fn default() -> Self {
+        JacobiOpts {
+            max_sweeps: MAX_SWEEPS,
+            tol: 1e-12,
+            workers: 1,
+        }
+    }
+}
+
+/// One column of the matrix being orthogonalised, paired with the matching
+/// column of the accumulated right singular basis.
+struct JacobiCol {
+    a: Vec<f64>,
+    v: Vec<f64>,
+}
+
+/// Round-robin (circle method) rotation schedule: `d` columns are paired
+/// over `d − 1` rounds (`d` padded to even with a bye), every unordered pair
+/// appearing exactly once per sweep and the pairs within one round being
+/// mutually disjoint. Pairs are emitted `(min, max)`.
+fn tournament_rounds(d: usize) -> Vec<Vec<(usize, usize)>> {
+    if d < 2 {
+        return Vec::new();
+    }
+    let m = d + (d % 2);
+    let mut ring: Vec<usize> = (0..m).collect();
+    let mut rounds = Vec::with_capacity(m - 1);
+    for _ in 0..m - 1 {
+        let mut pairs = Vec::with_capacity(m / 2);
+        for k in 0..m / 2 {
+            let (x, y) = (ring[k], ring[m - 1 - k]);
+            // Skip the padding bye column when d is odd.
+            if x < d && y < d {
+                pairs.push((x.min(y), x.max(y)));
+            }
+        }
+        rounds.push(pairs);
+        ring[1..].rotate_right(1);
+    }
+    rounds
+}
+
+/// One Hestenes rotation: orthogonalises columns `p` (in `cp`) and `q` (in
+/// `cq`), `p < q`, returning whether a rotation was applied. The same plane
+/// rotation is accumulated into the `v` columns.
+fn rotate_pair(cp: &mut JacobiCol, cq: &mut JacobiCol, tol: f64) -> bool {
+    let mut alpha = 0.0;
+    let mut beta = 0.0;
+    let mut gamma = 0.0;
+    for (x, y) in cp.a.iter().zip(&cq.a) {
+        alpha += x * x;
+        beta += y * y;
+        gamma += x * y;
+    }
+    if gamma.abs() <= tol * (alpha * beta).sqrt() {
+        return false;
+    }
+    let zeta = (beta - alpha) / (2.0 * gamma);
+    let t = zeta.signum() / (zeta.abs() + (zeta * zeta + 1.0).sqrt());
+    let c = 1.0 / (t * t + 1.0).sqrt();
+    let s = c * t;
+    for (x, y) in cp.a.iter_mut().zip(cq.a.iter_mut()) {
+        let (xi, yi) = (*x, *y);
+        *x = c * xi - s * yi;
+        *y = s * xi + c * yi;
+    }
+    for (x, y) in cp.v.iter_mut().zip(cq.v.iter_mut()) {
+        let (xi, yi) = (*x, *y);
+        *x = c * xi - s * yi;
+        *y = s * xi + c * yi;
+    }
+    true
+}
+
+/// Thin SVD by one-sided (Hestenes) Jacobi: the columns of `A` are rotated
+/// until mutually orthogonal, giving `A·V = U·Σ` without ever forming the
+/// Gram matrix. Returns the factorisation plus the number of full sweeps
+/// (including the final all-orthogonal sweep that detects convergence).
+///
+/// # Determinism under parallelism
+///
+/// Rotations follow a fixed round-robin tournament schedule: each sweep is
+/// `d − 1` rounds of up to `⌊d/2⌋` column pairs, and the pairs within one
+/// round touch *disjoint* columns. Rounds are barrier-separated on the
+/// shared [`pool::drain_rounds`] worker pool, so every rotation reads
+/// exactly the column state produced by the previous round regardless of
+/// worker count or interleaving — the factors are bit-identical for any
+/// `workers`, which the test suite asserts.
+///
+/// Parallelism pays only when the per-round rotation work (`⌊d/2⌋ · O(n)`)
+/// dwarfs the pool's per-sweep synchronisation; at this repo's paper-scale
+/// shapes (`d = 32`) sequential is faster, and the default is `workers: 1`.
+pub fn one_sided_jacobi_svd(a: &Matrix, opts: &JacobiOpts) -> Result<(Svd, usize), DecompError> {
+    let (n, d) = a.shape();
+    if n < d {
+        let (sv, sweeps) = one_sided_jacobi_svd(&a.transpose(), opts)?;
+        return Ok((
+            Svd {
+                u: sv.v,
+                sigma: sv.sigma,
+                v: sv.u,
+            },
+            sweeps,
+        ));
+    }
+    let cols: Vec<Mutex<JacobiCol>> = (0..d)
+        .map(|j| {
+            let col: Vec<f64> = (0..n).map(|r| a.get(r, j)).collect();
+            let mut v = vec![0.0; d];
+            v[j] = 1.0;
+            Mutex::new(JacobiCol { a: col, v })
+        })
+        .collect();
+    let rounds = tournament_rounds(d);
+    let round_sizes: Vec<usize> = rounds.iter().map(Vec::len).collect();
+    let mut converged_after = None;
+    if rounds.is_empty() {
+        // 0 or 1 columns: nothing to orthogonalise.
+        converged_after = Some(0);
+    }
+    for sweep in 1..=opts.max_sweeps {
+        if converged_after.is_some() {
+            break;
+        }
+        let rotated = AtomicBool::new(false);
+        pool::drain_rounds(&round_sizes, opts.workers, |round, k| {
+            let (p, q) = rounds[round][k];
+            // p < q and pairs within a round are disjoint, so these two
+            // same-rank (`jacobi_col`) acquisitions never contend with any
+            // concurrently running pair, let alone deadlock; the mutexes
+            // only exist to prove disjointness to the compiler without
+            // `unsafe`. Poison is unreachable (rotations don't panic), and
+            // recovering the inner value is the no-panic fallback.
+            let mut cp = cols[p].lock().unwrap_or_else(PoisonError::into_inner);
+            let mut cq = cols[q].lock().unwrap_or_else(PoisonError::into_inner);
+            if rotate_pair(&mut cp, &mut cq, opts.tol) {
+                rotated.store(true, Ordering::Relaxed);
+            }
+        });
+        if !rotated.load(Ordering::Relaxed) {
+            converged_after = Some(sweep);
+        }
+    }
+    let Some(sweeps) = converged_after else {
+        return Err(DecompError::NoConvergence);
+    };
+    let cols: Vec<JacobiCol> = cols
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
+    let norms: Vec<f64> = cols
+        .iter()
+        .map(|c| c.a.iter().map(|x| x * x).sum::<f64>().sqrt())
+        .collect();
+    let mut order: Vec<usize> = (0..d).collect();
+    // Descending by singular value; the stable sort keeps original column
+    // order on ties, so the output ordering is deterministic.
+    order.sort_by(|&x, &y| norms[y].total_cmp(&norms[x]));
+    let sigma: Vec<f64> = order.iter().map(|&j| norms[j]).collect();
+    let u = Matrix::from_fn(n, d, |r, c| {
+        let j = order[c];
+        if norms[j] > SIGMA_CLAMP {
+            cols[j].a[r] / norms[j]
+        } else {
+            0.0
+        }
+    });
+    let v = Matrix::from_fn(d, d, |r, c| cols[order[c]].v[r]);
+    Ok((Svd { u, sigma, v }, sweeps))
 }
 
 #[cfg(test)]
@@ -340,6 +626,158 @@ mod tests {
             assert!(w[0] >= w[1] - 1e-12);
         }
         assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn eigen_reports_zero_sweeps_for_diagonal_input() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 7.0]]);
+        let (vals, _, sweeps) = symmetric_eigen_with_sweeps(&a, MAX_SWEEPS).unwrap();
+        assert_eq!(sweeps, 0);
+        assert!(approx(vals[0], 7.0, 1e-12));
+    }
+
+    #[test]
+    fn eigen_signals_no_convergence_on_exhausted_budget() {
+        // A dense symmetric matrix needs at least one sweep; a zero budget
+        // must surface as an error, not as silently unconverged factors.
+        let a = Matrix::from_fn(5, 5, |r, c| 1.0 / (1.0 + (r as f64 - c as f64).abs()));
+        assert_eq!(
+            symmetric_eigen_with_sweeps(&a, 0),
+            Err(DecompError::NoConvergence)
+        );
+        // The same matrix converges comfortably within the default budget,
+        // in a nonzero number of sweeps.
+        let (_, _, sweeps) = symmetric_eigen_with_sweeps(&a, MAX_SWEEPS).unwrap();
+        assert!(sweeps > 0 && sweeps <= MAX_SWEEPS, "sweeps={sweeps}");
+    }
+
+    #[test]
+    fn eigen_convergence_is_checked_after_the_final_sweep() {
+        // Regression for the historical off-by-one: with a budget of
+        // exactly `sweeps` (the count the default budget reports), the
+        // convergence check after the last sweep must still fire — the old
+        // loop only checked before each sweep and misreported this case as
+        // NoConvergence.
+        let a = Matrix::from_fn(6, 6, |r, c| {
+            ((r * 6 + c).min(c * 6 + r) as f64 * 0.37).sin()
+        });
+        let sym = Matrix::from_fn(6, 6, |r, c| a.get(r, c) + a.get(c, r));
+        let (_, _, sweeps) = symmetric_eigen_with_sweeps(&sym, MAX_SWEEPS).unwrap();
+        assert!(sweeps > 1, "want a multi-sweep case, got {sweeps}");
+        let (vals_tight, _, tight) = symmetric_eigen_with_sweeps(&sym, sweeps).unwrap();
+        assert_eq!(tight, sweeps);
+        // One sweep short must fail.
+        assert_eq!(
+            symmetric_eigen_with_sweeps(&sym, sweeps - 1),
+            Err(DecompError::NoConvergence)
+        );
+        let (vals_default, _) = symmetric_eigen(&sym).unwrap();
+        for (a, b) in vals_tight.iter().zip(&vals_default) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn tournament_rounds_cover_every_pair_once_disjointly() {
+        for d in [2usize, 3, 5, 8, 13] {
+            let rounds = tournament_rounds(d);
+            let mut seen = std::collections::HashSet::new();
+            for round in &rounds {
+                let mut touched = std::collections::HashSet::new();
+                for &(p, q) in round {
+                    assert!(p < q && q < d, "bad pair ({p},{q}) at d={d}");
+                    assert!(touched.insert(p) && touched.insert(q), "overlap in round");
+                    assert!(seen.insert((p, q)), "pair ({p},{q}) repeated");
+                }
+            }
+            assert_eq!(seen.len(), d * (d - 1) / 2, "missing pairs at d={d}");
+        }
+        assert!(tournament_rounds(0).is_empty());
+        assert!(tournament_rounds(1).is_empty());
+    }
+
+    #[test]
+    fn jacobi_svd_reconstructs_tall_and_wide() {
+        for (n, d) in [(9usize, 4usize), (4, 9)] {
+            let a = Matrix::from_fn(n, d, |r, c| ((r * d + c) as f64 * 0.83).cos() * 3.0);
+            let (svd, sweeps) = one_sided_jacobi_svd(&a, &JacobiOpts::default()).unwrap();
+            assert!(sweeps > 0);
+            let k = svd.sigma.len();
+            assert_eq!(k, n.min(d));
+            let sig = Matrix::from_fn(k, k, |r, c| if r == c { svd.sigma[r] } else { 0.0 });
+            let rec = svd.u.matmul(&sig).matmul(&svd.v.transpose());
+            for i in 0..n {
+                for j in 0..d {
+                    assert!(approx(rec.get(i, j), a.get(i, j), 1e-9), "({i},{j})");
+                }
+            }
+            for w in svd.sigma.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_svd_matches_thin_svd_spectrum() {
+        let a = Matrix::from_fn(20, 7, |r, c| ((r as f64 + 1.3) * (c as f64 + 0.7)).sin());
+        let (jac, _) = one_sided_jacobi_svd(&a, &JacobiOpts::default()).unwrap();
+        let svd = thin_svd(&a).unwrap();
+        for (x, y) in jac.sigma.iter().zip(&svd.sigma) {
+            assert!(approx(*x, *y, 1e-8), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn jacobi_svd_zeroes_rank_deficient_directions() {
+        // Duplicate column: rank 1, second σ exactly-ish zero, matching the
+        // thin_svd σ≈0 clamping contract (zero U column).
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let (svd, _) = one_sided_jacobi_svd(&a, &JacobiOpts::default()).unwrap();
+        assert!(svd.sigma[1] <= SIGMA_CLAMP, "σ₁={}", svd.sigma[1]);
+        for r in 0..3 {
+            assert_eq!(svd.u.get(r, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn jacobi_svd_parallel_is_bit_identical_to_sequential() {
+        let a = Matrix::from_fn(40, 12, |r, c| ((r * 12 + c) as f64 * 0.311).sin() * 5.0);
+        let (seq, seq_sweeps) = one_sided_jacobi_svd(&a, &JacobiOpts::default()).unwrap();
+        for workers in [2usize, 4, 7] {
+            let opts = JacobiOpts {
+                workers,
+                ..JacobiOpts::default()
+            };
+            let (par, par_sweeps) = one_sided_jacobi_svd(&a, &opts).unwrap();
+            assert_eq!(seq_sweeps, par_sweeps);
+            for c in 0..12 {
+                assert_eq!(seq.sigma[c].to_bits(), par.sigma[c].to_bits(), "σ[{c}]");
+                for r in 0..40 {
+                    assert_eq!(
+                        seq.u.get(r, c).to_bits(),
+                        par.u.get(r, c).to_bits(),
+                        "u({r},{c}) at workers={workers}"
+                    );
+                }
+                for r in 0..12 {
+                    assert_eq!(seq.v.get(r, c).to_bits(), par.v.get(r, c).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_svd_signals_no_convergence() {
+        let a = Matrix::from_fn(16, 6, |r, c| ((r * 6 + c) as f64 * 0.59).cos());
+        let opts = JacobiOpts {
+            max_sweeps: 1,
+            ..JacobiOpts::default()
+        };
+        assert_eq!(
+            one_sided_jacobi_svd(&a, &opts).map(|(_, s)| s),
+            Err(DecompError::NoConvergence)
+        );
+        assert!(one_sided_jacobi_svd(&a, &JacobiOpts::default()).is_ok());
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod decomp;
 pub mod distance;
 pub mod matrix;
 pub mod pca;
+pub mod pool;
 pub mod stats;
 
 pub use matrix::Matrix;

@@ -281,16 +281,30 @@ impl Matrix {
 
     /// Gram matrix `selfᵀ * self` (symmetric, cols x cols), exploiting
     /// symmetry to halve the work.
+    ///
+    /// Streams one input row at a time: each row is rank-1-accumulated into
+    /// the upper triangle, so the row stays in L1 across the whole `i, j`
+    /// update instead of the column-strided walk a per-entry dot product
+    /// would do. Each output entry still accumulates its `n` products in
+    /// ascending row order, so the result is bit-identical to the naive
+    /// per-entry loop.
     pub fn gram(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.cols {
-            for j in i..self.cols {
-                let mut s = 0.0;
-                for r in 0..self.rows {
-                    s += self.get(r, i) * self.get(r, j);
+        let d = self.cols;
+        let mut out = Matrix::zeros(d, d);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (i, &xi) in row.iter().enumerate() {
+                let upper = &mut out.data[i * d + i..i * d + d];
+                for (o, &xj) in upper.iter_mut().zip(&row[i..]) {
+                    *o += xi * xj;
                 }
-                out.set(i, j, s);
-                out.set(j, i, s);
+            }
+        }
+        // Mirror the upper triangle (exact copies, same bits).
+        for i in 0..d {
+            for j in 0..i {
+                let v = out.get(j, i);
+                out.set(i, j, v);
             }
         }
         out
@@ -462,6 +476,25 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 assert!(approx(g.get(i, j), g2.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn gram_row_streaming_is_bitwise_equal_to_naive_order() {
+        // The row-streamed gram must accumulate each entry in the same
+        // ascending-row order as the historical per-entry dot product, so
+        // the two are bit-identical, not merely close.
+        let a = Matrix::from_fn(37, 9, |r, c| ((r * 9 + c) as f64 * 0.7311).sin() * 10.0);
+        let g = a.gram();
+        for i in 0..9 {
+            for j in i..9 {
+                let mut s = 0.0;
+                for r in 0..37 {
+                    s += a.get(r, i) * a.get(r, j);
+                }
+                assert_eq!(g.get(i, j).to_bits(), s.to_bits(), "({i},{j})");
+                assert_eq!(g.get(j, i).to_bits(), s.to_bits(), "({j},{i})");
             }
         }
     }

@@ -1,0 +1,159 @@
+//! Scoped worker pools shared by the runner and the blocked Jacobi sweeps.
+//!
+//! Two shapes of data-parallel work appear in this repo:
+//!
+//! * a flat list of independent items ([`drain_indexed`] — the evaluation
+//!   runner's job drain, also re-exported as
+//!   `transfergraph::runner::drain_indexed`), and
+//! * a sequence of *rounds*, where items within a round are independent but
+//!   round `r + 1` must not start before round `r` has fully finished
+//!   ([`drain_rounds`] — the one-sided Jacobi rotation schedule, where each
+//!   round is a set of disjoint column pairs).
+//!
+//! Both degenerate to plain sequential loops when `workers <= 1`, so callers
+//! can use one code path and let the worker count decide.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Drains `count` independent work items across `workers` scoped threads,
+/// each item claimed from an atomic counter so a slow item never stalls the
+/// rest behind a static partition. `workers <= 1` (or a single item)
+/// degenerates to a sequential loop.
+///
+/// Items must be order-insensitive: the evaluation runner writes results
+/// into per-index slots and `Workbench::warm_logme` fills a deterministic
+/// cache, so both are safe under any interleaving.
+pub fn drain_indexed(count: usize, workers: usize, work: impl Fn(usize) + Sync) {
+    let workers = workers.clamp(1, count.max(1));
+    if workers == 1 {
+        for i in 0..count {
+            work(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                work(i);
+            });
+        }
+    });
+}
+
+/// Runs `round_sizes.len()` sequential rounds over one pool of `workers`
+/// scoped threads. Round `r` consists of items `0..round_sizes[r]`, each
+/// executed exactly once as `work(r, item)`; a [`Barrier`] between rounds
+/// guarantees every item of round `r` finishes before any item of round
+/// `r + 1` starts.
+///
+/// Items are assigned statically (`item % workers`), so which thread runs
+/// which item is deterministic — callers whose items are mutually disjoint
+/// within a round (the Jacobi rotation schedule) therefore produce
+/// bit-identical results at any worker count. `workers <= 1` degenerates to
+/// nested sequential loops with no threads or barriers.
+pub fn drain_rounds(round_sizes: &[usize], workers: usize, work: impl Fn(usize, usize) + Sync) {
+    let widest = round_sizes.iter().copied().max().unwrap_or(0);
+    let workers = workers.clamp(1, widest.max(1));
+    if workers == 1 {
+        for (round, &size) in round_sizes.iter().enumerate() {
+            for item in 0..size {
+                work(round, item);
+            }
+        }
+        return;
+    }
+    let barrier = Barrier::new(workers);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let barrier = &barrier;
+            let work = &work;
+            scope.spawn(move || {
+                for (round, &size) in round_sizes.iter().enumerate() {
+                    let mut item = w;
+                    while item < size {
+                        work(round, item);
+                        item += workers;
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn drain_indexed_visits_every_index_exactly_once() {
+        for workers in [1, 4, 16] {
+            let counts: Vec<AtomicU32> = (0..53).map(|_| AtomicU32::new(0)).collect();
+            drain_indexed(counts.len(), workers, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+        drain_indexed(0, 8, |_| unreachable!());
+    }
+
+    #[test]
+    fn drain_rounds_visits_every_item_exactly_once() {
+        let sizes = [3usize, 0, 7, 1, 12];
+        for workers in [1, 3, 8] {
+            let counts: Vec<Vec<AtomicU32>> = sizes
+                .iter()
+                .map(|&s| (0..s).map(|_| AtomicU32::new(0)).collect())
+                .collect();
+            drain_rounds(&sizes, workers, |r, i| {
+                counts[r][i].fetch_add(1, Ordering::Relaxed);
+            });
+            for row in &counts {
+                assert!(row.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            }
+        }
+        drain_rounds(&[], 4, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn drain_rounds_never_overlaps_rounds() {
+        // Each item checks that every item of the previous round already ran.
+        // SeqCst so the per-item increments are visible across the barrier in
+        // a way the assertion below can rely on.
+        let sizes = [5usize, 5, 5, 5];
+        let done: Vec<AtomicU32> = sizes.iter().map(|_| AtomicU32::new(0)).collect();
+        drain_rounds(&sizes, 4, |r, _| {
+            if r > 0 {
+                let prev = done[r - 1].load(Ordering::SeqCst);
+                assert_eq!(prev, sizes[r - 1] as u32, "round {r} started early");
+            }
+            done[r].fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn drain_rounds_static_assignment_is_deterministic() {
+        // The (round, item) -> worker map is a pure function, so two runs
+        // record identical per-item observation orders when items write to
+        // disjoint slots.
+        let sizes = [8usize, 8];
+        let run = || {
+            let slots: Vec<AtomicU32> = (0..16).map(|_| AtomicU32::new(0)).collect();
+            drain_rounds(&sizes, 4, |r, i| {
+                slots[r * 8 + i].store((r * 8 + i) as u32 + 1, Ordering::Relaxed);
+            });
+            slots
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -58,7 +58,8 @@ pub use logme::log_me;
 #[allow(deprecated)]
 pub use parc::parc;
 pub use scorer::{
-    Gbc, HScore, Labels, Leep, LogMe, LogMeKernel, Nce, Parc, ScoreError, Scorer, TransRate,
+    DecompArm, DecompPath, Gbc, HScore, JacobiConfig, Labels, Leep, LogMe, LogMeKernel,
+    LogMeReport, Nce, Parc, ScoreError, Scorer, TransRate,
 };
 #[allow(deprecated)]
 pub use transrate::trans_rate;

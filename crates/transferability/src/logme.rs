@@ -22,8 +22,11 @@
 //!
 //! # Determinism and bit-identity
 //!
-//! Both kernels produce **bit-identical** scores (asserted by unit and
-//! property tests, see `tests/property_tests.rs`):
+//! On the SVD reference path both kernels produce **bit-identical** scores
+//! (asserted by unit and property tests, see `tests/property_tests.rs`);
+//! the other decomposition arms are deterministic but agree to tolerances
+//! rather than bits (see *Decomposition paths* below). The bit-identity
+//! argument:
 //!
 //! * every reduction accumulates in ascending sample-row order `r` — the
 //!   GEMM blocks only tile the *output*, never the reduction;
@@ -41,29 +44,92 @@
 //!
 //! The same argument chains back to the pre-batched implementation, so
 //! scores (and any disk-cached artifacts keyed on them) are unchanged.
+//!
+//! # Decomposition paths
+//!
+//! The batched kernel can obtain its `(σ², z)` inputs along several arms
+//! (selected by [`crate::DecompPath`], heuristically by default):
+//!
+//! * **Svd** — the historical thin SVD of `F` (`n × d`), projecting
+//!   `z = Uᵀy`. Bit-exactness reference.
+//! * **Gram** — for `n ≫ d` the same quantities come from the `d × d` Gram
+//!   matrix alone: `FᵀF = V Σ² Vᵀ` gives the spectrum, and from
+//!   `U = F V Σ⁻¹` follows `zᵢ = uᵢᵀy = vᵢᵀ(Fᵀy)/σᵢ` — so `Z = P V Σ⁻¹`
+//!   with `P = YᵀF`, an `O(n·d)` one-hot scatter. The two `O(n·d²)` passes
+//!   that materialise `U` (`A·V` plus normalisation) disappear; directions
+//!   with `σ ≈ 0` get `z = 0`, which the evidence treats exactly like the
+//!   SVD path's zeroed `U` columns (mass flows into the residual `r0`, and
+//!   each contributes `ln α` to the log-determinant). The evidence is
+//!   therefore *mathematically identical* for every shape — including
+//!   `n < d`, where the Gram spectrum carries `d − n` exact zeros — and
+//!   agrees with the SVD path to ~1e-6 in floating point (property-tested,
+//!   bench-gated).
+//! * **Jacobi** — one-sided Hestenes SVD with deterministic (optionally
+//!   parallel) rotation sweeps; same projections as Svd.
+//! * **Truncated** — the Gram path plus spectral truncation: trailing
+//!   eigenvalues whose cumulative energy is at most `TG_LOGME_TRUNC_TOL`
+//!   (default `1e-6`) of the total are dropped like σ≈0 directions. An
+//!   explicit fast mode with a relaxed (~1e-3) accuracy contract on the
+//!   evidence.
+//!
+//! Per-arm decomposition wall-clock is measured here (this file is on the
+//! tg-check TG02 allowlist for exactly that) and reported through
+//! [`crate::LogMeReport`] into the workbench telemetry.
 
-use tg_linalg::decomp::thin_svd;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use tg_linalg::decomp::{
+    one_sided_jacobi_svd, symmetric_eigen_with_sweeps, thin_svd_with_sweeps, JacobiOpts,
+    MAX_SWEEPS, SIGMA_CLAMP,
+};
 use tg_linalg::Matrix;
 
-use crate::scorer::{shim_error, Labels, LogMe, ScoreError, Scorer};
+use crate::scorer::{
+    shim_error, DecompArm, DecompPath, JacobiConfig, Labels, LogMe, LogMeReport, ScoreError, Scorer,
+};
 
 /// Number of fixed-point iterations; the original implementation uses 11
 /// and observes convergence well before that.
 const FIXED_POINT_ITERS: usize = 11;
 
-/// Shared preamble: shape/finiteness validation and the thin SVD.
-/// Returns `(u, sigma², n, d)` with `sigma²` of length `k = min(n, d)`.
-fn prepare(features: &Matrix, labels: &Labels) -> Result<(Matrix, Vec<f64>), ScoreError> {
+/// Sample-to-dimension ratio above which [`DecompPath::Auto`] picks the
+/// Gram path: the Gram arm saves two `O(n·d²)` passes but pays an extra
+/// `O(C·d²)` projection, so it needs `n` comfortably above `d` to win.
+const GRAM_RATIO: usize = 4;
+
+/// `TG_LOGME_TRUNC_TOL` with its documented default: the maximum fraction
+/// of total spectral energy the truncated arm may discard.
+fn trunc_tol() -> f64 {
+    static TOL: OnceLock<f64> = OnceLock::new();
+    *TOL.get_or_init(|| {
+        std::env::var("TG_LOGME_TRUNC_TOL")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|t| t.is_finite() && *t >= 0.0 && *t < 1.0)
+            .unwrap_or(1e-6)
+    })
+}
+
+/// Shape/finiteness validation shared by every kernel and path.
+fn validate(features: &Matrix, labels: &Labels) -> Result<(), ScoreError> {
     labels.check_rows(features.rows())?;
     for r in 0..features.rows() {
         if features.row(r).iter().any(|v| !v.is_finite()) {
             return Err(ScoreError::NonFiniteInput);
         }
     }
-    let svd = thin_svd(features)?;
+    Ok(())
+}
+
+/// Shared preamble of the SVD-path kernels: validation and the thin SVD.
+/// Returns `(u, sigma², sweeps)` with `sigma²` of length `k = min(n, d)`.
+fn prepare(features: &Matrix, labels: &Labels) -> Result<(Matrix, Vec<f64>, usize), ScoreError> {
+    validate(features, labels)?;
+    let (svd, sweeps) = thin_svd_with_sweeps(features)?;
     // σ² spectrum, length k = min(n, d) (zero-clamped when rank-deficient).
     let sigma2: Vec<f64> = svd.sigma.iter().map(|s| s * s).collect();
-    Ok((svd.u, sigma2))
+    Ok((svd.u, sigma2, sweeps))
 }
 
 /// One MacKay fixed-point update for a single class.
@@ -145,8 +211,18 @@ fn evidence(
 /// sample row `r`, axpy `y[r] · u_r` into `z`), which keeps the inner loop
 /// on contiguous memory while preserving the ascending-`r` summation order
 /// of the original column-major loop bit for bit.
-pub(crate) fn log_me_scalar(features: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
-    let (u, sigma2) = prepare(features, labels)?;
+pub(crate) fn log_me_scalar(
+    features: &Matrix,
+    labels: &Labels,
+) -> Result<(f64, LogMeReport), ScoreError> {
+    let decomp_start = Instant::now();
+    let (u, sigma2, sweeps) = prepare(features, labels)?;
+    let report = LogMeReport {
+        arm: DecompArm::Svd,
+        decomp: decomp_start.elapsed(),
+        sweeps,
+        rank: sigma2.iter().filter(|&&s2| s2.sqrt() > SIGMA_CLAMP).count(),
+    };
     let n = features.rows();
     let d = features.cols();
     let k = sigma2.len();
@@ -180,7 +256,104 @@ pub(crate) fn log_me_scalar(features: &Matrix, labels: &Labels) -> Result<f64, S
         }
         total += evidence(&sigma2, &z_sq, r0, alpha, beta, nf, d) / nf;
     }
-    Ok(total / num_classes as f64)
+    Ok((total / num_classes as f64, report))
+}
+
+/// The decomposition stage of the batched kernel: resolves the requested
+/// path, produces the `σ²` spectrum plus the per-class projections
+/// `Z = YᵀU` (`C × k`), and measures its own wall-clock for the per-arm
+/// telemetry.
+fn decompose(
+    features: &Matrix,
+    labels: &Labels,
+    path: DecompPath,
+    jacobi: JacobiConfig,
+) -> Result<(Vec<f64>, Matrix, LogMeReport), ScoreError> {
+    let (n, d) = features.shape();
+    let arm = match path {
+        DecompPath::Auto => {
+            if n >= GRAM_RATIO * d {
+                DecompArm::Gram
+            } else {
+                DecompArm::Svd
+            }
+        }
+        DecompPath::Svd => DecompArm::Svd,
+        DecompPath::Gram => DecompArm::Gram,
+        DecompPath::Jacobi => DecompArm::Jacobi,
+        DecompPath::Truncated => DecompArm::Truncated,
+    };
+    let start = Instant::now();
+    let (sigma2, z, sweeps) = match arm {
+        DecompArm::Svd => {
+            let (svd, sweeps) = thin_svd_with_sweeps(features)?;
+            let sigma2: Vec<f64> = svd.sigma.iter().map(|s| s * s).collect();
+            (sigma2, labels.one_hot().matmul_at_b(&svd.u), sweeps)
+        }
+        DecompArm::Jacobi => {
+            let opts = JacobiOpts {
+                max_sweeps: jacobi.max_sweeps,
+                workers: jacobi.workers,
+                ..JacobiOpts::default()
+            };
+            let (svd, sweeps) = one_sided_jacobi_svd(features, &opts)?;
+            let sigma2: Vec<f64> = svd.sigma.iter().map(|s| s * s).collect();
+            (sigma2, labels.one_hot().matmul_at_b(&svd.u), sweeps)
+        }
+        DecompArm::Gram | DecompArm::Truncated => {
+            let (evals, v, sweeps) = symmetric_eigen_with_sweeps(&features.gram(), MAX_SWEEPS)?;
+            // The Gram eigenvalues *are* σ² (zero-clamped); keeping them
+            // avoids the sqrt-then-square round trip of the SVD path.
+            let mut sigma2: Vec<f64> = evals.iter().map(|e| e.max(0.0)).collect();
+            if arm == DecompArm::Truncated {
+                truncate_spectrum(&mut sigma2, trunc_tol());
+            }
+            // Z = P V Σ⁻¹ with P = YᵀF: each projection zᵢ = vᵢᵀ(Fᵀy)/σᵢ,
+            // never materialising U. σ≈0 directions project to exactly 0,
+            // matching the SVD path's zeroed U columns.
+            let p = labels.one_hot().matmul_at_b(features);
+            let pv = p.matmul(&v);
+            let z = Matrix::from_fn(pv.rows(), pv.cols(), |r, c| {
+                let sigma = sigma2[c].sqrt();
+                if sigma > SIGMA_CLAMP {
+                    pv.get(r, c) / sigma
+                } else {
+                    0.0
+                }
+            });
+            (sigma2, z, sweeps)
+        }
+    };
+    let report = LogMeReport {
+        arm,
+        decomp: start.elapsed(),
+        sweeps,
+        rank: sigma2.iter().filter(|&&s2| s2.sqrt() > SIGMA_CLAMP).count(),
+    };
+    Ok((sigma2, z, report))
+}
+
+/// Zeroes the trailing (ascending-energy) eigenvalues whose cumulative sum
+/// is at most `tol` of the total, leaving them as exact σ≈0 directions.
+/// `sigma2` must be sorted descending (the eigen routines guarantee it).
+fn truncate_spectrum(sigma2: &mut [f64], tol: f64) {
+    let total: f64 = sigma2.iter().sum();
+    if !total.is_finite() || total <= 0.0 || tol <= 0.0 {
+        return;
+    }
+    let budget = tol * total;
+    let mut tail = 0.0;
+    let mut cut = sigma2.len();
+    for (i, &s2) in sigma2.iter().enumerate().rev() {
+        if tail + s2 > budget {
+            break;
+        }
+        tail += s2;
+        cut = i;
+    }
+    for s2 in &mut sigma2[cut..] {
+        *s2 = 0.0;
+    }
 }
 
 /// Batched kernel: all classes at once.
@@ -191,16 +364,24 @@ pub(crate) fn log_me_scalar(features: &Matrix, labels: &Labels) -> Result<f64, S
 /// the MacKay fixed point runs for every class inside each sweep —
 /// struct-of-arrays `alpha[]/beta[]/gamma[]` with a `frozen[]` mask
 /// replacing the scalar path's early `break`.
-pub(crate) fn log_me_batched(features: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
-    let (u, sigma2) = prepare(features, labels)?;
+///
+/// The `(σ², Z)` inputs come from whichever decomposition arm `path`
+/// resolves to (see [`decompose`] and the module docs); the evidence stage
+/// below is arm-independent.
+pub(crate) fn log_me_batched(
+    features: &Matrix,
+    labels: &Labels,
+    path: DecompPath,
+    jacobi: JacobiConfig,
+) -> Result<(f64, LogMeReport), ScoreError> {
+    validate(features, labels)?;
+    let (sigma2, z, report) = decompose(features, labels, path, jacobi)?;
     let n = features.rows();
     let d = features.cols();
     let k = sigma2.len();
     let nf = n as f64;
     let num_classes = labels.num_classes();
 
-    // Z = YᵀU, one contiguous row of projections per class (C × k).
-    let z = labels.one_hot().matmul_at_b(&u);
     let counts = labels.class_counts();
 
     // z², plus the out-of-column-space residual r0 per class. The running
@@ -258,7 +439,7 @@ pub(crate) fn log_me_batched(features: &Matrix, labels: &Labels) -> Result<f64, 
             d,
         ) / nf;
     }
-    Ok(total / num_classes as f64)
+    Ok((total / num_classes as f64, report))
 }
 
 /// LogME score of features (`n × D`) against integer labels in
@@ -282,8 +463,11 @@ mod tests {
         kernel.score(f, &Labels::new(y, c).unwrap()).unwrap()
     }
 
+    /// Bit-identity holds on the SVD reference path, which these historical
+    /// tests pin explicitly (the default `Auto` heuristic may resolve to the
+    /// Gram arm, which agrees to tolerance, not bits).
     fn both_identical(f: &Matrix, y: &[usize], c: usize) -> f64 {
-        let b = score(LogMe::batched(), f, y, c);
+        let b = score(LogMe::batched().with_path(DecompPath::Svd), f, y, c);
         let s = score(LogMe::scalar(), f, y, c);
         assert_eq!(
             b.to_bits(),
@@ -293,6 +477,11 @@ mod tests {
             f.cols()
         );
         b
+    }
+
+    /// |a − b| within abs+rel tolerance.
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol + tol * b.abs()
     }
 
     #[test]
@@ -394,12 +583,174 @@ mod tests {
     }
 
     #[test]
+    fn gram_path_matches_svd_path_within_tolerance() {
+        let mut rng = Rng::seed_from_u64(40);
+        for (n, d, c) in [(200, 16, 4), (150, 8, 3), (64, 16, 2)] {
+            let (f, y) = clustered_features(&mut rng, n, d, c, 2.0);
+            let labels = Labels::new(&y, c).unwrap();
+            let svd = LogMe::batched()
+                .with_path(DecompPath::Svd)
+                .score(&f, &labels)
+                .unwrap();
+            let gram = LogMe::batched()
+                .with_path(DecompPath::Gram)
+                .score(&f, &labels)
+                .unwrap();
+            assert!(close(gram, svd, 1e-6), "gram {gram} vs svd {svd} at n={n}");
+        }
+    }
+
+    #[test]
+    fn auto_heuristic_resolves_by_aspect_ratio() {
+        let mut rng = Rng::seed_from_u64(41);
+        // n = 200 ≥ 4·16: Auto takes the Gram arm.
+        let (f, y) = clustered_features(&mut rng, 200, 16, 3, 2.0);
+        let labels = Labels::new(&y, 3).unwrap();
+        let (_, report) = LogMe::batched().score_with_report(&f, &labels).unwrap();
+        assert_eq!(report.arm, DecompArm::Gram);
+        assert!(report.sweeps > 0);
+        assert!(report.rank > 0);
+        // n = 12 < 4·20: Auto stays on the SVD reference.
+        let (f, y) = clustered_features(&mut rng, 12, 20, 3, 2.0);
+        let labels = Labels::new(&y, 3).unwrap();
+        let (_, report) = LogMe::batched().score_with_report(&f, &labels).unwrap();
+        assert_eq!(report.arm, DecompArm::Svd);
+    }
+
+    #[test]
+    fn forced_gram_path_handles_wide_features() {
+        // n < d forced onto the Gram arm: the d × d spectrum carries d − n
+        // exact zeros and the evidence still matches the SVD path.
+        let mut rng = Rng::seed_from_u64(42);
+        let (f, y) = clustered_features(&mut rng, 12, 20, 3, 2.0);
+        let labels = Labels::new(&y, 3).unwrap();
+        let svd = LogMe::batched()
+            .with_path(DecompPath::Svd)
+            .score(&f, &labels)
+            .unwrap();
+        let gram = LogMe::batched()
+            .with_path(DecompPath::Gram)
+            .score(&f, &labels)
+            .unwrap();
+        assert!(close(gram, svd, 1e-6), "gram {gram} vs svd {svd}");
+    }
+
+    #[test]
+    fn jacobi_path_matches_svd_path_within_tolerance() {
+        let mut rng = Rng::seed_from_u64(43);
+        let (f, y) = clustered_features(&mut rng, 80, 10, 3, 2.0);
+        let labels = Labels::new(&y, 3).unwrap();
+        let svd = LogMe::batched()
+            .with_path(DecompPath::Svd)
+            .score(&f, &labels)
+            .unwrap();
+        let (jac, report) = LogMe::batched()
+            .with_path(DecompPath::Jacobi)
+            .score_with_report(&f, &labels)
+            .unwrap();
+        assert_eq!(report.arm, DecompArm::Jacobi);
+        assert!(close(jac, svd, 1e-6), "jacobi {jac} vs svd {svd}");
+    }
+
+    #[test]
+    fn truncated_path_matches_within_relaxed_tolerance() {
+        let mut rng = Rng::seed_from_u64(44);
+        let (f, y) = clustered_features(&mut rng, 160, 12, 4, 2.0);
+        let labels = Labels::new(&y, 4).unwrap();
+        let svd = LogMe::batched()
+            .with_path(DecompPath::Svd)
+            .score(&f, &labels)
+            .unwrap();
+        let (tr, report) = LogMe::batched()
+            .with_path(DecompPath::Truncated)
+            .score_with_report(&f, &labels)
+            .unwrap();
+        assert_eq!(report.arm, DecompArm::Truncated);
+        assert!(report.rank <= 12);
+        assert!(close(tr, svd, 1e-3), "truncated {tr} vs svd {svd}");
+    }
+
+    #[test]
+    fn truncate_spectrum_respects_energy_budget() {
+        let mut s = vec![100.0, 10.0, 1.0, 1e-8, 1e-9];
+        truncate_spectrum(&mut s, 1e-6);
+        assert_eq!(&s[..3], &[100.0, 10.0, 1.0]);
+        assert_eq!(&s[3..], &[0.0, 0.0]);
+        // A zero tolerance keeps everything.
+        let mut s = vec![5.0, 1e-12];
+        truncate_spectrum(&mut s, 0.0);
+        assert_eq!(s, vec![5.0, 1e-12]);
+        // Degenerate all-zero spectrum is untouched.
+        let mut s = vec![0.0, 0.0];
+        truncate_spectrum(&mut s, 1e-6);
+        assert_eq!(s, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sigma_zero_edge_case_all_paths_finite_and_agree() {
+        // Zero column + duplicated column: two σ≈0 directions. Every arm
+        // must stay finite and agree with the reference to tolerance.
+        let mut rng = Rng::seed_from_u64(45);
+        let (base, y) = clustered_features(&mut rng, 60, 4, 2, 2.0);
+        let f = Matrix::from_fn(60, 6, |r, c| match c {
+            4 => 0.0,            // exactly zero column
+            5 => base.get(r, 0), // duplicate of column 0
+            _ => base.get(r, c),
+        });
+        let labels = Labels::new(&y, 2).unwrap();
+        let svd = LogMe::batched()
+            .with_path(DecompPath::Svd)
+            .score(&f, &labels)
+            .unwrap();
+        assert!(svd.is_finite());
+        for path in [DecompPath::Gram, DecompPath::Jacobi, DecompPath::Truncated] {
+            let s = LogMe::batched().with_path(path).score(&f, &labels).unwrap();
+            assert!(s.is_finite(), "{path:?} non-finite");
+            assert!(close(s, svd, 1e-6), "{path:?}: {s} vs {svd}");
+        }
+    }
+
+    #[test]
+    fn jacobi_non_convergence_propagates_as_score_error() {
+        use tg_linalg::decomp::DecompError;
+        let mut rng = Rng::seed_from_u64(46);
+        let (f, y) = clustered_features(&mut rng, 60, 8, 3, 2.0);
+        let labels = Labels::new(&y, 3).unwrap();
+        let starved = LogMe::batched()
+            .with_path(DecompPath::Jacobi)
+            .with_jacobi(JacobiConfig {
+                max_sweeps: 1,
+                ..JacobiConfig::DEFAULT
+            });
+        assert_eq!(
+            starved.score(&f, &labels),
+            Err(ScoreError::Decomposition(DecompError::NoConvergence))
+        );
+    }
+
+    #[test]
+    fn decomp_path_env_parsing() {
+        assert_eq!(LogMe::path_from_str("svd"), DecompPath::Svd);
+        assert_eq!(LogMe::path_from_str("GRAM"), DecompPath::Gram);
+        assert_eq!(LogMe::path_from_str(" jacobi "), DecompPath::Jacobi);
+        assert_eq!(LogMe::path_from_str("truncated"), DecompPath::Truncated);
+        assert_eq!(LogMe::path_from_str("auto"), DecompPath::Auto);
+        assert_eq!(LogMe::path_from_str("nonsense"), DecompPath::Auto);
+    }
+
+    #[test]
     #[allow(deprecated)]
     fn deprecated_shim_matches_and_panics() {
         let mut rng = Rng::seed_from_u64(8);
         let (f, y) = clustered_features(&mut rng, 120, 8, 3, 2.0);
         let via_shim = log_me(&f, &y, 3);
-        assert_eq!(via_shim.to_bits(), both_identical(&f, &y, 3).to_bits());
+        // The shim routes through the default (Auto-path) batched scorer.
+        assert_eq!(
+            via_shim.to_bits(),
+            score(LogMe::batched(), &f, &y, 3).to_bits()
+        );
+        // And the SVD reference path remains kernel-bit-identical.
+        assert!(both_identical(&f, &y, 3).is_finite());
     }
 
     #[test]

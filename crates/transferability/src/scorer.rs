@@ -237,33 +237,230 @@ pub enum LogMeKernel {
     Scalar,
 }
 
-/// Log maximum evidence (You et al., ICML 2021). See the `logme` module.
+/// Which decomposition feeds the batched LogME kernel's spectrum and label
+/// projections.
 ///
-/// Defaults to the batched kernel; [`LogMe::scalar`] selects the reference
-/// path, which is bit-identical by construction (asserted in tests).
+/// The evidence is mathematically identical along every path (see the
+/// `logme` module docs for the identity); the paths differ in cost and in
+/// floating-point rounding. `Svd` is the bit-exactness reference — the
+/// historical thin-SVD pipeline, bit-identical to the scalar kernel and the
+/// seed implementation. `Gram`, `Jacobi` and `Truncated` agree with it to
+/// documented tolerances, asserted by property tests and the bench gates.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct LogMe {
-    kernel: LogMeKernel,
+pub enum DecompPath {
+    /// Heuristic: `Gram` when `n >= 4·d` (the paper-scale regime), `Svd`
+    /// otherwise. This is the default.
+    #[default]
+    Auto,
+    /// `n × d` thin SVD (Gram eigendecomposition + `U = A V Σ⁻¹`): the
+    /// bit-exactness reference path.
+    Svd,
+    /// `d × d` Gram eigendecomposition only — the label projections are
+    /// computed as `z = Σ⁻¹ Vᵀ (Fᵀy)` without ever materialising `U`,
+    /// removing the two `O(n·d²)` passes that dominate the SVD path when
+    /// `n ≫ d`.
+    Gram,
+    /// One-sided (Hestenes) Jacobi SVD with deterministic, optionally
+    /// parallel rotation sweeps ([`tg_linalg::decomp::one_sided_jacobi_svd`]).
+    Jacobi,
+    /// The Gram path plus spectral truncation: trailing eigenvalues whose
+    /// cumulative energy is below the documented tolerance
+    /// (`TG_LOGME_TRUNC_TOL`, default `1e-6`) are dropped like σ≈0
+    /// directions. An explicit opt-in fast mode with a relaxed accuracy
+    /// contract (`~1e-3` on the evidence).
+    Truncated,
 }
 
-impl LogMe {
-    /// The blocked/batched kernel (default).
-    pub const fn batched() -> Self {
-        LogMe {
-            kernel: LogMeKernel::Batched,
+/// The decomposition a LogME score actually ran (the [`DecompPath::Auto`]
+/// heuristic resolved), used to key per-arm telemetry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecompArm {
+    /// Thin SVD reference.
+    Svd,
+    /// Gram-only projection path.
+    Gram,
+    /// One-sided Jacobi SVD.
+    Jacobi,
+    /// Gram path with spectral truncation.
+    Truncated,
+}
+
+impl DecompArm {
+    /// Every arm, in [`DecompArm::index`] order.
+    pub const ALL: [DecompArm; 4] = [
+        DecompArm::Svd,
+        DecompArm::Gram,
+        DecompArm::Jacobi,
+        DecompArm::Truncated,
+    ];
+
+    /// Dense index for per-arm accumulator arrays (`0..4`).
+    pub const fn index(self) -> usize {
+        match self {
+            DecompArm::Svd => 0,
+            DecompArm::Gram => 1,
+            DecompArm::Jacobi => 2,
+            DecompArm::Truncated => 3,
         }
     }
 
-    /// The scalar per-class reference kernel.
+    /// Short lowercase label for telemetry rendering and bench JSON keys.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DecompArm::Svd => "svd",
+            DecompArm::Gram => "gram",
+            DecompArm::Jacobi => "jacobi",
+            DecompArm::Truncated => "truncated",
+        }
+    }
+}
+
+/// Jacobi-path tuning carried inside [`LogMe`]. Field semantics match
+/// [`tg_linalg::decomp::JacobiOpts`]; the orthogonality tolerance is fixed
+/// (the `JacobiOpts` default) so this stays `Eq`-comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JacobiConfig {
+    /// Worker threads for the rotation rounds (results are bit-identical at
+    /// any value; `1` = sequential).
+    pub workers: usize,
+    /// Full-sweep budget before `ScoreError::Decomposition(NoConvergence)`.
+    pub max_sweeps: usize,
+}
+
+impl JacobiConfig {
+    /// Sequential sweeps with the default budget.
+    pub const DEFAULT: JacobiConfig = JacobiConfig {
+        workers: 1,
+        max_sweeps: tg_linalg::decomp::MAX_SWEEPS,
+    };
+}
+
+impl Default for JacobiConfig {
+    fn default() -> Self {
+        JacobiConfig::DEFAULT
+    }
+}
+
+/// What a LogME evaluation actually did, alongside the score: which
+/// decomposition arm ran, how long it took, and its effective spectrum.
+/// Returned by [`LogMe::score_with_report`] and threaded into the
+/// workbench's per-arm telemetry.
+#[derive(Clone, Copy, Debug)]
+pub struct LogMeReport {
+    /// The decomposition arm that ran ([`DecompPath::Auto`] resolved).
+    pub arm: DecompArm,
+    /// Wall-clock spent inside the decomposition (spectrum + label
+    /// projections), excluding the evidence fixed point.
+    pub decomp: std::time::Duration,
+    /// Jacobi sweeps the decomposition used (eigen sweeps for `Svd`/`Gram`
+    /// paths, Hestenes sweeps for `Jacobi`).
+    pub sweeps: usize,
+    /// Number of retained directions with `σ` above the clamp (equals the
+    /// kept rank for `Truncated`).
+    pub rank: usize,
+}
+
+/// Log maximum evidence (You et al., ICML 2021). See the `logme` module.
+///
+/// Defaults to the batched kernel on the [`DecompPath::Auto`] heuristic;
+/// [`LogMe::scalar`] selects the reference kernel, which always runs the
+/// SVD path and is bit-identical to `batched().with_path(DecompPath::Svd)`
+/// by construction (asserted in tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogMe {
+    kernel: LogMeKernel,
+    path: DecompPath,
+    jacobi: JacobiConfig,
+}
+
+impl LogMe {
+    /// The blocked/batched kernel (default), on the default
+    /// [`DecompPath::Auto`] heuristic.
+    pub const fn batched() -> Self {
+        LogMe {
+            kernel: LogMeKernel::Batched,
+            path: DecompPath::Auto,
+            jacobi: JacobiConfig::DEFAULT,
+        }
+    }
+
+    /// The scalar per-class reference kernel (always the SVD path).
     pub const fn scalar() -> Self {
         LogMe {
             kernel: LogMeKernel::Scalar,
+            path: DecompPath::Auto,
+            jacobi: JacobiConfig::DEFAULT,
         }
+    }
+
+    /// Selects the decomposition path of the batched kernel. The scalar
+    /// reference kernel ignores this and always runs the SVD path — it
+    /// exists to pin the historical bits.
+    pub const fn with_path(self, path: DecompPath) -> Self {
+        LogMe { path, ..self }
+    }
+
+    /// Overrides the Jacobi-path tuning (worker count and sweep budget).
+    pub const fn with_jacobi(self, jacobi: JacobiConfig) -> Self {
+        LogMe { jacobi, ..self }
     }
 
     /// Which kernel this instance runs.
     pub const fn kernel(&self) -> LogMeKernel {
         self.kernel
+    }
+
+    /// Which decomposition path this instance requests.
+    pub const fn path(&self) -> DecompPath {
+        self.path
+    }
+
+    /// The Jacobi-path tuning.
+    pub const fn jacobi(&self) -> JacobiConfig {
+        self.jacobi
+    }
+
+    /// Builds the serving configuration from the environment: the batched
+    /// kernel with `TG_LOGME_DECOMP` selecting the path
+    /// (`auto`|`svd`|`gram`|`jacobi`|`truncated`; anything else, including
+    /// unset, means `auto`) and `TG_JACOBI_WORKERS` the Jacobi worker count.
+    pub fn from_env() -> Self {
+        let path = std::env::var("TG_LOGME_DECOMP")
+            .map(|v| Self::path_from_str(&v))
+            .unwrap_or_default();
+        let workers = std::env::var("TG_JACOBI_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
+        LogMe::batched().with_path(path).with_jacobi(JacobiConfig {
+            workers,
+            ..JacobiConfig::DEFAULT
+        })
+    }
+
+    /// `TG_LOGME_DECOMP` value parser (case-insensitive; unknown → `Auto`).
+    pub(crate) fn path_from_str(v: &str) -> DecompPath {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "svd" => DecompPath::Svd,
+            "gram" => DecompPath::Gram,
+            "jacobi" => DecompPath::Jacobi,
+            "truncated" => DecompPath::Truncated,
+            _ => DecompPath::Auto,
+        }
+    }
+
+    /// [`Scorer::score`] plus a [`LogMeReport`] describing the
+    /// decomposition arm that ran and what it cost.
+    pub fn score_with_report(
+        &self,
+        features: &Matrix,
+        labels: &Labels,
+    ) -> Result<(f64, LogMeReport), ScoreError> {
+        match self.kernel {
+            LogMeKernel::Batched => log_me_batched(features, labels, self.path, self.jacobi),
+            LogMeKernel::Scalar => log_me_scalar(features, labels),
+        }
     }
 }
 
@@ -273,10 +470,8 @@ impl Scorer for LogMe {
     }
 
     fn score(&self, features: &Matrix, labels: &Labels) -> Result<f64, ScoreError> {
-        match self.kernel {
-            LogMeKernel::Batched => log_me_batched(features, labels),
-            LogMeKernel::Scalar => log_me_scalar(features, labels),
-        }
+        self.score_with_report(features, labels)
+            .map(|(score, _)| score)
     }
 }
 

@@ -46,4 +46,4 @@ pub mod tape;
 
 pub use nn::{he_init, xavier_init, Linear, Mlp};
 pub use optim::{Adam, Optimizer, ParamId, ParamStore, Sgd};
-pub use tape::{Tape, Var};
+pub use tape::{global_peak_tape_bytes, reset_global_peak_tape_bytes, Tape, Var};

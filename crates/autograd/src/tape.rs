@@ -2,7 +2,45 @@
 //! gradient propagation.
 
 use crate::optim::{ParamId, ParamStore};
+use std::sync::atomic::{AtomicU64, Ordering};
 use tg_linalg::Matrix;
+
+/// Process-wide high-water mark of tape residency (values + cached
+/// gradients, in bytes), across every tape ever alive in this process.
+/// `Relaxed` everywhere: it is reporting-only telemetry, never an input
+/// to computation.
+static GLOBAL_PEAK_TAPE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide peak tape residency in bytes (values plus cached
+/// gradients of the heaviest moment of the heaviest tape so far).
+pub fn global_peak_tape_bytes() -> u64 {
+    GLOBAL_PEAK_TAPE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the process-wide peak so a benchmark arm can measure its own
+/// high-water mark in isolation.
+pub fn reset_global_peak_tape_bytes() {
+    GLOBAL_PEAK_TAPE_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Bytes a matrix's payload occupies on the tape.
+fn matrix_bytes(m: &Matrix) -> u64 {
+    (m.rows() * m.cols() * std::mem::size_of::<f64>()) as u64
+}
+
+/// Bytes of matrices/index vectors an op carries besides its value.
+fn op_payload_bytes(op: &Op) -> u64 {
+    match op {
+        Op::MaskedFill { mask, .. } => matrix_bytes(mask),
+        Op::MseLoss { target, .. } => matrix_bytes(target),
+        Op::BceWithLogits { targets, .. } => matrix_bytes(targets),
+        Op::GatherRows(_, rows) => (rows.len() * std::mem::size_of::<usize>()) as u64,
+        Op::CrossEntropyLogits { labels, .. } => {
+            (labels.len() * std::mem::size_of::<usize>()) as u64
+        }
+        _ => 0,
+    }
+}
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,10 +107,26 @@ struct Node {
 }
 
 /// A single forward pass: records values and ops, then runs backward.
+///
+/// # Scoped use
+///
+/// A tape can be reused across minibatches without reallocation:
+/// [`Tape::scope`] runs a closure against the tape and then [`Tape::reset`]s
+/// it, freeing the scope's nodes while the shared [`ParamStore`] keeps any
+/// gradients the closure accumulated. The allocator tracks
+/// [`Tape::live_bytes`] and a monotone [`Tape::peak_bytes`] high-water mark
+/// (mirrored into the process-wide [`global_peak_tape_bytes`]) so the
+/// memory saving of scoped minibatch training is measurable.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
     cached_grads: Option<Vec<Matrix>>,
+    /// Bytes currently resident: node values, op payload matrices and
+    /// cached gradients.
+    live_bytes: u64,
+    /// High-water mark of `live_bytes` over this tape's lifetime
+    /// (survives [`Tape::reset`]).
+    peak_bytes: u64,
 }
 
 impl Tape {
@@ -82,8 +136,51 @@ impl Tape {
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.live_bytes += matrix_bytes(&value) + op_payload_bytes(&op);
+        self.note_peak();
         self.nodes.push(Node { op, value });
         Var(self.nodes.len() - 1)
+    }
+
+    fn note_peak(&mut self) {
+        if self.live_bytes > self.peak_bytes {
+            self.peak_bytes = self.live_bytes;
+            GLOBAL_PEAK_TAPE_BYTES.fetch_max(self.peak_bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes currently resident on this tape (values, op payloads and
+    /// cached gradients).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of [`Tape::live_bytes`] over this tape's lifetime;
+    /// monotone across [`Tape::reset`] calls.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Frees all nodes and cached gradients, keeping the allocation and
+    /// the [`Tape::peak_bytes`] high-water mark. Any gradients already
+    /// flushed with [`Tape::accumulate_grads`] live on in the store —
+    /// this is what lets one `ParamStore` accumulate across scopes.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.cached_grads = None;
+        self.live_bytes = 0;
+    }
+
+    /// Runs one minibatch against this tape, then [`Tape::reset`]s it.
+    ///
+    /// The closure typically builds a forward pass, calls
+    /// [`Tape::backward`] and flushes into a shared store with
+    /// [`Tape::accumulate_grads`]; summing those flushes across scopes is
+    /// exactly gradient accumulation (see `tests/prop_gradcheck.rs`).
+    pub fn scope<R>(&mut self, f: impl FnOnce(&mut Tape) -> R) -> R {
+        let out = f(self);
+        self.reset();
+        out
     }
 
     /// Value of a node (forward result).
@@ -581,6 +678,14 @@ impl Tape {
     pub fn backward(&mut self, root: Var) -> f64 {
         let loss = self.nodes[root.0].value.get(0, 0);
         let grads = self.gradients(root);
+        // Cached gradients are tape residency too (one matrix per node):
+        // count them so peak_bytes reflects the true backward high-water
+        // mark, and drop any previous cache from the live count first.
+        if let Some(old) = &self.cached_grads {
+            self.live_bytes -= old.iter().map(matrix_bytes).sum::<u64>();
+        }
+        self.live_bytes += grads.iter().map(matrix_bytes).sum::<u64>();
+        self.note_peak();
         self.cached_grads = Some(grads);
         loss
     }
@@ -921,5 +1026,70 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.constant(Matrix::zeros(2, 2));
         tape.backward(x);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_values_and_grads() {
+        let mut tape = Tape::new();
+        assert_eq!(tape.live_bytes(), 0);
+        let x = tape.constant(Matrix::from_fn(4, 3, |r, c| (r + c) as f64));
+        assert_eq!(tape.live_bytes(), 4 * 3 * 8);
+        let s = tape.sum_all(x);
+        assert_eq!(tape.live_bytes(), 4 * 3 * 8 + 8);
+        tape.backward(s);
+        // Backward caches one gradient per node: live doubles.
+        assert_eq!(tape.live_bytes(), 2 * (4 * 3 * 8 + 8));
+        assert_eq!(tape.peak_bytes(), tape.live_bytes());
+    }
+
+    #[test]
+    fn reset_frees_live_but_keeps_peak() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(8, 8));
+        let s = tape.sum_all(x);
+        tape.backward(s);
+        let peak = tape.peak_bytes();
+        assert!(peak > 0);
+        tape.reset();
+        assert_eq!(tape.live_bytes(), 0);
+        assert_eq!(tape.peak_bytes(), peak);
+        assert!(global_peak_tape_bytes() >= peak);
+    }
+
+    #[test]
+    fn scope_resets_and_accumulates_into_shared_store() {
+        // Two scoped minibatches against one store must sum their
+        // gradients; d/dp of sum(p) is all-ones per scope, so two scopes
+        // leave a gradient of 2 everywhere.
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::zeros(2, 2));
+        let mut tape = Tape::new();
+        store.zero_grads();
+        for _ in 0..2 {
+            tape.scope(|t| {
+                let pv = t.param(&store, p);
+                let loss = t.sum_all(pv);
+                t.backward(loss);
+                t.accumulate_grads(&mut store);
+            });
+            assert_eq!(tape.live_bytes(), 0, "scope must reset the tape");
+        }
+        let g = store.grad(p);
+        assert!(g.as_slice().iter().all(|&x| x == 2.0), "{:?}", g.as_slice());
+    }
+
+    #[test]
+    fn peak_spans_scopes_monotonically() {
+        let mut tape = Tape::new();
+        tape.scope(|t| {
+            let x = t.constant(Matrix::zeros(10, 10));
+            let s = t.sum_all(x);
+            t.backward(s);
+        });
+        let big = tape.peak_bytes();
+        tape.scope(|t| {
+            t.constant(Matrix::zeros(2, 2));
+        });
+        assert_eq!(tape.peak_bytes(), big, "smaller scope must not move peak");
     }
 }

@@ -82,3 +82,95 @@ proptest! {
         }
     }
 }
+
+// Gradient accumulation across scoped tapes: training a 2-layer
+// message-passing net on a small graph, the sum of per-minibatch
+// gradients (each minibatch's mean loss rescaled by its share of the
+// batch) must equal the full-batch gradient. This is the contract the
+// minibatch GNN drivers rely on when they flush several scopes into one
+// `ParamStore` before stepping.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn summed_minibatch_gradients_match_full_batch(
+        seed in 0u64..10_000,
+        n in 4usize..10,
+        hidden in 2usize..5,
+        split in 1usize..4,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        // A small "graph": row-normalised random adjacency + features.
+        let adj = {
+            let raw = Matrix::from_fn(n, n, |r, c| {
+                if r == c { 0.0 } else { rng.uniform() }
+            });
+            let mut a = raw;
+            for r in 0..n {
+                let s: f64 = a.row(r).iter().sum();
+                for c in 0..n {
+                    a.set(r, c, a.get(r, c) / s);
+                }
+            }
+            a
+        };
+        let x = Matrix::from_fn(n, 3, |_, _| rng.normal(0.0, 1.0));
+        let y = Matrix::from_fn(n, 1, |_, _| rng.normal(0.0, 1.0));
+
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Matrix::from_fn(3, hidden, |_, _| rng.normal(0.0, 0.6)));
+        let w2 = store.add("w2", Matrix::from_fn(hidden, 1, |_, _| rng.normal(0.0, 0.6)));
+
+        // Forward for a subset of output rows: full propagation, gather
+        // the rows, MSE against their targets.
+        let forward = |tape: &mut Tape, store: &ParamStore, rows: &[usize]| {
+            let xv = tape.constant(x.clone());
+            let av = tape.constant(adj.clone());
+            let w1v = tape.param(store, w1);
+            let w2v = tape.param(store, w2);
+            let ax = tape.matmul(av, xv);
+            let h = tape.matmul(ax, w1v);
+            let h = tape.tanh(h);
+            let o = tape.matmul(h, w2v);
+            let out = tape.gather_rows(o, rows.to_vec());
+            let target = Matrix::from_fn(rows.len(), 1, |r, _| y.get(rows[r], 0));
+            tape.mse_loss(out, &target)
+        };
+
+        // Full batch.
+        let all: Vec<usize> = (0..n).collect();
+        let mut full_tape = Tape::new();
+        let loss = forward(&mut full_tape, &store, &all);
+        full_tape.backward(loss);
+        store.zero_grads();
+        full_tape.accumulate_grads(&mut store);
+        let full_g1 = store.grad(w1).clone();
+        let full_g2 = store.grad(w2).clone();
+
+        // Minibatches on one scoped tape against the same store. Each
+        // scope's mean loss is rescaled by |batch|/n so the flushed
+        // gradients sum to the full-batch mean gradient.
+        store.zero_grads();
+        let mut tape = Tape::new();
+        for chunk in all.chunks(split) {
+            tape.scope(|t| {
+                let l = forward(t, &store, chunk);
+                let scaled = t.scalar_mul(l, chunk.len() as f64 / n as f64);
+                t.backward(scaled);
+                t.accumulate_grads(&mut store);
+            });
+        }
+        for (full, id) in [(full_g1, w1), (full_g2, w2)] {
+            let summed = store.grad(id);
+            for (a, b) in full.as_slice().iter().zip(summed.as_slice()) {
+                prop_assert!(
+                    (a - b).abs() < 1e-10 * (1.0 + a.abs()),
+                    "accumulated {b} vs full {a}"
+                );
+            }
+        }
+        // The scoped tape's peak must stay below the full-batch tape's
+        // when the minibatch is a strict subset (smaller gathered rows).
+        prop_assert!(tape.peak_bytes() <= full_tape.peak_bytes());
+    }
+}

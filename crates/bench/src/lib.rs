@@ -43,15 +43,6 @@ pub fn zoo_config_from_env() -> ZooConfig {
     }
 }
 
-/// Builds a standalone zoo at the scale requested via `TG_SCALE`.
-///
-/// The zoo is *not* registered with the serving registry; binaries should
-/// prefer [`zoo_handle_from_env`], which routes through it and shares the
-/// process-wide artifact store.
-pub fn zoo_from_env() -> ModelZoo {
-    ModelZoo::build(&zoo_config_from_env())
-}
-
 /// The process-wide [`ZooRegistry`], built on first use from the
 /// environment: artifact directory from `TG_ARTIFACT_DIR`, memory-tier
 /// bounds from `TG_REGISTRY_MAX_ZOOS` / `TG_REGISTRY_MAX_BYTES`.
@@ -104,17 +95,6 @@ pub fn reported_targets(zoo: &ModelZoo, modality: Modality) -> Vec<tg_zoo::Datas
         .collect()
 }
 
-/// A workbench over a caller-built zoo, configured from the environment.
-#[deprecated(
-    since = "0.3.0",
-    note = "bypasses the process-wide ZooRegistry (no routing or eviction \
-            telemetry); call `zoo_handle_from_env` and use the handle's \
-            `zoo()` and `workbench()` instead"
-)]
-pub fn workbench_from_env(zoo: &ModelZoo) -> Workbench<'_> {
-    Workbench::from_env(zoo)
-}
-
 /// Attaches the process-wide [`registry`]'s telemetry to a summary
 /// produced by a direct `runner` call ([`evaluate_over_targets_on`] does
 /// this itself). Leaves `None` when nothing has routed through the
@@ -150,25 +130,6 @@ pub fn summaries_enabled() -> bool {
         Some(v) => v != "0",
         None => !cfg!(debug_assertions),
     }
-}
-
-/// Evaluates one strategy over a list of targets in parallel on a cold
-/// throwaway [`Workbench`].
-#[deprecated(
-    since = "0.2.0",
-    note = "builds a cold Workbench per call, re-collecting features and \
-            bypassing TG_ARTIFACT_DIR and the ZooRegistry; get a handle \
-            with `zoo_handle_from_env` and call `evaluate_over_targets_on` \
-            on its workbench"
-)]
-pub fn evaluate_over_targets(
-    zoo: &ModelZoo,
-    strategy: &Strategy,
-    targets: &[tg_zoo::DatasetId],
-    opts: &EvalOptions,
-) -> Vec<EvalOutcome> {
-    let wb = Workbench::new(zoo);
-    evaluate_over_targets_on(&wb, strategy, targets, opts).outcomes
 }
 
 /// Evaluates one strategy over a list of targets in parallel on a shared

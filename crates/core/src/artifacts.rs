@@ -170,6 +170,16 @@ pub struct WorkbenchStats {
     /// of the kernel time), indexed by
     /// [`DecompArm::index`](tg_transfer::DecompArm::index).
     pub decomp: [(u64, Duration); 4],
+    /// High-water mark of autograd tape residency in bytes
+    /// ([`tg_autograd::global_peak_tape_bytes`]). Process-global and a
+    /// *gauge*, not a counter: [`WorkbenchStats::delta_since`] reports the
+    /// later snapshot's value unchanged.
+    pub peak_tape_bytes: u64,
+    /// Blocks produced by the neighbour sampler
+    /// ([`tg_graph::sampler_counters`]). Process-global monotone counter.
+    pub sampler_blocks: u64,
+    /// Sampled edges across those blocks. Process-global monotone counter.
+    pub sampler_edges: u64,
 }
 
 impl WorkbenchStats {
@@ -196,6 +206,11 @@ impl WorkbenchStats {
                     self.decomp[i].1 - earlier.decomp[i].1,
                 )
             }),
+            // A high-water mark cannot be meaningfully subtracted; the
+            // delta carries the later gauge reading as-is.
+            peak_tape_bytes: self.peak_tape_bytes,
+            sampler_blocks: self.sampler_blocks.saturating_sub(earlier.sampler_blocks),
+            sampler_edges: self.sampler_edges.saturating_sub(earlier.sampler_edges),
         }
     }
 
@@ -247,11 +262,19 @@ impl WorkbenchStats {
         } else {
             format!(" | decomp: {decomp}")
         };
+        let minibatch = if self.sampler_blocks > 0 || self.peak_tape_bytes > 0 {
+            format!(
+                " | minibatch: peak_tape_bytes {}, sampler {} blocks / {} edges",
+                self.peak_tape_bytes, self.sampler_blocks, self.sampler_edges,
+            )
+        } else {
+            String::new()
+        };
         format!(
             "stages: collection {:.3?} (logme-kernel {}x {:.3?}), graph {:.3?}, \
              regression {:.3?} | \
              cache hit rates: logme {} ({}h/{}m), repr {} ({}h/{}m), sim {} ({}h/{}m) | \
-             disk {}h/{}m ({}B read, {}B written){}",
+             disk {}h/{}m ({}B read, {}B written){}{}",
             self.stage(Stage::FeatureCollection),
             self.logme_kernel.0,
             self.logme_kernel.1,
@@ -271,6 +294,7 @@ impl WorkbenchStats {
             self.disk.bytes_read,
             self.disk.bytes_written,
             decomp,
+            minibatch,
         )
     }
 }
@@ -512,6 +536,7 @@ impl<'z> Workbench<'z> {
     /// Snapshot of cache counters, disk-tier counters and stage timers.
     pub fn stats(&self) -> WorkbenchStats {
         let sum = |a: (u64, u64), b: (u64, u64)| (a.0 + b.0, a.1 + b.1);
+        let (sampler_blocks, sampler_edges) = tg_graph::sampler_counters();
         WorkbenchStats {
             logme: self.store.logme.counters(),
             representation: sum(
@@ -527,6 +552,9 @@ impl<'z> Workbench<'z> {
             ],
             logme_kernel: self.telemetry().logme_kernel(),
             decomp: self.telemetry().decomp_arms(),
+            peak_tape_bytes: tg_autograd::global_peak_tape_bytes(),
+            sampler_blocks,
+            sampler_edges,
         }
     }
 }

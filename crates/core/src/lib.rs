@@ -44,6 +44,7 @@ pub mod config;
 pub mod evaluate;
 pub mod explain;
 pub mod features;
+pub mod inductive;
 pub mod metrics;
 pub mod pipeline;
 pub mod recommend;
@@ -57,6 +58,7 @@ pub(crate) mod sync;
 pub use artifacts::{Stage, Workbench, WorkbenchStats};
 pub use config::{EdgeSource, EvalOptions, FeatureSet, Representation};
 pub use evaluate::{evaluate, EvalOutcome};
+pub use inductive::{InductiveConfig, InductiveEmbedder};
 pub use registry::{
     RegistryOptions, RegistryStats, ZooHandle, ZooRegistry, REGISTRY_MAX_BYTES_ENV,
     REGISTRY_MAX_ZOOS_ENV,

@@ -38,9 +38,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use tg_zoo::{ModelZoo, ZooConfig};
+use tg_zoo::{DatasetId, Modality, ModelZoo, ZooConfig};
 
 use crate::artifacts::Workbench;
+use crate::config::Representation;
+use crate::inductive::{InductiveConfig, InductiveEmbedder};
 use crate::store::{dir_from_env, ArtifactStore, PersistStats};
 use crate::sync::{rank_guard, unpoisoned, Rank};
 
@@ -66,6 +68,9 @@ pub struct ZooHandle {
     zoo: Arc<ModelZoo>,
     store: Arc<ArtifactStore>,
     workbench: Workbench<'static>,
+    /// Trained inductive embedders, one per `(modality, representation)`.
+    /// Guarded at rank `inductive`; training happens *outside* the lock.
+    inductive: Mutex<HashMap<(Modality, Representation), Arc<InductiveEmbedder>>>,
 }
 
 impl ZooHandle {
@@ -81,6 +86,7 @@ impl ZooHandle {
             zoo,
             store,
             workbench,
+            inductive: Mutex::new(HashMap::new()),
         })
     }
 
@@ -117,6 +123,48 @@ impl ZooHandle {
     /// byte-bounded eviction.
     pub fn resident_bytes(&self) -> u64 {
         self.zoo.approx_resident_bytes() + self.store.resident_bytes()
+    }
+
+    /// The handle's inductive embedder for `modality`, trained once and
+    /// cached per `(modality, representation)`. Concurrent first calls may
+    /// race the (deterministic) training; the first insert wins and every
+    /// caller receives the same embedder from then on.
+    ///
+    /// The embedder is trained on the *full* modality graph. To admit a
+    /// dataset that training genuinely never saw, train a bespoke
+    /// embedder with [`Workbench::train_inductive`] and an exclude list —
+    /// the registry cache serves the steady-state shape, where new
+    /// requests reuse weights trained before the dataset arrived.
+    pub fn inductive_embedder(
+        &self,
+        modality: Modality,
+        cfg: &InductiveConfig,
+    ) -> Arc<InductiveEmbedder> {
+        let key = (modality, cfg.representation);
+        {
+            let _rank = rank_guard(Rank::Inductive);
+            let map = unpoisoned(self.inductive.lock());
+            if let Some(e) = map.get(&key) {
+                return Arc::clone(e);
+            }
+        }
+        // Train outside the lock: training reaches the store's cache locks
+        // (features, similarities), which rank below `inductive` — holding
+        // the map lock across it would be legal but would serialise every
+        // admit behind one training run.
+        let trained = Arc::new(self.workbench.train_inductive(modality, &[], cfg));
+        let _rank = rank_guard(Rank::Inductive);
+        let mut map = unpoisoned(self.inductive.lock());
+        Arc::clone(map.entry(key).or_insert(trained))
+    }
+
+    /// Admits dataset `d` between requests: embeds its node with the
+    /// cached inductive embedder for `d`'s modality (training it on first
+    /// touch), at sampling cost rather than retraining cost.
+    pub fn admit_dataset(&self, d: DatasetId, cfg: &InductiveConfig) -> Vec<f64> {
+        let modality = self.zoo.dataset(d).modality;
+        let embedder = self.inductive_embedder(modality, cfg);
+        embedder.embed_dataset(&self.workbench, d)
     }
 }
 
@@ -624,6 +672,49 @@ mod tests {
         assert!(stats.builds >= 3, "all three fingerprints were built");
         assert!(stats.evictions >= 1, "the bound forced eviction traffic");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn small_inductive_cfg() -> InductiveConfig {
+        InductiveConfig {
+            embed_dim: 16,
+            minibatch: tg_embed::MinibatchConfig {
+                fanouts: vec![5, 3],
+                batch: 64,
+                epochs: Some(6),
+            },
+            ..InductiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn inductive_embedder_trains_once_per_modality_and_representation() {
+        let registry = ZooRegistry::new(RegistryOptions::default());
+        let handle = registry.get_or_build(&ZooConfig::small(91));
+        let cfg = small_inductive_cfg();
+        let a = handle.inductive_embedder(Modality::Image, &cfg);
+        let b = handle.inductive_embedder(Modality::Image, &cfg);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second call reuses the cached embedder"
+        );
+        let text = handle.inductive_embedder(Modality::Text, &cfg);
+        assert!(!Arc::ptr_eq(&a, &text));
+    }
+
+    #[test]
+    fn admit_dataset_embeds_between_requests_without_retraining() {
+        let registry = ZooRegistry::new(RegistryOptions::default());
+        let handle = registry.get_or_build(&ZooConfig::small(92));
+        let cfg = small_inductive_cfg();
+        let d = handle.zoo().targets_of(Modality::Image)[0];
+        let before = handle.workbench().stats();
+        let v1 = handle.admit_dataset(d, &cfg); // trains on first touch
+        let v2 = handle.admit_dataset(d, &cfg); // reuses the weights
+        assert_eq!(v1.len(), 16);
+        assert_eq!(v1, v2, "admission is deterministic given fixed weights");
+        assert!(v1.iter().all(|x| x.is_finite()));
+        let delta = handle.workbench().stats().delta_since(&before);
+        assert!(delta.sampler_blocks > 0, "admission sampled blocks");
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! |------|---------------|-----------------------------------------------|
 //! | 0    | `Registry`    | `ZooRegistry::inner`                          |
 //! | 1    | `BuildSlot`   | per-fingerprint `BuildSlot::cell`             |
-//! | 2    | `StoreShard`  | persist lock, `TieredCache::disk`             |
-//! | 3    | `CacheShard`  | `ShardedCache` shard `RwLock`s                |
-//! | 4    | *(static only)* | `cols` — per-column Jacobi rotation mutexes |
+//! | 2    | `Inductive`   | `ZooHandle::inductive` embedder cache         |
+//! | 3    | `StoreShard`  | persist lock, `TieredCache::disk`             |
+//! | 4    | `CacheShard`  | `ShardedCache` shard `RwLock`s                |
+//! | 5    | *(static only)* | `cols` — per-column Jacobi rotation mutexes |
 //!
-//! Rank 4 covers the parallel Jacobi sweep's per-column locks in
+//! Rank 5 covers the parallel Jacobi sweep's per-column locks in
 //! `tg-linalg` (`decomp.rs`). That crate sits below this one and cannot
 //! reach the runtime tracker, so the rank exists only in `tg-check.toml`
 //! for the static TG04 layer; it is a leaf rank (a rotation holds two
@@ -52,11 +53,16 @@ pub(crate) enum Rank {
     Registry = 0,
     /// A per-fingerprint `BuildSlot::cell` build-coordination mutex.
     BuildSlot = 1,
+    /// `ZooHandle::inductive` — the per-handle trained-embedder cache.
+    /// Training happens *outside* this lock (it only guards the map), but
+    /// embedder lookups during admit do reach the store caches below, so
+    /// the rank sits above the store ranks.
+    Inductive = 2,
     /// Store-level locks: the process-wide per-fingerprint persist lock
     /// and a `TieredCache`'s disk-tier `RwLock`.
-    StoreShard = 2,
+    StoreShard = 3,
     /// One shard of a `ShardedCache`.
-    CacheShard = 3,
+    CacheShard = 4,
 }
 
 /// Recovers the guard from a possibly poisoned lock result.
@@ -101,7 +107,7 @@ mod tracker {
                     rank >= max,
                     "lock-order violation: acquiring {rank:?} (rank {}) while holding \
                      {max:?} (rank {}); declared order is registry -> build_slot -> \
-                     store_shard -> cache_shard",
+                     inductive -> store_shard -> cache_shard",
                     rank as u8,
                     max as u8,
                 );
@@ -170,6 +176,7 @@ mod tests {
     fn ordered_acquisition_is_accepted() {
         let _a = rank_guard(Rank::Registry);
         let _b = rank_guard(Rank::BuildSlot);
+        let _i = rank_guard(Rank::Inductive);
         let _c = rank_guard(Rank::StoreShard);
         let _d = rank_guard(Rank::CacheShard);
     }

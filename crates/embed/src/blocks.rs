@@ -1,0 +1,202 @@
+//! Block-aware aggregation: the single place where sampled
+//! [`Block`]s become the small dense operators the GNN layers consume.
+//!
+//! The full-graph trainers build their O(n²) operators from
+//! `tg_graph::adjacency`; the minibatch drivers build the *same* operators
+//! restricted to a sampled block — a `num_dst × num_src` mean-aggregation
+//! matrix for GraphSAGE and an attention mask for GAT. Keeping both
+//! constructions next to each other is the point: one definition of the
+//! aggregation semantics, two materialisations.
+
+use tg_graph::Block;
+use tg_linalg::Matrix;
+
+/// Configuration of the minibatch training drivers, shared by GraphSAGE
+/// and GAT.
+#[derive(Clone, Debug)]
+pub struct MinibatchConfig {
+    /// Per-layer neighbour fanouts, innermost (feature-consuming) layer
+    /// first. Adjusted to a driver's layer count by [`MinibatchConfig::fanouts_for`].
+    pub fanouts: Vec<usize>,
+    /// Link-prediction pairs per minibatch.
+    pub batch: usize,
+    /// Training epochs; `None` uses the learner's full-graph epoch count.
+    pub epochs: Option<usize>,
+}
+
+impl Default for MinibatchConfig {
+    fn default() -> Self {
+        MinibatchConfig {
+            fanouts: vec![10, 5],
+            batch: 128,
+            epochs: None,
+        }
+    }
+}
+
+impl MinibatchConfig {
+    /// Reads `TG_SAGE_FANOUTS` (comma-separated, e.g. `10,5`) and
+    /// `TG_SAGE_BATCH`; anything unset or unparsable keeps the default.
+    pub fn from_env() -> Self {
+        let mut cfg = MinibatchConfig::default();
+        if let Ok(s) = std::env::var("TG_SAGE_FANOUTS") {
+            let parsed: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&f| f >= 1)
+                .collect();
+            if !parsed.is_empty() {
+                cfg.fanouts = parsed;
+            }
+        }
+        if let Ok(s) = std::env::var("TG_SAGE_BATCH") {
+            if let Ok(b) = s.trim().parse::<usize>() {
+                if b >= 1 {
+                    cfg.batch = b;
+                }
+            }
+        }
+        cfg
+    }
+
+    /// The fanout list adjusted to exactly `layers` entries: truncated if
+    /// longer, extended with its last entry if shorter.
+    pub fn fanouts_for(&self, layers: usize) -> Vec<usize> {
+        let mut f = self.fanouts.clone();
+        let last = *f.last().unwrap_or(&5);
+        f.resize(layers, last);
+        f.truncate(layers);
+        f
+    }
+}
+
+/// The block-restricted mean aggregator: `num_dst × num_src`, row `d`
+/// holding `w(d,s) / Σ w(d,·)` over the block's sampled edges — the same
+/// floor (`w.max(1e-9)`) and row-normalisation as
+/// `tg_graph::adjacency::mean_adjacency`, restricted to the block.
+pub(crate) fn block_mean_matrix(block: &Block) -> Matrix {
+    let mut a = Matrix::zeros(block.num_dst(), block.num_src());
+    for e in block.edges() {
+        a.set(e.dst, e.src, a.get(e.dst, e.src) + e.weight.max(1e-9));
+    }
+    for d in 0..block.num_dst() {
+        let s: f64 = a.row(d).iter().sum();
+        if s > 0.0 {
+            for c in 0..block.num_src() {
+                a.set(d, c, a.get(d, c) / s);
+            }
+        }
+    }
+    a
+}
+
+/// The block-restricted attention mask: `num_dst × num_src`, 1 at
+/// sampled edges plus the diagonal prefix (each destination attends to
+/// itself — destinations are a prefix of the sources), matching
+/// `tg_graph::adjacency::attention_mask` on the sampled subgraph.
+pub(crate) fn block_attention_mask(block: &Block) -> Matrix {
+    let mut m = Matrix::zeros(block.num_dst(), block.num_src());
+    for d in 0..block.num_dst() {
+        m.set(d, d, 1.0);
+    }
+    for e in block.edges() {
+        m.set(e.dst, e.src, 1.0);
+    }
+    m
+}
+
+/// Rows of `features` for the given global node ids.
+pub(crate) fn gather_rows(features: &Matrix, nodes: &[usize]) -> Matrix {
+    Matrix::from_fn(nodes.len(), features.cols(), |r, c| {
+        features.get(nodes[r], c)
+    })
+}
+
+/// In-place ReLU.
+pub(crate) fn relu_inplace(m: &mut Matrix) {
+    for x in m.as_mut_slice() {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Row-wise L2 normalisation matching `Tape::row_l2_normalize`: rows with
+/// norm ≤ eps stay as they are.
+pub(crate) fn row_l2_normalize_inplace(m: &mut Matrix) {
+    let cols = m.cols();
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let n: f64 = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n > 1e-12 {
+            for c in 0..cols {
+                row[c] /= n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::{Csr, NeighborSampler};
+
+    fn sample_one() -> Block {
+        let g = tg_graph::fixtures::two_cliques();
+        let csr = Csr::from_graph(&g);
+        let sampler = NeighborSampler::new(vec![2], 11);
+        sampler
+            .sample_blocks(&csr, &[0, 4])
+            .pop()
+            .expect("one block")
+    }
+
+    #[test]
+    fn mean_matrix_rows_sum_to_one_where_edges_exist() {
+        let b = sample_one();
+        let a = block_mean_matrix(&b);
+        assert_eq!(a.shape(), (b.num_dst(), b.num_src()));
+        for d in 0..b.num_dst() {
+            let s: f64 = a.row(d).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {d} sums {s}");
+        }
+    }
+
+    #[test]
+    fn attention_mask_has_diagonal_prefix_and_edges() {
+        let b = sample_one();
+        let m = block_attention_mask(&b);
+        for d in 0..b.num_dst() {
+            assert_eq!(m.get(d, d), 1.0);
+        }
+        let ones: f64 = m.as_slice().iter().sum();
+        assert_eq!(ones as usize, b.num_dst() + b.edges().len());
+    }
+
+    #[test]
+    fn fanouts_for_resizes_both_ways() {
+        let cfg = MinibatchConfig {
+            fanouts: vec![8, 4],
+            ..MinibatchConfig::default()
+        };
+        assert_eq!(cfg.fanouts_for(2), vec![8, 4]);
+        assert_eq!(cfg.fanouts_for(3), vec![8, 4, 4]);
+        assert_eq!(cfg.fanouts_for(1), vec![8]);
+    }
+
+    #[test]
+    fn env_parsing_ignores_garbage() {
+        // No env set in tests → defaults.
+        let cfg = MinibatchConfig::default();
+        assert_eq!(cfg.fanouts, vec![10, 5]);
+        assert_eq!(cfg.batch, 128);
+    }
+
+    #[test]
+    fn normalize_matches_tape_semantics() {
+        let mut m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        row_l2_normalize_inplace(&mut m);
+        assert!((m.get(0, 0) - 0.6).abs() < 1e-12);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+}

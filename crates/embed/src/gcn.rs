@@ -9,6 +9,7 @@
 use crate::learner::GraphLearner;
 use crate::linkpred::build_linkpred_set;
 use tg_autograd::{xavier_init, Adam, Optimizer, ParamStore, Tape};
+use tg_graph::adjacency::normalized_adjacency;
 use tg_graph::Graph;
 use tg_linalg::Matrix;
 use tg_rng::Rng;
@@ -36,28 +37,6 @@ impl Gcn {
             lr: 0.01,
         }
     }
-}
-
-/// Symmetrically normalised adjacency with self-loops:
-/// `D̂^{-1/2} (A + I) D̂^{-1/2}`, weighted.
-pub(crate) fn normalized_adjacency(graph: &Graph) -> Matrix {
-    let n = graph.num_nodes();
-    let mut a = Matrix::zeros(n, n);
-    for i in 0..n {
-        a.set(i, i, 1.0); // self-loop
-        for (j, w) in graph.neighbors(i) {
-            a.set(i, j, a.get(i, j) + w.max(1e-9));
-        }
-    }
-    let deg: Vec<f64> = (0..n).map(|i| a.row(i).iter().sum()).collect();
-    Matrix::from_fn(n, n, |i, j| {
-        let d = (deg[i] * deg[j]).sqrt();
-        if d > 0.0 {
-            a.get(i, j) / d
-        } else {
-            0.0
-        }
-    })
 }
 
 impl GraphLearner for Gcn {
@@ -123,46 +102,8 @@ impl GraphLearner for Gcn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tg_graph::{EdgeKind, NodeKind};
+    use tg_graph::fixtures::two_cliques;
     use tg_linalg::distance::cosine_similarity;
-    use tg_zoo::ModelId;
-
-    fn two_cliques() -> Graph {
-        let mut g = Graph::new();
-        for i in 0..8 {
-            g.add_node(NodeKind::Model(ModelId(i)));
-        }
-        for a in 0..4 {
-            for b in (a + 1)..4 {
-                g.add_edge(a, b, 1.0, EdgeKind::DatasetDataset);
-                g.add_edge(a + 4, b + 4, 1.0, EdgeKind::DatasetDataset);
-            }
-        }
-        g
-    }
-
-    #[test]
-    fn normalized_adjacency_is_symmetric_with_self_loops() {
-        let g = two_cliques();
-        let a = normalized_adjacency(&g);
-        for i in 0..8 {
-            assert!(a.get(i, i) > 0.0, "self-loop at {i}");
-            for j in 0..8 {
-                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-12);
-            }
-        }
-    }
-
-    #[test]
-    fn normalization_bounds_spectral_radius() {
-        // Row sums of D^{-1/2} Â D^{-1/2} are ≤ 1 for regular-ish graphs.
-        let g = two_cliques();
-        let a = normalized_adjacency(&g);
-        for i in 0..8 {
-            let s: f64 = a.row(i).iter().sum();
-            assert!(s <= 1.0 + 1e-9, "row {i} sums {s}");
-        }
-    }
 
     #[test]
     fn embedding_shape_and_finite() {

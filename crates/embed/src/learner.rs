@@ -35,6 +35,11 @@ pub enum LearnerKind {
     /// Graph convolutional network (related-work extension; not in the
     /// paper's Fig. 9 line-up).
     Gcn,
+    /// GraphSAGE trained on neighbour-sampled minibatches (same
+    /// architecture as [`LearnerKind::GraphSage`], inductive inference).
+    GraphSageMini,
+    /// GAT trained on neighbour-sampled minibatches.
+    GatMini,
 }
 
 impl LearnerKind {
@@ -63,6 +68,8 @@ impl LearnerKind {
             LearnerKind::GraphSage => "GraphSAGE",
             LearnerKind::Gat => "GAT",
             LearnerKind::Gcn => "GCN",
+            LearnerKind::GraphSageMini => "GraphSAGE-mb",
+            LearnerKind::GatMini => "GAT-mb",
         }
     }
 
@@ -74,6 +81,8 @@ impl LearnerKind {
             LearnerKind::GraphSage => Box::new(crate::GraphSage::with_dim(dim)),
             LearnerKind::Gat => Box::new(crate::Gat::with_dim(dim)),
             LearnerKind::Gcn => Box::new(crate::Gcn::with_dim(dim)),
+            LearnerKind::GraphSageMini => Box::new(crate::MiniGraphSage::with_dim(dim)),
+            LearnerKind::GatMini => Box::new(crate::MiniGat::with_dim(dim)),
         }
     }
 }
@@ -95,6 +104,19 @@ mod tests {
         for kind in LearnerKind::ALL_EXTENDED {
             let l = kind.build(32);
             assert_eq!(l.dim(), 32, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn minibatch_kinds_build_and_name() {
+        for (kind, name) in [
+            (LearnerKind::GraphSageMini, "GraphSAGE-mb"),
+            (LearnerKind::GatMini, "GAT-mb"),
+        ] {
+            assert_eq!(kind.name(), name);
+            let l = kind.build(16);
+            assert_eq!(l.dim(), 16);
+            assert_eq!(l.name(), name);
         }
     }
 }

@@ -36,6 +36,7 @@
 //! assert_eq!(emb.shape(), (6, 16));
 //! ```
 
+pub mod blocks;
 pub mod dynamic;
 pub mod gat;
 pub mod gcn;
@@ -45,10 +46,11 @@ pub mod node2vec;
 pub mod sage;
 pub mod sgns;
 
+pub use blocks::MinibatchConfig;
 pub use dynamic::DynamicEmbedder;
-pub use gat::Gat;
+pub use gat::{Gat, MiniGat, TrainedGat};
 pub use gcn::Gcn;
 pub use learner::{GraphLearner, LearnerKind};
 pub use node2vec::{Node2Vec, Node2VecPlus};
-pub use sage::GraphSage;
+pub use sage::{GraphSage, MiniGraphSage, TrainedSage};
 pub use sgns::{train_sgns, SgnsConfig, SgnsModel};

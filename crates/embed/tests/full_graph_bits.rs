@@ -1,0 +1,90 @@
+//! Bit-identity lock on the full-graph GNN trainers.
+//!
+//! The minibatch/inductive drivers live *next to* the full-graph path,
+//! which stays the parity reference: any refactor that touches the dense
+//! builders or the training loop must leave these embeddings bit-for-bit
+//! unchanged. The expected values are FNV-1a hashes of the raw f64 bit
+//! patterns captured before the block-aware aggregation layer landed.
+
+use tg_embed::{Gat, Gcn, GraphLearner, GraphSage};
+use tg_graph::{EdgeKind, Graph, NodeKind};
+use tg_linalg::Matrix;
+use tg_rng::Rng;
+use tg_zoo::ModelId;
+
+/// FNV-1a over the exact bit patterns of every matrix entry, row-major.
+fn bits_hash(m: &Matrix) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &x in m.as_slice() {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// A small deterministic graph: two 5-cliques joined by one bridge edge,
+/// with varying edge weights so weighted aggregation is exercised.
+fn bridged_cliques() -> Graph {
+    let mut g = Graph::new();
+    for i in 0..10 {
+        g.add_node(NodeKind::Model(ModelId(i)));
+    }
+    for a in 0..5 {
+        for b in (a + 1)..5 {
+            let w = 0.5 + ((a * 5 + b) as f64) * 0.05;
+            g.add_edge(a, b, w, EdgeKind::DatasetDataset);
+            g.add_edge(
+                a + 5,
+                b + 5,
+                1.0 - (b - a) as f64 * 0.07,
+                EdgeKind::DatasetDataset,
+            );
+        }
+    }
+    g.add_edge(2, 7, 0.25, EdgeKind::DatasetDataset);
+    g
+}
+
+fn features() -> Matrix {
+    Matrix::from_fn(10, 6, |r, c| ((r * 7 + c * 3) as f64 * 0.29).sin())
+}
+
+#[test]
+fn sage_full_graph_is_bit_identical() {
+    let g = bridged_cliques();
+    let sage = GraphSage {
+        epochs: 25,
+        ..GraphSage::with_dim(8)
+    };
+    let emb = sage.embed(&g, &features(), &mut Rng::seed_from_u64(42));
+    assert_eq!(bits_hash(&emb), SAGE_HASH, "full-graph GraphSAGE drifted");
+}
+
+#[test]
+fn gat_full_graph_is_bit_identical() {
+    let g = bridged_cliques();
+    let gat = Gat {
+        epochs: 25,
+        ..Gat::with_dim(8)
+    };
+    let emb = gat.embed(&g, &features(), &mut Rng::seed_from_u64(42));
+    assert_eq!(bits_hash(&emb), GAT_HASH, "full-graph GAT drifted");
+}
+
+#[test]
+fn gcn_full_graph_is_bit_identical() {
+    let g = bridged_cliques();
+    let gcn = Gcn {
+        epochs: 25,
+        ..Gcn::with_dim(8)
+    };
+    let emb = gcn.embed(&g, &features(), &mut Rng::seed_from_u64(42));
+    assert_eq!(bits_hash(&emb), GCN_HASH, "full-graph GCN drifted");
+}
+
+// Captured from the pre-refactor trainers; see module docs.
+const SAGE_HASH: u64 = 12752504627612935361;
+const GAT_HASH: u64 = 16642683965507637302;
+const GCN_HASH: u64 = 4090431410780378604;

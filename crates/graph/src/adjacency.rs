@@ -1,0 +1,105 @@
+//! Dense adjacency operators shared by the full-graph GNN trainers.
+//!
+//! These three O(n²) builders used to be copy-pasted across the
+//! GraphSAGE/GCN/GAT modules in `tg-embed`; they live here now so the
+//! full-graph trainers and the minibatch block builders draw from one
+//! definition of the aggregation semantics. They are kept **verbatim** —
+//! the full-graph training path is the bit-identical parity reference
+//! for the minibatch drivers, so iteration order and arithmetic here
+//! must not change.
+
+use crate::graph::Graph;
+use tg_linalg::Matrix;
+
+/// Row-normalised weighted adjacency (mean aggregator): `Â[i][j] =
+/// w(i,j) / Σ_k w(i,k)`. Rows of isolated nodes stay zero, so their
+/// aggregation contributes nothing.
+pub fn mean_adjacency(graph: &Graph) -> Matrix {
+    let n = graph.num_nodes();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for (j, w) in graph.neighbors(i) {
+            a.set(i, j, a.get(i, j) + w.max(1e-9));
+        }
+    }
+    for i in 0..n {
+        let s: f64 = a.row(i).iter().sum();
+        if s > 0.0 {
+            for j in 0..n {
+                a.set(i, j, a.get(i, j) / s);
+            }
+        }
+    }
+    a
+}
+
+/// Symmetrically normalised adjacency with self-loops:
+/// `D̂^{-1/2} (A + I) D̂^{-1/2}`, weighted.
+pub fn normalized_adjacency(graph: &Graph) -> Matrix {
+    let n = graph.num_nodes();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a.set(i, i, 1.0); // self-loop
+        for (j, w) in graph.neighbors(i) {
+            a.set(i, j, a.get(i, j) + w.max(1e-9));
+        }
+    }
+    let deg: Vec<f64> = (0..n).map(|i| a.row(i).iter().sum()).collect();
+    Matrix::from_fn(n, n, |i, j| {
+        let d = (deg[i] * deg[j]).sqrt();
+        if d > 0.0 {
+            a.get(i, j) / d
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Attention mask: 1 where an edge exists, plus self-loops (standard GAT).
+pub fn attention_mask(graph: &Graph) -> Matrix {
+    let n = graph.num_nodes();
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        m.set(i, i, 1.0);
+        for (j, _) in graph.neighbors(i) {
+            m.set(i, j, 1.0);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::two_cliques;
+
+    #[test]
+    fn mean_adjacency_rows_normalised() {
+        let a = mean_adjacency(&two_cliques());
+        for i in 0..8 {
+            let s: f64 = a.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums {s}");
+        }
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_with_self_loops() {
+        let a = normalized_adjacency(&two_cliques());
+        for i in 0..8 {
+            assert!(a.get(i, i) > 0.0, "self-loop at {i}");
+            for j in 0..8 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_mask_has_self_loops_and_edges() {
+        let m = attention_mask(&two_cliques());
+        for i in 0..8 {
+            assert_eq!(m.get(i, i), 1.0);
+        }
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 5), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Compressed-sparse-row adjacency view over a [`Graph`].
+//!
+//! The dense O(n²) aggregation matrices the GNN trainers historically
+//! built are fine full-graph but useless for minibatching: a sampler
+//! needs per-node neighbour slices it can index in O(degree). `Csr`
+//! freezes a graph's adjacency into offset/neighbour/weight arrays with
+//! each node's neighbour run **sorted by neighbour index** — the sorted
+//! order is what makes neighbour sampling reproducible regardless of how
+//! the underlying `Graph` interleaved its `add_edge` calls or how many
+//! workers later consume the blocks.
+//!
+//! Parallel edges are kept as-is (one entry per incident edge, exactly
+//! like `Graph::neighbors`), so weighted aggregation over a `Csr` sees
+//! the same multiset of (neighbour, weight) pairs as the dense builders.
+
+use crate::graph::Graph;
+
+/// Immutable CSR adjacency: `neighbors[offsets[u]..offsets[u+1]]` are the
+/// neighbours of `u`, sorted ascending, with parallel weights alongside.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds the CSR view of a graph's positive edges. Neighbour runs
+    /// are sorted by (neighbour index, weight) so the layout is a pure
+    /// function of the edge *set*, not of insertion order.
+    pub fn from_graph(graph: &Graph) -> Csr {
+        let n = graph.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0);
+        let mut run: Vec<(usize, f64)> = Vec::new();
+        for u in 0..n {
+            run.clear();
+            run.extend(graph.neighbors(u));
+            run.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            for &(v, w) in &run {
+                neighbors.push(v);
+                weights.push(w);
+            }
+            offsets.push(neighbors.len());
+        }
+        Csr {
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed arcs (twice the undirected edge count).
+    pub fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbours of `u`, sorted ascending.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Edge weights aligned with [`Csr::neighbors`].
+    pub fn weights(&self, u: usize) -> &[f64] {
+        &self.weights[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u` (counting parallel edges).
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::two_cliques;
+    use crate::graph::{EdgeKind, NodeKind};
+    use tg_zoo::ModelId;
+
+    #[test]
+    fn csr_matches_graph_adjacency() {
+        let g = two_cliques();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        assert_eq!(csr.num_arcs(), 2 * g.edges().len());
+        for u in 0..g.num_nodes() {
+            let mut expect: Vec<(usize, f64)> = g.neighbors(u).collect();
+            expect.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            let got: Vec<(usize, f64)> = csr
+                .neighbors(u)
+                .iter()
+                .copied()
+                .zip(csr.weights(u).iter().copied())
+                .collect();
+            assert_eq!(got, expect, "node {u}");
+            assert_eq!(csr.degree(u), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn layout_is_insertion_order_independent() {
+        // Same edge set added in two different orders → identical CSR.
+        let mut a = Graph::new();
+        let mut b = Graph::new();
+        for i in 0..4 {
+            a.add_node(NodeKind::Model(ModelId(i)));
+            b.add_node(NodeKind::Model(ModelId(i)));
+        }
+        let edges = [(0, 1, 0.5), (0, 2, 0.7), (1, 3, 0.9), (2, 3, 0.4)];
+        for &(u, v, w) in &edges {
+            a.add_edge(u, v, w, EdgeKind::DatasetDataset);
+        }
+        for &(u, v, w) in edges.iter().rev() {
+            b.add_edge(u, v, w, EdgeKind::DatasetDataset);
+        }
+        let ca = Csr::from_graph(&a);
+        let cb = Csr::from_graph(&b);
+        for u in 0..4 {
+            assert_eq!(ca.neighbors(u), cb.neighbors(u));
+            assert_eq!(ca.weights(u), cb.weights(u));
+        }
+    }
+
+    #[test]
+    fn neighbour_runs_are_sorted() {
+        let g = two_cliques();
+        let csr = Csr::from_graph(&g);
+        for u in 0..csr.num_nodes() {
+            let ns = csr.neighbors(u);
+            assert!(ns.windows(2).all(|w| w[0] <= w[1]), "node {u}: {ns:?}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared test fixtures for graph-consuming crates.
+//!
+//! The GNN modules each used to carry their own copy of the two-clique
+//! graph; tests across the workspace now build it from here so fixture
+//! drift can't silently change what a test exercises.
+
+use crate::graph::{EdgeKind, Graph, NodeKind};
+use tg_zoo::ModelId;
+
+/// Two disjoint 4-cliques of model nodes (ids 0–3 and 4–7), every edge
+/// weight 1.0 — the canonical "does the embedding separate communities"
+/// fixture.
+pub fn two_cliques() -> Graph {
+    let mut g = Graph::new();
+    for i in 0..8 {
+        g.add_node(NodeKind::Model(ModelId(i)));
+    }
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            g.add_edge(a, b, 1.0, EdgeKind::DatasetDataset);
+            g.add_edge(a + 4, b + 4, 1.0, EdgeKind::DatasetDataset);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_of_the_fixture() {
+        let g = two_cliques();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.edges().len(), 12);
+        assert_eq!(g.connected_components(), 2);
+    }
+}

@@ -16,12 +16,18 @@
 //! The crate also hosts the biased second-order random-walk engine used by
 //! Node2Vec (structure-only) and Node2Vec+ (edge-weight aware).
 
+pub mod adjacency;
 pub mod builder;
+pub mod csr;
+pub mod fixtures;
 pub mod graph;
+pub mod sampler;
 pub mod stats;
 pub mod walks;
 
 pub use builder::{build_graph, GraphConfig, GraphInputs};
+pub use csr::Csr;
 pub use graph::{EdgeKind, Graph, NodeKind};
+pub use sampler::{sampler_counters, Block, BlockEdge, NeighborSampler};
 pub use stats::GraphStats;
 pub use walks::{generate_walks, WalkConfig};

@@ -1,0 +1,92 @@
+//! Property tests for the neighbour sampler: sampled edges are real graph
+//! edges, fanout caps hold, and resampling is deterministic.
+
+use proptest::prelude::*;
+use tg_graph::{Csr, EdgeKind, Graph, NeighborSampler, NodeKind};
+use tg_rng::Rng;
+use tg_zoo::ModelId;
+
+/// A random connected-ish weighted graph from a seed: a path backbone
+/// (guarantees no isolated nodes) plus random extra edges.
+fn random_graph(seed: u64, n: usize, extra: usize) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.add_node(NodeKind::Model(ModelId(i)));
+    }
+    for i in 1..n {
+        g.add_edge(
+            i - 1,
+            i,
+            rng.uniform_range(0.1, 1.0),
+            EdgeKind::DatasetDataset,
+        );
+    }
+    for _ in 0..extra {
+        let a = rng.index(n);
+        let b = rng.index(n);
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b, rng.uniform_range(0.1, 1.0), EdgeKind::DatasetDataset);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sampled_edges_are_true_neighbours_within_fanout(
+        seed in 0u64..5_000,
+        n in 3usize..24,
+        extra in 0usize..40,
+        f1 in 1usize..6,
+        f2 in 1usize..6,
+    ) {
+        let g = random_graph(seed, n, extra);
+        let csr = Csr::from_graph(&g);
+        let sampler = NeighborSampler::new(vec![f1, f2], seed ^ 0xabcd);
+        let seeds: Vec<usize> = (0..n).step_by(2).collect();
+        let blocks = sampler.sample_blocks(&csr, &seeds);
+        prop_assert_eq!(blocks.len(), 2);
+        prop_assert_eq!(blocks[1].dst_nodes(), &seeds[..]);
+        for (layer, block) in blocks.iter().enumerate() {
+            let fanout = [f1, f2][layer];
+            let mut per_dst = vec![0usize; block.num_dst()];
+            for e in block.edges() {
+                per_dst[e.dst] += 1;
+                let u = block.dst_nodes()[e.dst];
+                let v = block.src_nodes()[e.src];
+                // Every sampled neighbour is a true neighbour, with a
+                // weight the graph actually carries on that edge.
+                prop_assert!(
+                    g.neighbors(u).any(|(w, wt)| w == v && wt == e.weight),
+                    "layer {layer}: ({u},{v}) not an edge"
+                );
+            }
+            for (d, &count) in per_dst.iter().enumerate() {
+                let u = block.dst_nodes()[d];
+                prop_assert!(count <= fanout.max(g.degree(u).min(fanout)));
+                prop_assert!(count <= g.degree(u), "more samples than neighbours");
+                // Nodes under the cap keep everything.
+                if g.degree(u) <= fanout {
+                    prop_assert_eq!(count, g.degree(u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resampling_is_bit_identical(
+        seed in 0u64..5_000,
+        n in 3usize..16,
+        extra in 0usize..20,
+    ) {
+        let g = random_graph(seed, n, extra);
+        let csr = Csr::from_graph(&g);
+        let sampler = NeighborSampler::new(vec![3, 2], seed);
+        let a = sampler.sample_blocks(&csr, &[0, n - 1]);
+        let b = sampler.sample_blocks(&csr, &[0, n - 1]);
+        prop_assert_eq!(a, b);
+    }
+}

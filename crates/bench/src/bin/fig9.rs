@@ -4,7 +4,7 @@
 //! Paper shape: the Node2Vec family outperforms GraphSAGE and GAT on this
 //! small (few-hundred-node) graph.
 //!
-//! Footer ablations (DESIGN.md §6): embedding dimension sweep and walk
+//! Footer ablations (DESIGN.md §8): embedding dimension sweep and walk
 //! hyperparameter sensitivity for Node2Vec+.
 
 use tg_bench::{

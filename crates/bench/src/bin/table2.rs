@@ -1,6 +1,6 @@
 //! **Table II**: statistics of the constructed graphs for both modalities
 //! (full graphs, no leave-one-out exclusion), plus the edge-pruning
-//! threshold ablation called out in DESIGN.md §6.
+//! threshold ablation called out in DESIGN.md §8.
 //!
 //! Paper values (for scale comparison): image — 265 nodes, avg degree 20.1,
 //! 5256 D-D edges, 1753 accuracy edges, 916 transferability edges;

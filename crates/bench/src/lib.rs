@@ -15,7 +15,10 @@
 //! * `TG_RUNNER_SUMMARY` — `1`/`0` forces run-summary printing on/off
 //!   (default: on in release builds, off in debug builds).
 
-pub mod json;
+// The JSON writer moved to its own crate so the serving front-end can
+// render responses without depending on the bench harness; this re-export
+// keeps every `tg_bench::json::JsonObject` call site compiling unchanged.
+pub use tg_json as json;
 
 use std::sync::{Arc, OnceLock};
 

@@ -1,0 +1,360 @@
+//! Request coalescing for the serving layer: concurrent recommendations
+//! for the same `(zoo fingerprint, target, strategy)` collapse into one
+//! Workbench pass.
+//!
+//! A recommendation service sees bursts of identical work: many clients
+//! asking for the same target's ranking at once (a fresh dataset just
+//! landed, a dashboard fans out). Every [`evaluate`] call is a pure
+//! function of `(zoo, strategy, target, options)`, so running it once per
+//! burst and sharing the outcome is behaviour-preserving by construction —
+//! the same argument that makes the registry's evict-then-rebuild
+//! bit-identical.
+//!
+//! The mechanism mirrors the registry's `BuildSlot`: the first request in
+//! (the **leader**) publishes a per-key pass cell and computes; racers
+//! (**followers**) find the cell and block on its condvar until the leader
+//! publishes the shared outcome. A configurable **batch window** makes the
+//! leader wait briefly before computing, widening the net for followers
+//! that arrive just behind it — worth it when the pass itself is much more
+//! expensive than the window (cold caches), a no-op default otherwise.
+//!
+//! Locks here sit at rank `coalesce` (see `crate::sync` and
+//! `tg-check.toml`): the cell mutex is only ever held for state flips and
+//! waits, never across the evaluation itself, so the store/cache ranks
+//! below are reached with no coalescing lock held. If a leader panics
+//! mid-pass, a drop guard marks the cell abandoned and wakes every
+//! follower, which then fall back to evaluating directly — a lost
+//! optimisation, never a hang.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use tg_zoo::DatasetId;
+
+use crate::config::EvalOptions;
+use crate::evaluate::{evaluate, EvalOutcome};
+use crate::registry::ZooHandle;
+use crate::strategy::Strategy;
+use crate::sync::{rank_guard, unpoisoned, Rank};
+
+/// One coalescing key: zoo fingerprint, target dataset, strategy label.
+/// The strategy is part of the key because different strategies produce
+/// different rankings — only *identical* work may share a pass.
+type PassKey = (u64, DatasetId, String);
+
+/// State of one in-flight pass.
+enum PassState {
+    /// The leader is still computing (or waiting out the batch window).
+    Pending,
+    /// The leader published the shared outcome.
+    Done(Arc<EvalOutcome>),
+    /// The leader unwound without publishing; followers must fall back.
+    Abandoned,
+}
+
+/// One in-flight pass: followers wait on `cv` until the leader flips
+/// `pass` out of [`PassState::Pending`].
+struct PassCell {
+    pass: Mutex<PassState>,
+    cv: Condvar,
+}
+
+/// Per-request coalescing telemetry, surfaced by the server's `/stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Passes actually computed (one per burst).
+    pub leaders: u64,
+    /// Requests served from another request's in-flight pass.
+    pub followers: u64,
+    /// Followers that found an abandoned pass and recomputed directly
+    /// (only possible after a leader panicked mid-evaluation).
+    pub fallbacks: u64,
+}
+
+impl CoalesceStats {
+    /// One-line rendering for run summaries and server logs.
+    pub fn render(&self) -> String {
+        format!(
+            "coalesce: {} passes, {} coalesced, {} fallbacks",
+            self.leaders, self.followers, self.fallbacks
+        )
+    }
+}
+
+/// Coalesces concurrent identical evaluations into single shared passes.
+/// See the [module docs](self) for the protocol.
+///
+/// ```
+/// use std::time::Duration;
+/// use tg_zoo::{Modality, ZooConfig};
+/// use transfergraph::{Coalescer, EvalOptions, RegistryOptions, Strategy, ZooRegistry};
+///
+/// let registry = ZooRegistry::new(RegistryOptions::default());
+/// let handle = registry.get_or_build(&ZooConfig::small(7));
+/// let target = handle.zoo().targets_of(Modality::Image)[0];
+/// let coalescer = Coalescer::new(Duration::ZERO);
+/// let outcome = coalescer.evaluate(
+///     &handle,
+///     &Strategy::lr_baseline(),
+///     target,
+///     &EvalOptions::default(),
+/// );
+/// assert_eq!(outcome.dataset, target);
+/// assert_eq!(coalescer.stats().leaders, 1);
+/// ```
+pub struct Coalescer {
+    window: Duration,
+    passes: Mutex<HashMap<PassKey, Arc<PassCell>>>,
+    leaders: AtomicU64,
+    followers: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl Coalescer {
+    /// New coalescer. `window` is how long a leader waits before computing
+    /// so followers can pile on; `Duration::ZERO` (the usual default)
+    /// coalesces only requests that overlap an already-running pass.
+    pub fn new(window: Duration) -> Self {
+        Coalescer {
+            window,
+            passes: Mutex::new(HashMap::new()),
+            leaders: AtomicU64::new(0),
+            followers: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured batch window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> CoalesceStats {
+        CoalesceStats {
+            leaders: self.leaders.load(Ordering::Relaxed),
+            followers: self.followers.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evaluates `strategy` on `target` over `handle`'s workbench,
+    /// coalescing with any concurrent call carrying the same
+    /// `(fingerprint, target, strategy label)` key. Exactly one caller per
+    /// burst computes; everyone receives the same `Arc`'d outcome,
+    /// bit-identical to an uncoalesced [`evaluate`] call.
+    pub fn evaluate(
+        &self,
+        handle: &ZooHandle,
+        strategy: &Strategy,
+        target: DatasetId,
+        opts: &EvalOptions,
+    ) -> Arc<EvalOutcome> {
+        let key: PassKey = (handle.fingerprint(), target, strategy.label());
+        let (cell, is_leader) = {
+            let _rank = rank_guard(Rank::Coalesce);
+            let mut passes = unpoisoned(self.passes.lock());
+            match passes.get(&key) {
+                Some(cell) => (Arc::clone(cell), false),
+                None => {
+                    let cell = Arc::new(PassCell {
+                        pass: Mutex::new(PassState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    passes.insert(key.clone(), Arc::clone(&cell));
+                    (cell, true)
+                }
+            }
+        };
+
+        if is_leader {
+            self.leaders.fetch_add(1, Ordering::Relaxed);
+            // If the evaluation below unwinds, this guard abandons the
+            // cell and wakes the followers instead of leaving them parked
+            // on the condvar forever.
+            let mut guard = LeaderGuard {
+                coalescer: self,
+                key: &key,
+                cell: &cell,
+                outcome: None,
+            };
+            if !self.window.is_zero() {
+                std::thread::sleep(self.window);
+            }
+            // No coalescing lock is held here: the evaluation reaches the
+            // store/cache ranks with a clean stack.
+            let outcome = Arc::new(evaluate(handle.workbench(), strategy, target, opts));
+            guard.outcome = Some(Arc::clone(&outcome));
+            drop(guard); // publishes Done, wakes followers, retires the key
+            outcome
+        } else {
+            self.followers.fetch_add(1, Ordering::Relaxed);
+            {
+                let _rank = rank_guard(Rank::Coalesce);
+                let mut pass = unpoisoned(cell.pass.lock());
+                loop {
+                    match &*pass {
+                        PassState::Pending => pass = unpoisoned(cell.cv.wait(pass)),
+                        PassState::Done(outcome) => return Arc::clone(outcome),
+                        PassState::Abandoned => break,
+                    }
+                }
+            }
+            // The leader unwound without a result; compute directly. Same
+            // deterministic function, so the burst still agrees bitwise.
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            Arc::new(evaluate(handle.workbench(), strategy, target, opts))
+        }
+    }
+}
+
+/// Publishes the leader's result (or abandonment, if the leader unwound
+/// before setting `outcome`) exactly once, on drop.
+struct LeaderGuard<'a> {
+    coalescer: &'a Coalescer,
+    key: &'a PassKey,
+    cell: &'a Arc<PassCell>,
+    outcome: Option<Arc<EvalOutcome>>,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let _rank = rank_guard(Rank::Coalesce);
+            let mut pass = unpoisoned(self.cell.pass.lock());
+            *pass = match self.outcome.take() {
+                Some(outcome) => PassState::Done(outcome),
+                None => PassState::Abandoned,
+            };
+            self.cell.cv.notify_all();
+        }
+        // Retire the key so the next burst starts a fresh pass. Taking the
+        // map after the cell is equal-rank nesting (both `coalesce`).
+        let _rank = rank_guard(Rank::Coalesce);
+        unpoisoned(self.coalescer.passes.lock()).remove(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{RegistryOptions, ZooRegistry};
+    use tg_zoo::{Modality, ZooConfig};
+
+    fn setup(seed: u64) -> (ZooRegistry, Strategy, EvalOptions) {
+        let registry = ZooRegistry::new(RegistryOptions::default());
+        let _ = registry.get_or_build(&ZooConfig::small(seed));
+        (registry, Strategy::lr_baseline(), EvalOptions::default())
+    }
+
+    #[test]
+    fn single_call_matches_direct_evaluate_bitwise() {
+        let (registry, strategy, opts) = setup(301);
+        let handle = registry.get_or_build(&ZooConfig::small(301));
+        let target = handle.zoo().targets_of(Modality::Image)[0];
+        let coalescer = Coalescer::new(Duration::ZERO);
+        let coalesced = coalescer.evaluate(&handle, &strategy, target, &opts);
+        let direct = evaluate(handle.workbench(), &strategy, target, &opts);
+        assert_eq!(coalesced.predictions, direct.predictions);
+        assert_eq!(coalesced.pearson, direct.pearson);
+        let stats = coalescer.stats();
+        assert_eq!((stats.leaders, stats.followers, stats.fallbacks), (1, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_share_one_pass() {
+        let (registry, strategy, opts) = setup(302);
+        let handle = registry.get_or_build(&ZooConfig::small(302));
+        let target = handle.zoo().targets_of(Modality::Image)[0];
+        // A wide window so every thread spawned below lands inside the
+        // leader's wait, making follower counts deterministic.
+        let coalescer = Coalescer::new(Duration::from_millis(300));
+        let outcomes: Vec<Arc<EvalOutcome>> = std::thread::scope(|scope| {
+            let spawned: Vec<_> = (0..6)
+                .map(|_| scope.spawn(|| coalescer.evaluate(&handle, &strategy, target, &opts)))
+                .collect();
+            spawned.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for o in &outcomes[1..] {
+            assert!(
+                Arc::ptr_eq(&outcomes[0], o),
+                "all coalesced callers share one outcome allocation"
+            );
+        }
+        let stats = coalescer.stats();
+        assert_eq!(stats.leaders, 1, "exactly one pass computed");
+        assert_eq!(stats.followers, 5);
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn different_keys_do_not_coalesce() {
+        let (registry, strategy, opts) = setup(303);
+        let handle = registry.get_or_build(&ZooConfig::small(303));
+        let targets = handle.zoo().targets_of(Modality::Image);
+        let coalescer = Coalescer::new(Duration::ZERO);
+        let a = coalescer.evaluate(&handle, &strategy, targets[0], &opts);
+        let b = coalescer.evaluate(&handle, &strategy, targets[1], &opts);
+        assert_ne!(a.dataset, b.dataset);
+        assert_eq!(coalescer.stats().leaders, 2);
+        // Different strategies on one target are distinct keys too.
+        let c = coalescer.evaluate(&handle, &Strategy::LogMe, targets[0], &opts);
+        assert_ne!(c.strategy, a.strategy);
+        assert_eq!(coalescer.stats().leaders, 3);
+    }
+
+    #[test]
+    fn sequential_bursts_start_fresh_passes() {
+        let (registry, strategy, opts) = setup(304);
+        let handle = registry.get_or_build(&ZooConfig::small(304));
+        let target = handle.zoo().targets_of(Modality::Image)[0];
+        let coalescer = Coalescer::new(Duration::ZERO);
+        let first = coalescer.evaluate(&handle, &strategy, target, &opts);
+        let second = coalescer.evaluate(&handle, &strategy, target, &opts);
+        assert!(
+            !Arc::ptr_eq(&first, &second),
+            "completed passes are retired, not cached"
+        );
+        assert_eq!(first.predictions, second.predictions);
+        assert_eq!(coalescer.stats().leaders, 2);
+    }
+
+    #[test]
+    fn abandoned_leader_wakes_followers_into_fallback() {
+        let (registry, strategy, opts) = setup(305);
+        let handle = registry.get_or_build(&ZooConfig::small(305));
+        let target = handle.zoo().targets_of(Modality::Image)[0];
+        let coalescer = Coalescer::new(Duration::ZERO);
+        let key: PassKey = (handle.fingerprint(), target, strategy.label());
+
+        // Simulate a leader that unwinds mid-pass: publish a pending cell,
+        // then drop the guard with no outcome attached.
+        let cell = Arc::new(PassCell {
+            pass: Mutex::new(PassState::Pending),
+            cv: Condvar::new(),
+        });
+        unpoisoned(coalescer.passes.lock()).insert(key.clone(), Arc::clone(&cell));
+
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| coalescer.evaluate(&handle, &strategy, target, &opts));
+            // Give the follower time to park on the condvar, then abandon.
+            std::thread::sleep(Duration::from_millis(50));
+            drop(LeaderGuard {
+                coalescer: &coalescer,
+                key: &key,
+                cell: &cell,
+                outcome: None,
+            });
+            let outcome = waiter.join().unwrap();
+            assert_eq!(outcome.dataset, target);
+        });
+        let stats = coalescer.stats();
+        assert_eq!(stats.fallbacks, 1, "follower recomputed after abandon");
+        assert!(
+            unpoisoned(coalescer.passes.lock()).is_empty(),
+            "abandoned key retired from the map"
+        );
+    }
+}

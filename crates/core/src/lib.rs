@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod coalesce;
 pub mod config;
 pub mod evaluate;
 pub mod explain;
@@ -56,6 +57,7 @@ pub mod strategy;
 pub(crate) mod sync;
 
 pub use artifacts::{Stage, Workbench, WorkbenchStats};
+pub use coalesce::{CoalesceStats, Coalescer};
 pub use config::{EdgeSource, EvalOptions, FeatureSet, Representation};
 pub use evaluate::{evaluate, EvalOutcome};
 pub use inductive::{InductiveConfig, InductiveEmbedder};

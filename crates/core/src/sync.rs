@@ -8,15 +8,27 @@
 //! | 0    | `Registry`    | `ZooRegistry::inner`                          |
 //! | 1    | `BuildSlot`   | per-fingerprint `BuildSlot::cell`             |
 //! | 2    | `Inductive`   | `ZooHandle::inductive` embedder cache         |
-//! | 3    | `StoreShard`  | persist lock, `TieredCache::disk`             |
-//! | 4    | `CacheShard`  | `ShardedCache` shard `RwLock`s                |
-//! | 5    | *(static only)* | `cols` — per-column Jacobi rotation mutexes |
+//! | 3    | `Coalesce`    | `Coalescer::passes` map + per-key pass cells  |
+//! | 4    | `StoreShard`  | persist lock, `TieredCache::disk`             |
+//! | 5    | `CacheShard`  | `ShardedCache` shard `RwLock`s                |
+//! | 6    | *(static only)* | `cols` — per-column Jacobi rotation mutexes |
+//! | 7    | *(static only)* | `queue` — the server's connection queue     |
 //!
-//! Rank 5 covers the parallel Jacobi sweep's per-column locks in
+//! Rank 3 is the serving layer's request coalescing
+//! ([`crate::coalesce::Coalescer`]): a pass leader holds its per-key cell
+//! across a whole Workbench evaluation (which reaches the store and cache
+//! ranks below), and briefly re-takes the same-rank `passes` map to publish
+//! or retire the cell — equal-rank nesting, allowed by the order.
+//!
+//! Rank 6 covers the parallel Jacobi sweep's per-column locks in
 //! `tg-linalg` (`decomp.rs`). That crate sits below this one and cannot
 //! reach the runtime tracker, so the rank exists only in `tg-check.toml`
 //! for the static TG04 layer; it is a leaf rank (a rotation holds two
-//! same-rank column locks and acquires nothing else).
+//! same-rank column locks and acquires nothing else). Rank 7 is
+//! `tg-serve`'s bounded connection queue — the crate sits *above* this one,
+//! so it too is enforced statically only; the queue lock is never held
+//! across any other acquisition (push/pop are self-contained critical
+//! sections).
 //!
 //! A thread may only acquire locks in non-decreasing rank order (equal
 //! ranks are fine: the persist lock wraps disk-tier reads at the same
@@ -58,11 +70,16 @@ pub(crate) enum Rank {
     /// embedder lookups during admit do reach the store caches below, so
     /// the rank sits above the store ranks.
     Inductive = 2,
+    /// Request-coalescing locks ([`crate::coalesce::Coalescer`]): the
+    /// per-key pass cells and the map that routes racers to them. A pass
+    /// leader evaluates while holding its cell, reaching the store ranks
+    /// below, so the rank sits above them.
+    Coalesce = 3,
     /// Store-level locks: the process-wide per-fingerprint persist lock
     /// and a `TieredCache`'s disk-tier `RwLock`.
-    StoreShard = 3,
+    StoreShard = 4,
     /// One shard of a `ShardedCache`.
-    CacheShard = 4,
+    CacheShard = 5,
 }
 
 /// Recovers the guard from a possibly poisoned lock result.
@@ -107,7 +124,7 @@ mod tracker {
                     rank >= max,
                     "lock-order violation: acquiring {rank:?} (rank {}) while holding \
                      {max:?} (rank {}); declared order is registry -> build_slot -> \
-                     inductive -> store_shard -> cache_shard",
+                     inductive -> coalesce -> store_shard -> cache_shard",
                     rank as u8,
                     max as u8,
                 );
@@ -177,6 +194,7 @@ mod tests {
         let _a = rank_guard(Rank::Registry);
         let _b = rank_guard(Rank::BuildSlot);
         let _i = rank_guard(Rank::Inductive);
+        let _p = rank_guard(Rank::Coalesce);
         let _c = rank_guard(Rank::StoreShard);
         let _d = rank_guard(Rank::CacheShard);
     }

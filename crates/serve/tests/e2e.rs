@@ -1,0 +1,272 @@
+//! End-to-end tests: a real server on an ephemeral port, raw TCP
+//! clients, all three endpoints round-tripped, plus the overload path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tg_json::JsonValue;
+use tg_serve::{recommend_body, ServeOptions, Server};
+use tg_zoo::{ModelZoo, ZooConfig};
+use transfergraph::{evaluate, EvalOptions, Strategy, Workbench, ZooRegistry};
+
+fn start(max_conns: usize, batch_window_ms: u64) -> Server {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        max_conns,
+        batch_window_ms,
+    };
+    Server::start(Arc::new(ZooRegistry::from_env()), &opts).expect("bind ephemeral port")
+}
+
+fn send(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(raw).expect("write request");
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("read response");
+    reply
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    send(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    send(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn status_of(reply: &str) -> u16 {
+    reply
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable status line in {reply:?}"))
+}
+
+fn body_of(reply: &str) -> &str {
+    reply.split_once("\r\n\r\n").expect("header/body split").1
+}
+
+#[test]
+fn round_trips_all_three_endpoints() {
+    let server = start(4, 0);
+    let addr = server.local_addr();
+    let zoo = ModelZoo::build(&ZooConfig::small(2024));
+    let target = zoo
+        .dataset(zoo.targets_of(tg_zoo::Modality::Image)[0])
+        .name
+        .clone();
+    let model = zoo
+        .model(zoo.models_of(tg_zoo::Modality::Image)[0])
+        .name
+        .clone();
+
+    let reply = post(
+        addr,
+        "/recommend",
+        &format!(
+            r#"{{"seed": 2024, "scale": "small", "target": "{target}", "strategy": "lr", "top_k": 3}}"#
+        ),
+    );
+    assert_eq!(status_of(&reply), 200, "recommend: {reply}");
+    let parsed = JsonValue::parse(body_of(&reply)).expect("recommend body is JSON");
+    let ranking = parsed
+        .get("ranking")
+        .and_then(JsonValue::as_array)
+        .expect("ranking");
+    assert_eq!(ranking.len(), 3);
+    assert!(parsed.get("scores").and_then(JsonValue::as_array).is_some());
+
+    let reply = post(
+        addr,
+        "/score",
+        &format!(r#"{{"seed": 2024, "scale": "small", "model": "{model}", "target": "{target}"}}"#),
+    );
+    assert_eq!(status_of(&reply), 200, "score: {reply}");
+    let parsed = JsonValue::parse(body_of(&reply)).expect("score body is JSON");
+    let logme = parsed
+        .get("logme")
+        .and_then(JsonValue::as_f64)
+        .expect("logme field");
+    assert!(logme.is_finite());
+
+    let reply = get(addr, "/stats");
+    assert_eq!(status_of(&reply), 200, "stats: {reply}");
+    let parsed = JsonValue::parse(body_of(&reply)).expect("stats body is JSON");
+    let served = parsed
+        .get("server")
+        .and_then(|s| s.get("served"))
+        .and_then(JsonValue::as_u64)
+        .expect("server.served");
+    assert!(
+        served >= 2,
+        "both prior requests must be counted, got {served}"
+    );
+    assert_eq!(
+        parsed
+            .get("server")
+            .and_then(|s| s.get("recommends"))
+            .and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        parsed
+            .get("server")
+            .and_then(|s| s.get("scores"))
+            .and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert!(parsed.get("coalesce").is_some());
+    assert!(parsed.get("registry").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn recommend_response_is_bit_identical_to_direct_evaluate() {
+    let server = start(2, 0);
+    let addr = server.local_addr();
+
+    let config = ZooConfig::small(7);
+    let zoo = ModelZoo::build(&config);
+    let target = zoo.targets_of(tg_zoo::Modality::Text)[0];
+    let target_name = zoo.dataset(target).name.clone();
+    let wb = Workbench::new(&zoo);
+    let outcome = evaluate(
+        &wb,
+        &Strategy::lr_baseline(),
+        target,
+        &EvalOptions::default(),
+    );
+    let expected = recommend_body(&zoo, config.fingerprint(), &outcome, 5).render();
+
+    let reply = post(
+        addr,
+        "/recommend",
+        &format!(r#"{{"seed": 7, "scale": "small", "target": "{target_name}", "strategy": "lr"}}"#),
+    );
+    assert_eq!(status_of(&reply), 200, "recommend: {reply}");
+    assert_eq!(
+        body_of(&reply),
+        expected,
+        "server response must be bit-identical to a direct Workbench evaluation"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn coalesced_burst_returns_identical_bodies() {
+    let server = start(8, 150);
+    let addr = server.local_addr();
+    let zoo = ModelZoo::build(&ZooConfig::small(11));
+    let target = zoo
+        .dataset(zoo.targets_of(tg_zoo::Modality::Image)[0])
+        .name
+        .clone();
+    let body =
+        format!(r#"{{"seed": 11, "scale": "small", "target": "{target}", "strategy": "lr"}}"#);
+
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| post(addr, "/recommend", &body)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for reply in &replies {
+        assert_eq!(status_of(reply), 200);
+        assert_eq!(
+            body_of(reply),
+            body_of(&replies[0]),
+            "burst must agree bitwise"
+        );
+    }
+    let stats = server.coalesce_stats();
+    assert!(
+        stats.followers > 0,
+        "a 150ms batch window with 4 concurrent same-key requests must coalesce, got {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_map_to_documented_statuses() {
+    let server = start(2, 0);
+    let addr = server.local_addr();
+    assert_eq!(status_of(&get(addr, "/nope")), 404);
+    assert_eq!(status_of(&get(addr, "/recommend")), 405);
+    assert_eq!(status_of(&post(addr, "/stats", "{}")), 405);
+    assert_eq!(status_of(&post(addr, "/recommend", "not json")), 400);
+    assert_eq!(
+        status_of(&post(
+            addr,
+            "/recommend",
+            r#"{"scale": "huge", "target": "x"}"#
+        )),
+        400
+    );
+    assert_eq!(
+        status_of(&post(
+            addr,
+            "/recommend",
+            r#"{"target": "no-such-dataset"}"#
+        )),
+        400
+    );
+    assert_eq!(
+        status_of(&send(addr, b"BREW /stats HTTP/1.1\r\n\r\n")),
+        405,
+        "well-formed unknown methods parse and route to 405 on known paths"
+    );
+    assert_eq!(
+        status_of(&send(addr, b"br@w /stats HTTP/1.1\r\n\r\n")),
+        400,
+        "malformed method tokens are rejected at the parser"
+    );
+    let reply = send(addr, b"GET /stats HTTP/2.0\r\n\r\n");
+    assert_eq!(status_of(&reply), 400);
+    server.shutdown();
+}
+
+#[test]
+fn saturated_server_sheds_with_retry_after() {
+    // One worker, queue capacity one. Park a connection on the worker
+    // (it blocks in read until we drop it), fill the queue, then watch
+    // the next connections bounce with 503 + Retry-After.
+    let server = start(1, 0);
+    let addr = server.local_addr();
+
+    let parked = TcpStream::connect(addr).expect("park worker");
+    std::thread::sleep(Duration::from_millis(200)); // let the worker pop it
+    let queued = TcpStream::connect(addr).expect("fill queue");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut shed = 0;
+    for _ in 0..5 {
+        let reply = send(addr, b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+        if status_of(&reply) == 503 {
+            assert!(
+                reply.contains("Retry-After: 1\r\n"),
+                "shed response must advertise Retry-After: {reply:?}"
+            );
+            shed += 1;
+        }
+    }
+    assert!(shed > 0, "an overloaded single-worker server must shed");
+    drop(parked);
+    drop(queued); // unblock the worker so shutdown joins promptly
+    assert!(server.stats().shed > 0);
+    server.shutdown();
+}

@@ -1,0 +1,333 @@
+//! A lightweight intra-workspace call graph for the cross-function half
+//! of TG04, built straight from the token streams — function items are
+//! indexed by name, call sites resolve to every same-named function, and
+//! a fixpoint computes the minimum lock rank each function can reach
+//! transitively. A call made while holding a guard of rank N that can
+//! reach an acquisition of rank < N is a lock-order inversion the
+//! per-scope lexical pass cannot see.
+//!
+//! Approximations (documented in DESIGN.md): resolution is by bare
+//! function name, so same-named functions are merged conservatively
+//! (the minimum over all of them); closures attribute their effects to
+//! the enclosing `fn`; trait dispatch, function pointers and macro
+//! bodies are invisible. Method calls only create edges in the
+//! `self.helper(..)` shape — a bare name like `.len()` or `.push(x)` on
+//! a local or field is overwhelmingly a std container method, and
+//! resolving it to a same-named workspace function drowns the lint in
+//! collisions. The debug-build runtime tracker in `tg-sync` backstops
+//! all of these blind spots.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::Config;
+use crate::lexer::{Lexed, Tok};
+use crate::lints::{
+    call_paren_after, let_binding_name, prev_is, receiver_of, Finding, Lint, ACQUIRE_METHODS,
+};
+
+/// Identifiers that look like calls (`while (x)`) but never are.
+const KEYWORDS: [&str; 16] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "move", "else", "break",
+    "continue", "unsafe", "in", "as", "where",
+];
+
+/// One lock acquisition inside a function body.
+struct Acquire {
+    rank: usize,
+    class: String,
+}
+
+/// One call site inside a function body.
+struct Call {
+    callee: String,
+    line: u32,
+    /// The highest-ranked guard lexically held at the call, if any.
+    held: Option<(usize, String)>,
+}
+
+/// One indexed `fn` item.
+struct FnInfo {
+    name: String,
+    path: String,
+    returns_result: bool,
+    acquires: Vec<Acquire>,
+    calls: Vec<Call>,
+    /// The minimum lock rank reachable from this function (directly or
+    /// through calls), with the acquiring class and the witness chain of
+    /// function names leading to it.
+    min_rank: Option<(usize, String, Vec<String>)>,
+}
+
+/// The workspace function index.
+pub struct FnIndex {
+    fns: Vec<FnInfo>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl FnIndex {
+    /// Indexes every `fn` item in the given lexed files (test regions are
+    /// skipped) and runs the reachability fixpoint.
+    pub fn build<'a, I>(files: I, cfg: &Config) -> FnIndex
+    where
+        I: Iterator<Item = (&'a str, &'a Lexed)>,
+    {
+        let mut index = FnIndex {
+            fns: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        for (path, lexed) in files {
+            index_file(path, lexed, cfg, &mut index.fns);
+        }
+        for (id, f) in index.fns.iter().enumerate() {
+            index.by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        index.fixpoint();
+        index
+    }
+
+    /// Names of functions whose signature returns a `Result` — merged
+    /// over same-named functions (any `Result`-returning overload makes
+    /// the name count), which is the conservative direction for TG09.
+    pub fn result_fn_names(&self) -> HashSet<String> {
+        self.fns
+            .iter()
+            .filter(|f| f.returns_result)
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// Propagates minimum reachable ranks until stable. Cycles converge
+    /// because an update only ever lowers a rank and ranks are bounded.
+    fn fixpoint(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..self.fns.len() {
+                let mut best = self.fns[id].min_rank.clone();
+                for acq in &self.fns[id].acquires {
+                    let candidate = (acq.rank, acq.class.clone(), vec![self.fns[id].name.clone()]);
+                    if best.as_ref().is_none_or(|b| candidate.0 < b.0) {
+                        best = Some(candidate);
+                    }
+                }
+                let callees: Vec<String> = self.fns[id]
+                    .calls
+                    .iter()
+                    .map(|c| c.callee.clone())
+                    .collect();
+                for callee in callees {
+                    let Some(ids) = self.by_name.get(&callee) else {
+                        continue;
+                    };
+                    for &gid in ids {
+                        if let Some((rank, class, chain)) = &self.fns[gid].min_rank {
+                            if best.as_ref().is_none_or(|b| *rank < b.0) {
+                                let mut via = vec![self.fns[id].name.clone()];
+                                via.extend(chain.iter().take(5).cloned());
+                                best = Some((*rank, class.clone(), via));
+                            }
+                        }
+                    }
+                }
+                if best != self.fns[id].min_rank {
+                    self.fns[id].min_rank = best;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// The cross-function TG04 findings: call sites that hold a guard of
+    /// rank N and can transitively reach an acquisition of rank < N.
+    pub fn cross_function_findings(&self, cfg: &Config) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &self.fns {
+            for call in &f.calls {
+                let Some((held_rank, held_class)) = &call.held else {
+                    continue;
+                };
+                let Some(ids) = self.by_name.get(&call.callee) else {
+                    continue;
+                };
+                // The minimum over every same-named candidate, with its
+                // witness chain for the message.
+                let reach = ids
+                    .iter()
+                    .filter_map(|&gid| self.fns[gid].min_rank.as_ref())
+                    .min_by_key(|(rank, _, _)| *rank);
+                let Some((rank, class, chain)) = reach else {
+                    continue;
+                };
+                if rank < held_rank {
+                    out.push(Finding {
+                        lint: Lint::Tg04LockOrder,
+                        path: f.path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "calls `{callee}()`, which can acquire `{class}` (rank \
+                             {rank}) via {chain}, while holding `{held_class}` (rank \
+                             {held_rank}); declared order: {order}",
+                            callee = call.callee,
+                            chain = chain.join(" -> "),
+                            order = cfg.lock_order.join(" -> "),
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether the call at token `i` creates a call-graph edge: any plain or
+/// path call (`helper(x)`, `module::helper(x)`), but a method call only
+/// in the `self.helper(x)` shape — see the module docs for why.
+fn is_edge_call_shape(toks: &[Tok], i: usize) -> bool {
+    if !toks.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct('.')) {
+        return true;
+    }
+    toks.get(i.wrapping_sub(2)).and_then(Tok::ident) == Some("self")
+}
+
+/// Indexes one file's `fn` items: name, `Result`-ness of the signature,
+/// direct lock acquisitions, and call sites with the lexically held rank.
+/// Tokens are attributed to the innermost enclosing `fn` (closures fold
+/// into their parent).
+fn index_file(path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<FnInfo>) {
+    let toks = &lexed.tokens;
+
+    // First pass: find fn items and map their body-opening brace.
+    let mut body_open: HashMap<usize, usize> = HashMap::new(); // tok idx -> fn id
+    let base = out.len();
+    for i in 0..toks.len() {
+        if toks[i].ident() != Some("fn") || lexed.in_test[i] {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(Tok::ident) else {
+            continue; // `fn(` pointer type
+        };
+        // Scan the signature to the body `{` or a bodyless `;`.
+        let mut j = i + 2;
+        let mut saw_arrow_result = false;
+        let mut arrow = false;
+        let mut open = None;
+        while let Some(t) = toks.get(j) {
+            match t {
+                Tok::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                Tok::Punct('-') if toks.get(j + 1).is_some_and(|t| t.is_punct('>')) => {
+                    arrow = true;
+                }
+                Tok::Ident(id) if arrow && id == "Result" => saw_arrow_result = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        let id = out.len();
+        out.push(FnInfo {
+            name: name.to_string(),
+            path: path.to_string(),
+            returns_result: saw_arrow_result,
+            acquires: Vec::new(),
+            calls: Vec::new(),
+            min_rank: None,
+        });
+        if let Some(open_idx) = open {
+            body_open.insert(open_idx, id);
+        }
+    }
+    if out.len() == base {
+        return;
+    }
+
+    // Second pass: walk the whole file once, attributing acquisitions and
+    // calls to the innermost open fn, with the same held-guard heuristics
+    // as the lexical TG04 pass.
+    struct Guard {
+        name: Option<String>,
+        rank: usize,
+        class: String,
+        binding_depth: i32,
+    }
+    let mut fn_stack: Vec<(usize, i32)> = Vec::new(); // (fn id, depth at open)
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut stmt_start: usize = 0;
+
+    for i in 0..toks.len() {
+        match &toks[i] {
+            Tok::Punct('{') => {
+                if let Some(&id) = body_open.get(&i) {
+                    fn_stack.push((id, depth));
+                }
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                stmt_start = i + 1;
+                held.retain(|g| g.binding_depth <= depth);
+                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    fn_stack.pop();
+                }
+            }
+            Tok::Punct(';') => stmt_start = i + 1,
+            Tok::Ident(name) if name == "drop" && call_paren_after(toks, i).is_some() => {
+                if let Some(Tok::Ident(arg)) = toks.get(i + 2) {
+                    if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                        if let Some(pos) = held
+                            .iter()
+                            .rposition(|g| g.name.as_deref() == Some(arg.as_str()))
+                        {
+                            held.remove(pos);
+                        }
+                    }
+                }
+            }
+            Tok::Ident(m) if !lexed.in_test[i] && call_paren_after(toks, i).is_some() => {
+                let Some(&(fid, _)) = fn_stack.last() else {
+                    continue;
+                };
+                let is_acquire = ACQUIRE_METHODS.contains(&m.as_str()) && prev_is(lexed, i, '.');
+                if is_acquire {
+                    let Some(receiver) = receiver_of(toks, i) else {
+                        continue;
+                    };
+                    let Some((rank, class)) = cfg.lock_rank_of(&receiver) else {
+                        continue;
+                    };
+                    out[fid].acquires.push(Acquire {
+                        rank,
+                        class: class.to_string(),
+                    });
+                    if let Some(bound) = let_binding_name(toks, stmt_start, i) {
+                        held.push(Guard {
+                            name: bound,
+                            rank,
+                            class: class.to_string(),
+                            binding_depth: depth,
+                        });
+                    }
+                } else if !KEYWORDS.contains(&m.as_str())
+                    && !ACQUIRE_METHODS.contains(&m.as_str())
+                    && toks.get(i.wrapping_sub(1)).and_then(Tok::ident) != Some("fn")
+                    && is_edge_call_shape(toks, i)
+                {
+                    let held_max = held
+                        .iter()
+                        .max_by_key(|g| g.rank)
+                        .map(|g| (g.rank, g.class.clone()));
+                    out[fid].calls.push(Call {
+                        callee: m.clone(),
+                        line: lexed.lines[i],
+                        held: held_max,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -3,11 +3,27 @@
 //! container has no crates.io access.
 //!
 //! The file declares everything repo-specific so the lint logic stays
-//! generic: scan roots and exclusions, the TG02 telemetry allowlist, and
-//! the TG04 lock-rank table (`order` plus one receiver-name list per
-//! class).
+//! generic: scan roots and exclusions, the TG02 telemetry allowlist, the
+//! TG04 lock-rank table (`order` plus one receiver-name list per class),
+//! the TG06 condvar registry, the TG07 blocking-call list, and the TG08
+//! env-knob registry.
 
 use std::collections::HashMap;
+
+/// One `[knobs]` registry entry: an environment knob with its owning
+/// crate path and the doc anchor that must resolve in README/DESIGN.
+#[derive(Debug, Clone)]
+pub struct KnobEntry {
+    /// The knob name (`TG_SEED`, `TG_SERVE_ADDR`, …).
+    pub name: String,
+    /// Repo-relative path prefix of the owning crate; at least one
+    /// scanned file under it must reference the knob.
+    pub owner: String,
+    /// Literal substring that must appear in README.md or DESIGN.md.
+    pub anchor: String,
+    /// 1-based line of the entry in tg-check.toml (finding attribution).
+    pub line: u32,
+}
 
 /// Parsed `tg-check.toml`.
 #[derive(Debug, Clone, Default)]
@@ -24,6 +40,17 @@ pub struct Config {
     /// Receiver identifiers classified into each lock class, keyed by
     /// class name from `lock_order`.
     pub lock_classes: HashMap<String, Vec<String>>,
+    /// Condvar receiver → paired mutex receiver (TG06). Every `.wait(g)`
+    /// receiver must appear here, and the paired receiver must be
+    /// classified in the lock table.
+    pub condvars: HashMap<String, String>,
+    /// Call names considered blocking under a held guard (TG07).
+    pub tg07_blocking: Vec<String>,
+    /// Lock classes whose guards legitimately cover blocking work (TG07)
+    /// — e.g. a store shard whose critical section *is* the disk write.
+    pub tg07_exempt_classes: Vec<String>,
+    /// The `[knobs]` env-var registry (TG08), in declaration order.
+    pub knobs: Vec<KnobEntry>,
 }
 
 impl Config {
@@ -68,6 +95,33 @@ impl Config {
                 ("lock_order.classes", class) => {
                     cfg.lock_classes.insert(class.to_string(), parsed);
                 }
+                ("condvars", cv) => {
+                    let [mutex] = parsed.as_slice() else {
+                        return Err(format!(
+                            "tg-check.toml:{}: condvar `{cv}` needs exactly one \
+                             paired mutex receiver",
+                            ln + 1
+                        ));
+                    };
+                    cfg.condvars.insert(cv.to_string(), mutex.clone());
+                }
+                ("tg07", "blocking") => cfg.tg07_blocking = parsed,
+                ("tg07", "exempt_classes") => cfg.tg07_exempt_classes = parsed,
+                ("knobs", name) => {
+                    let [owner, anchor] = parsed.as_slice() else {
+                        return Err(format!(
+                            "tg-check.toml:{}: knob `{name}` needs `[\"owner-path\", \
+                             \"doc-anchor\"]`",
+                            ln + 1
+                        ));
+                    };
+                    cfg.knobs.push(KnobEntry {
+                        name: name.to_string(),
+                        owner: owner.clone(),
+                        anchor: anchor.clone(),
+                        line: (ln + 1) as u32,
+                    });
+                }
                 _ => {} // forward compatibility: ignore unknown keys
             }
         }
@@ -75,6 +129,21 @@ impl Config {
             if !cfg.lock_order.iter().any(|c| c == class) {
                 return Err(format!(
                     "tg-check.toml: lock class `{class}` is not in lock_order.order"
+                ));
+            }
+        }
+        for (cv, mutex) in &cfg.condvars {
+            if cfg.lock_rank_of(mutex).is_none() {
+                return Err(format!(
+                    "tg-check.toml: condvar `{cv}` pairs with mutex receiver `{mutex}`, \
+                     which is not classified in [lock_order.classes]"
+                ));
+            }
+        }
+        for class in &cfg.tg07_exempt_classes {
+            if !cfg.lock_order.iter().any(|c| c == class) {
+                return Err(format!(
+                    "tg-check.toml: tg07 exempt class `{class}` is not in lock_order.order"
                 ));
             }
         }
@@ -137,6 +206,16 @@ order = ["registry", "cache_shard"]
 [lock_order.classes]
 registry = ["inner"]
 cache_shard = ["shard", "shards"]
+
+[condvars]
+available = "shards"
+
+[tg07]
+blocking = ["sleep", "persist"]
+exempt_classes = ["cache_shard"]
+
+[knobs]
+TG_SEED = ["crates/bench", "`TG_SEED`"]
 "#;
 
     #[test]
@@ -148,6 +227,37 @@ cache_shard = ["shard", "shards"]
         assert_eq!(cfg.lock_rank_of("inner"), Some((0, "registry")));
         assert_eq!(cfg.lock_rank_of("shards"), Some((1, "cache_shard")));
         assert_eq!(cfg.lock_rank_of("unrelated"), None);
+        assert_eq!(
+            cfg.condvars.get("available").map(String::as_str),
+            Some("shards")
+        );
+        assert_eq!(cfg.tg07_blocking, ["sleep", "persist"]);
+        assert_eq!(cfg.tg07_exempt_classes, ["cache_shard"]);
+        assert_eq!(cfg.knobs.len(), 1);
+        assert_eq!(cfg.knobs[0].name, "TG_SEED");
+        assert_eq!(cfg.knobs[0].owner, "crates/bench");
+        assert_eq!(cfg.knobs[0].anchor, "`TG_SEED`");
+        assert!(cfg.knobs[0].line > 0);
+    }
+
+    #[test]
+    fn rejects_condvars_paired_with_unclassified_mutexes() {
+        let bad = "[lock_order]\norder = [\"a\"]\n[lock_order.classes]\na = [\"x\"]\n\
+                   [condvars]\ncv = \"unclassified\"\n";
+        let err = Config::parse(bad).unwrap_err();
+        assert!(err.contains("not classified"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_tg07_exempt_classes() {
+        let bad = "[lock_order]\norder = [\"a\"]\n[tg07]\nexempt_classes = [\"ghost\"]\n";
+        assert!(Config::parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_knob_entries() {
+        assert!(Config::parse("[knobs]\nTG_X = [\"owner-only\"]\n").is_err());
+        assert!(Config::parse("[knobs]\nTG_X = \"bare\"\n").is_err());
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character (`.`, `(`, `{`, `!`, …).
     Punct(char),
-    /// A literal (string / char / number), content discarded.
+    /// A string literal (plain, raw or byte) carrying its body text with
+    /// escapes left verbatim — enough for exact-match checks like the
+    /// TG08 `TG_*` knob registry, which never contain escapes.
+    Str(String),
+    /// A non-string literal (char / number), content discarded.
     Literal,
 }
 
@@ -31,10 +35,45 @@ impl Tok {
         }
     }
 
+    /// The string-literal body, if this is a string token.
+    pub fn str_content(&self) -> Option<&str> {
+        match self {
+            Tok::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Whether this token is the given punctuation character.
     pub fn is_punct(&self, c: char) -> bool {
         matches!(self, Tok::Punct(p) if *p == c)
     }
+}
+
+/// If `i` points at the `::<` of a turbofish (`collect::<Vec<_>>()`),
+/// returns the index just past its matching `>`; otherwise returns `i`.
+/// Nested angle groups are tracked; `>` arrives as individual `Punct`
+/// tokens, so `>>` closers need no special casing.
+pub fn skip_turbofish(tokens: &[Tok], i: usize) -> usize {
+    if !(tokens.get(i).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct('<')))
+    {
+        return i;
+    }
+    let mut depth = 0usize;
+    let mut j = i + 2;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    i
 }
 
 /// The lexed form of one source file.
@@ -116,13 +155,20 @@ pub fn lex(source: &str) -> Lexed {
                 push_comment(start_line, text);
             }
             '"' => {
-                i = consume_string(bytes, i + 1, &mut line);
-                tokens.push(Tok::Literal);
+                let start = i + 1;
+                i = consume_string(bytes, start, &mut line).min(bytes.len());
+                let end = if bytes.get(i.wrapping_sub(1)) == Some(&b'"') {
+                    i - 1
+                } else {
+                    i // unterminated: body runs to EOF
+                };
+                tokens.push(Tok::Str(source[start..end].to_string()));
                 lines.push(line);
             }
             'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
-                i = consume_raw_or_byte_string(bytes, i, &mut line);
-                tokens.push(Tok::Literal);
+                let (next, body) = consume_raw_or_byte_string(bytes, i, &mut line);
+                i = next;
+                tokens.push(Tok::Str(source[body].to_string()));
                 lines.push(line);
             }
             '\'' => {
@@ -232,8 +278,13 @@ fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
 }
 
 /// Consumes a raw or byte string starting at its `r`/`b` prefix; returns
-/// the index after the closing delimiter.
-fn consume_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+/// the index after the closing delimiter and the body byte range
+/// (between the delimiters, escapes verbatim).
+fn consume_raw_or_byte_string(
+    bytes: &[u8],
+    mut i: usize,
+    line: &mut u32,
+) -> (usize, std::ops::Range<usize>) {
     if bytes[i] == b'b' {
         i += 1;
     }
@@ -248,8 +299,15 @@ fn consume_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usi
     }
     debug_assert_eq!(bytes.get(i), Some(&b'"'));
     i += 1; // opening quote
+    let body_start = i;
     if !raw {
-        return consume_string(bytes, i, line);
+        let end = consume_string(bytes, i, line).min(bytes.len());
+        let body_end = if bytes.get(end.wrapping_sub(1)) == Some(&b'"') {
+            end - 1
+        } else {
+            end
+        };
+        return (end, body_start..body_end);
     }
     // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
     while i < bytes.len() {
@@ -266,12 +324,12 @@ fn consume_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usi
                 j += 1;
             }
             if seen == hashes {
-                return j;
+                return (j, body_start..i);
             }
         }
         i += 1;
     }
-    i
+    (i, body_start..i)
 }
 
 /// Computes the per-token test-region mask: `#[cfg(test)]` items, `#[test]`
@@ -414,5 +472,50 @@ mod tests {
         let lexed = lex("#[cfg(test)]\nuse foo;\nfn f() { x.unwrap(); }");
         let any_masked = lexed.in_test.iter().any(|&b| b);
         assert!(!any_masked, "a `;` clears the pending attribute");
+    }
+
+    #[test]
+    fn string_tokens_carry_their_body_text() {
+        let lexed = lex(r#"const K: &str = "TG_SEED"; let e = env::var("TG_SCALE");"#);
+        let strs: Vec<&str> = lexed.tokens.iter().filter_map(Tok::str_content).collect();
+        assert_eq!(strs, ["TG_SEED", "TG_SCALE"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_carry_bodies_and_escapes_stay_verbatim() {
+        let src = "let a = r\"no\\escape\"; let b = r##\"has \"quote\"\"##; let c = b\"bytes\"; let d = \"tab\\tend\";";
+        let lexed = lex(src);
+        let strs: Vec<&str> = lexed.tokens.iter().filter_map(Tok::str_content).collect();
+        assert_eq!(strs, ["no\\escape", "has \"quote\"", "bytes", "tab\\tend"]);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panicking() {
+        let lexed = lex("let s = \"never closed");
+        let strs: Vec<&str> = lexed.tokens.iter().filter_map(Tok::str_content).collect();
+        assert_eq!(strs, ["never closed"]);
+    }
+
+    #[test]
+    fn skip_turbofish_handles_nested_angles() {
+        let lexed = lex("x.collect::<Vec<Option<u8>>>()");
+        // Find the first `:` after `collect` and skip the turbofish.
+        let at = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_punct(':'))
+            .expect("turbofish colons");
+        let after = skip_turbofish(&lexed.tokens, at);
+        assert!(lexed.tokens[after].is_punct('('), "lands on the call paren");
+        // Not a turbofish: the index comes back unchanged.
+        assert_eq!(skip_turbofish(&lexed.tokens, 0), 0);
+    }
+
+    #[test]
+    fn lint_patterns_inside_strings_stay_unlintable() {
+        let lexed = lex(r#"let s = "x.unwrap() and panic!";"#);
+        let idents: Vec<&str> = lexed.tokens.iter().filter_map(Tok::ident).collect();
+        assert!(!idents.contains(&"unwrap"));
+        assert!(!idents.contains(&"panic"));
     }
 }

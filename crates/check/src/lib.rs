@@ -10,18 +10,21 @@
 //! `tg-check.toml` at the repo root.
 //!
 //! The same lock-order table TG04 checks statically is enforced dynamically
-//! by the debug-build tracker in `transfergraph::sync` — one declaration,
-//! two enforcement points.
+//! by the debug-build tracker in `tg-sync` — one declaration, two
+//! enforcement points — and a lightweight intra-workspace call graph
+//! extends the static check across function (and file) boundaries.
 //!
-//! See DESIGN.md "Static analysis & invariants" for the lint table, the
-//! allow-directive grammar and the lock-rank mapping.
+//! See DESIGN.md "Static analysis & invariants" for the lint table
+//! (TG00–TG09), the allow-directive grammar, the lock-rank mapping, the
+//! condvar and env-knob registries, and the call-graph approximations.
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod lints;
 
 pub use config::Config;
-pub use lints::{check_source, scope_of, FileScope, Finding, Lint};
+pub use lints::{check_source, check_sources, scope_of, FileScope, Finding, Lint, SourceFile};
 
 use std::path::{Path, PathBuf};
 
@@ -50,17 +53,23 @@ pub fn load_config(root: &Path) -> Result<Config, String> {
     Config::parse(&text)
 }
 
+/// The documentation files the TG08 anchor check greps, relative to the
+/// workspace root.
+pub const DOC_FILES: [&str; 2] = ["README.md", "DESIGN.md"];
+
 /// Scans every `.rs` file under the config's roots, returning all findings
 /// plus the number of files linted. Unreadable files are skipped (a vanished
-/// file is not a lint violation); excluded paths are never opened.
+/// file is not a lint violation); excluded paths are never opened. The whole
+/// set is linted as one workspace — cross-function lock analysis sees every
+/// file, and the TG08 drift checks run against README.md and DESIGN.md
+/// (a missing doc reads as empty, so its anchors fail rather than pass).
 pub fn scan_workspace(root: &Path, cfg: &Config) -> (Vec<Finding>, usize) {
     let mut files = Vec::new();
     for scan_root in &cfg.roots {
         collect_rs_files(&root.join(scan_root), &mut files);
     }
     files.sort();
-    let mut findings = Vec::new();
-    let mut scanned = 0;
+    let mut sources = Vec::new();
     for file in files {
         let rel = match file.strip_prefix(root) {
             Ok(r) => r.to_string_lossy().replace('\\', "/"),
@@ -76,10 +85,21 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> (Vec<Finding>, usize) {
         let Ok(source) = std::fs::read_to_string(&file) else {
             continue;
         };
-        scanned += 1;
-        findings.extend(check_source(&rel, &source, scope, cfg));
+        sources.push(SourceFile {
+            rel_path: rel,
+            source,
+            scope,
+        });
     }
-    (findings, scanned)
+    let docs: Vec<(String, String)> = DOC_FILES
+        .iter()
+        .map(|name| {
+            let text = std::fs::read_to_string(root.join(name)).unwrap_or_default();
+            (name.to_string(), text)
+        })
+        .collect();
+    let scanned = sources.len();
+    (check_sources(&sources, cfg, &docs), scanned)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {

@@ -32,6 +32,16 @@ pub enum Lint {
     Tg04LockOrder,
     /// `partial_cmp(..).unwrap()` on floats — use `total_cmp`.
     Tg05FloatTotalOrder,
+    /// Condvar discipline: `.wait(g)` outside a re-testing loop, or on a
+    /// condvar missing from the `[condvars]` registry.
+    Tg06CondvarDiscipline,
+    /// Blocking call (`sleep`, I/O, `evaluate`, …) while a lint-tracked
+    /// lock guard is live.
+    Tg07BlockingWhileLocked,
+    /// `TG_*` env knob not registered in `[knobs]`, or registry/doc drift.
+    Tg08KnobRegistry,
+    /// `let _ =` discarding a `Result`-returning call in library code.
+    Tg09IgnoredResult,
 }
 
 impl Lint {
@@ -44,17 +54,36 @@ impl Lint {
             Lint::Tg03AtomicOrdering => "TG03",
             Lint::Tg04LockOrder => "TG04",
             Lint::Tg05FloatTotalOrder => "TG05",
+            Lint::Tg06CondvarDiscipline => "TG06",
+            Lint::Tg07BlockingWhileLocked => "TG07",
+            Lint::Tg08KnobRegistry => "TG08",
+            Lint::Tg09IgnoredResult => "TG09",
         }
     }
 
-    fn from_directive_code(code: &str) -> Option<Lint> {
+    /// Parses a user-supplied code (`TG04`, `tg04`) — used both by allow
+    /// directives and the CLI `--lint` filter. `TG00` is addressable by
+    /// the filter but never suppressible.
+    pub fn from_code(code: &str) -> Option<Lint> {
         match code.to_ascii_lowercase().as_str() {
+            "tg00" => Some(Lint::Tg00BadAllow),
             "tg01" => Some(Lint::Tg01NoPanic),
             "tg02" => Some(Lint::Tg02Determinism),
             "tg03" => Some(Lint::Tg03AtomicOrdering),
             "tg04" => Some(Lint::Tg04LockOrder),
             "tg05" => Some(Lint::Tg05FloatTotalOrder),
+            "tg06" => Some(Lint::Tg06CondvarDiscipline),
+            "tg07" => Some(Lint::Tg07BlockingWhileLocked),
+            "tg08" => Some(Lint::Tg08KnobRegistry),
+            "tg09" => Some(Lint::Tg09IgnoredResult),
             _ => None,
+        }
+    }
+
+    fn from_directive_code(code: &str) -> Option<Lint> {
+        match Lint::from_code(code) {
+            Some(Lint::Tg00BadAllow) | None => None, // TG00 is not suppressible
+            some => some,
         }
     }
 }
@@ -82,6 +111,17 @@ impl Finding {
             self.lint.code(),
             self.message
         )
+    }
+
+    /// One finding as a single-line JSON object (the `--json` format):
+    /// `{"lint":"TG04","path":"…","line":12,"message":"…"}`.
+    pub fn render_json(&self) -> String {
+        tg_json::JsonObject::new()
+            .str("lint", self.lint.code())
+            .str("path", &self.path)
+            .u64("line", u64::from(self.line))
+            .str("message", &self.message)
+            .render_compact()
     }
 }
 
@@ -117,27 +157,111 @@ pub fn scope_of(rel_path: &str) -> FileScope {
     FileScope::Lib
 }
 
-/// Lints one file, returning findings sorted by line.
+/// One input file for [`check_sources`].
+pub struct SourceFile {
+    /// Repo-relative path (forward slashes).
+    pub rel_path: String,
+    /// File contents.
+    pub source: String,
+    /// Lint scope, usually `scope_of(&rel_path)`.
+    pub scope: FileScope,
+}
+
+/// Lints one file in isolation, returning findings sorted by line.
+///
+/// Workspace-wide passes degrade gracefully: the cross-function lock
+/// analysis and the TG09 `Result` index see only this file's functions,
+/// and the TG08 registry/doc drift checks (which need the whole tree plus
+/// README/DESIGN) are skipped.
 pub fn check_source(rel_path: &str, source: &str, scope: FileScope, cfg: &Config) -> Vec<Finding> {
-    if scope == FileScope::Skip {
-        return Vec::new();
-    }
-    let lexed = lex(source);
-    let (allows, mut findings) = parse_allow_directives(rel_path, &lexed);
+    check_sources(
+        &[SourceFile {
+            rel_path: rel_path.to_string(),
+            source: source.to_string(),
+            scope,
+        }],
+        cfg,
+        &[],
+    )
+}
 
-    let mut raw = Vec::new();
-    if scope == FileScope::Lib {
-        tg01_no_panic(rel_path, &lexed, &mut raw);
-        if !cfg.tg02_allow_files.iter().any(|f| f == rel_path) {
-            tg02_determinism(rel_path, &lexed, &mut raw);
+/// Lints a set of files as one workspace, returning findings sorted by
+/// path and line. This is the full pipeline: per-file token lints, the
+/// cross-function lock-order analysis over the intra-workspace call
+/// graph, the TG09 ignored-`Result` check against the workspace function
+/// index, and — when `docs` is non-empty (workspace mode) — the TG08
+/// knob-registry and doc-anchor drift checks. `docs` carries
+/// `(name, contents)` pairs for README.md / DESIGN.md.
+pub fn check_sources(
+    files: &[SourceFile],
+    cfg: &Config,
+    docs: &[(String, String)],
+) -> Vec<Finding> {
+    struct Unit<'a> {
+        file: &'a SourceFile,
+        lexed: Lexed,
+        allows: AllowMap,
+    }
+
+    let mut findings = Vec::new();
+    let mut units = Vec::new();
+    for file in files {
+        if file.scope == FileScope::Skip {
+            continue;
         }
-        tg05_float_total_order(rel_path, &lexed, &mut raw);
+        let lexed = lex(&file.source);
+        let (allows, bad) = parse_allow_directives(&file.rel_path, &lexed);
+        findings.extend(bad);
+        units.push(Unit {
+            file,
+            lexed,
+            allows,
+        });
     }
-    tg03_atomic_ordering(rel_path, &lexed, &mut raw);
-    tg04_lock_order(rel_path, &lexed, cfg, &mut raw);
 
-    findings.extend(raw.into_iter().filter(|f| !is_suppressed(f, &allows)));
-    findings.sort_by_key(|f| (f.line, f.lint));
+    let index = crate::callgraph::FnIndex::build(
+        units.iter().map(|u| (u.file.rel_path.as_str(), &u.lexed)),
+        cfg,
+    );
+    let result_fns = index.result_fn_names();
+    let mut cross = index.cross_function_findings(cfg);
+    let mut knob_refs: Vec<(String, String)> = Vec::new();
+
+    for u in &units {
+        let path = &u.file.rel_path;
+        let mut raw = Vec::new();
+        if u.file.scope == FileScope::Lib {
+            tg01_no_panic(path, &u.lexed, &mut raw);
+            if !cfg.tg02_allow_files.iter().any(|f| f == path) {
+                tg02_determinism(path, &u.lexed, &mut raw);
+            }
+            tg05_float_total_order(path, &u.lexed, &mut raw);
+            tg09_ignored_result(path, &u.lexed, &result_fns, &mut raw);
+        }
+        tg03_atomic_ordering(path, &u.lexed, &mut raw);
+        lock_discipline(path, &u.lexed, cfg, &mut raw);
+        tg08_knob_refs(path, &u.lexed, cfg, &mut knob_refs, &mut raw);
+        let mut rest = Vec::new();
+        for f in cross.drain(..) {
+            if &f.path == path {
+                raw.push(f);
+            } else {
+                rest.push(f);
+            }
+        }
+        cross = rest;
+        findings.extend(raw.into_iter().filter(|f| !is_suppressed(f, &u.allows)));
+    }
+    // Cross-function findings for paths outside the unit set cannot occur
+    // (the index is built from the same units), but keep any stragglers
+    // rather than dropping them silently.
+    findings.append(&mut cross);
+
+    if !docs.is_empty() {
+        tg08_registry_drift(cfg, &knob_refs, docs, &mut findings);
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
     findings
 }
 
@@ -332,10 +456,11 @@ fn tg03_atomic_ordering(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
-// TG04 — lock acquisition order
+// TG04 / TG06 / TG07 — lock discipline (one shared walk)
 // ---------------------------------------------------------------------------
 
-const ACQUIRE_METHODS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+pub(crate) const ACQUIRE_METHODS: [&str; 6] =
+    ["lock", "read", "write", "try_lock", "try_read", "try_write"];
 
 /// A `let`-bound guard still alive at the current brace depth.
 struct HeldGuard {
@@ -345,36 +470,64 @@ struct HeldGuard {
     binding_depth: i32,
 }
 
-/// Flags any lock acquisition whose rank is below the rank of a guard the
-/// enclosing scope still holds, per the declared partial order.
+/// One walk over the token stream enforcing the three lock lints:
+///
+/// * **TG04** — flags any lock acquisition whose rank is below the rank of
+///   a guard the enclosing scope still holds, per the declared partial
+///   order.
+/// * **TG06** — every `condvar.wait(guard)` must sit inside a loop that
+///   can re-test its predicate, name a condvar registered in
+///   `[condvars]`, and pass that condvar's paired mutex guard.
+///   `barrier.wait()` (empty argument list) is not a condvar wait.
+/// * **TG07** — calls from the configured blocking list (`sleep`,
+///   `persist`, socket connects, `evaluate`, …) must not run while a
+///   lint-tracked guard is live, unless the guard's class is exempt
+///   (a store shard's critical section *is* the disk write). `join` only
+///   counts with an empty argument list — `path.join(seg)` is not a
+///   thread join.
 ///
 /// Heuristics (documented in DESIGN.md): only `let`-bound guards are
 /// considered held (a guard inside a larger expression dies at the end of
 /// its statement); a guard is released at the end of its enclosing block or
 /// by an explicit `drop(name)`. This is a per-scope approximation — the
-/// debug-build runtime tracker in `crates/core` enforces the same table
-/// across function boundaries.
-fn tg04_lock_order(path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
-    if cfg.lock_order.is_empty() {
+/// cross-function pass in `callgraph` extends TG04 across call edges, and
+/// the debug-build runtime tracker in `tg-sync` enforces the same table
+/// dynamically.
+fn lock_discipline(path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.lock_order.is_empty() && cfg.condvars.is_empty() && cfg.tg07_blocking.is_empty() {
         return;
     }
     let toks = &lexed.tokens;
     let mut held: Vec<HeldGuard> = Vec::new();
     let mut depth: i32 = 0;
     let mut stmt_start: usize = 0; // index just past the last `;` `{` `}`
+                                   // Kind of each open block: `true` when introduced by `loop`/`while`/
+                                   // `for` (a wait inside can re-test its predicate on the next turn).
+    let mut block_is_loop: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
 
     for i in 0..toks.len() {
         match &toks[i] {
             Tok::Punct('{') => {
                 depth += 1;
                 stmt_start = i + 1;
+                block_is_loop.push(pending_loop);
+                pending_loop = false;
             }
             Tok::Punct('}') => {
                 depth -= 1;
                 stmt_start = i + 1;
+                block_is_loop.pop();
+                pending_loop = false;
                 held.retain(|g| g.binding_depth <= depth);
             }
-            Tok::Punct(';') => stmt_start = i + 1,
+            Tok::Punct(';') => {
+                stmt_start = i + 1;
+                pending_loop = false;
+            }
+            Tok::Ident(kw) if matches!(kw.as_str(), "loop" | "while" | "for") => {
+                pending_loop = true;
+            }
             Tok::Ident(name) if name == "drop" && next_is(lexed, i, '(') => {
                 if let Some(Tok::Ident(arg)) = toks.get(i + 2) {
                     if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
@@ -391,7 +544,7 @@ fn tg04_lock_order(path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Findin
                 if ACQUIRE_METHODS.contains(&m.as_str())
                     && !lexed.in_test[i]
                     && prev_is(lexed, i, '.')
-                    && next_is(lexed, i, '(') =>
+                    && call_paren_after(toks, i).is_some() =>
             {
                 let Some(receiver) = receiver_of(toks, i) else {
                     continue;
@@ -430,16 +583,145 @@ fn tg04_lock_order(path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Findin
                     });
                 }
             }
+            Tok::Ident(m)
+                if m == "wait"
+                    && !cfg.condvars.is_empty()
+                    && !lexed.in_test[i]
+                    && prev_is(lexed, i, '.')
+                    && has_nonempty_args(toks, i) =>
+            {
+                tg06_condvar_wait(path, lexed, cfg, i, &block_is_loop, out);
+            }
+            Tok::Ident(m)
+                if cfg.tg07_blocking.iter().any(|b| b == m.as_str())
+                    && !lexed.in_test[i]
+                    && is_blocking_call_shape(toks, i, m) =>
+            {
+                if let Some(g) = held
+                    .iter()
+                    .filter(|g| !cfg.tg07_exempt_classes.iter().any(|c| c == &g.class))
+                    .max_by_key(|g| g.rank)
+                {
+                    out.push(Finding {
+                        lint: Lint::Tg07BlockingWhileLocked,
+                        path: path.to_string(),
+                        line: lexed.lines[i],
+                        message: format!(
+                            "blocking call `{m}(..)` while holding lock guard \
+                             `{held_class}`{held_name} (rank {held_rank}); do the \
+                             blocking work outside the critical section",
+                            held_class = g.class,
+                            held_name = g
+                                .name
+                                .as_deref()
+                                .map(|n| format!(" `{n}`"))
+                                .unwrap_or_default(),
+                            held_rank = g.rank,
+                        ),
+                    });
+                }
+            }
             _ => {}
         }
     }
+}
+
+/// The TG06 checks for one non-empty `.wait(..)` call at token `i`.
+fn tg06_condvar_wait(
+    path: &str,
+    lexed: &Lexed,
+    cfg: &Config,
+    i: usize,
+    block_is_loop: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    let mut fail = |message: String| {
+        out.push(Finding {
+            lint: Lint::Tg06CondvarDiscipline,
+            path: path.to_string(),
+            line: lexed.lines[i],
+            message,
+        });
+    };
+    let Some(receiver) = receiver_of(toks, i) else {
+        return;
+    };
+    let Some(paired) = cfg.condvars.get(&receiver) else {
+        fail(format!(
+            "condvar `{receiver}` is not registered in [condvars]; declare its \
+             paired mutex receiver in tg-check.toml"
+        ));
+        return;
+    };
+    // The wait must hand over the paired mutex guard (by its classified
+    // receiver name) — waiting on an unrelated guard decouples the condvar
+    // from the state it signals.
+    let mut j = i + 2; // just past `(`
+    let mut depth = 1;
+    let mut saw_paired = false;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.ident() == Some(paired.as_str()) {
+            saw_paired = true;
+        }
+        j += 1;
+    }
+    if !saw_paired {
+        fail(format!(
+            "`{receiver}.wait(..)` does not pass its paired mutex guard \
+             `{paired}` (per [condvars])"
+        ));
+    }
+    if !block_is_loop.iter().any(|&l| l) {
+        fail(format!(
+            "`{receiver}.wait(..)` outside any loop: a woken waiter must re-test \
+             its predicate (`while !ready {{ wait }}` or `loop {{ match … }}`), \
+             not trust a bare `if`"
+        ));
+    }
+}
+
+/// Index of the call `(` following token `i`, skipping one turbofish
+/// (`.lock::<T>()`); `None` when `i` is not followed by a call.
+pub(crate) fn call_paren_after(toks: &[Tok], i: usize) -> Option<usize> {
+    let j = crate::lexer::skip_turbofish(toks, i + 1);
+    toks.get(j).is_some_and(|t| t.is_punct('(')).then_some(j)
+}
+
+/// Whether the `.wait` at `i` is called with a non-empty argument list —
+/// the condvar shape (`cv.wait(guard)`), not `Barrier::wait()`.
+fn has_nonempty_args(toks: &[Tok], i: usize) -> bool {
+    match call_paren_after(toks, i) {
+        Some(p) => !toks.get(p + 1).is_some_and(|t| t.is_punct(')')),
+        None => false,
+    }
+}
+
+/// The TG07 call shape for blocking name `m` at token `i`: a call, and for
+/// `join` specifically an *empty* call — `handle.join()` blocks on a
+/// thread, `path.join(seg)` concatenates a path.
+fn is_blocking_call_shape(toks: &[Tok], i: usize, m: &str) -> bool {
+    let Some(p) = call_paren_after(toks, i) else {
+        return false;
+    };
+    if m == "join" {
+        return toks.get(p + 1).is_some_and(|t| t.is_punct(')'));
+    }
+    true
 }
 
 /// The receiver identifier of a `.lock()`-style call at token `i`:
 /// the last path segment before the method (`self.inner.lock()` → `inner`),
 /// skipping one balanced `(..)` or `[..]` group (`self.shard(k).read()` →
 /// `shard`, `self.shards[0].write()` → `shards`).
-fn receiver_of(toks: &[Tok], method_idx: usize) -> Option<String> {
+pub(crate) fn receiver_of(toks: &[Tok], method_idx: usize) -> Option<String> {
     let mut j = method_idx.checked_sub(2)?;
     match &toks[j] {
         Tok::Punct(close @ (')' | ']')) => {
@@ -465,7 +747,11 @@ fn receiver_of(toks: &[Tok], method_idx: usize) -> Option<String> {
 /// If the statement holding the acquisition starts with `let`, the name it
 /// binds (`None` for tuple/struct patterns — still treated as held).
 #[allow(clippy::option_option)]
-fn let_binding_name(toks: &[Tok], stmt_start: usize, acq_idx: usize) -> Option<Option<String>> {
+pub(crate) fn let_binding_name(
+    toks: &[Tok],
+    stmt_start: usize,
+    acq_idx: usize,
+) -> Option<Option<String>> {
     if toks.get(stmt_start).and_then(Tok::ident) != Some("let") {
         return None;
     }
@@ -478,6 +764,212 @@ fn let_binding_name(toks: &[Tok], stmt_start: usize, acq_idx: usize) -> Option<O
         }
     }
     Some(None)
+}
+
+// ---------------------------------------------------------------------------
+// TG08 — env-knob registry
+// ---------------------------------------------------------------------------
+
+/// Whether a string literal is an env-knob name: `TG_` followed by at
+/// least one character from `[A-Z0-9_]`, nothing else. Exact match only —
+/// prose mentioning a knob ("TG_SEED must be an integer") has spaces and
+/// never qualifies.
+fn is_knob_name(s: &str) -> bool {
+    s.strip_prefix("TG_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .bytes()
+                .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+    })
+}
+
+/// Per-file half of TG08: every `TG_*` string literal (an `env::var` name
+/// or a `const NAME_ENV: &str` the reads go through) must be registered in
+/// `[knobs]`. Also records every reference for the workspace drift check.
+fn tg08_knob_refs(
+    path: &str,
+    lexed: &Lexed,
+    cfg: &Config,
+    refs: &mut Vec<(String, String)>,
+    out: &mut Vec<Finding>,
+) {
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if lexed.in_test[i] {
+            continue;
+        }
+        let Some(s) = tok.str_content() else { continue };
+        if !is_knob_name(s) {
+            continue;
+        }
+        refs.push((s.to_string(), path.to_string()));
+        if !cfg.knobs.iter().any(|k| k.name == s) {
+            out.push(Finding {
+                lint: Lint::Tg08KnobRegistry,
+                path: path.to_string(),
+                line: lexed.lines[i],
+                message: format!(
+                    "env knob `{s}` is not registered in [knobs] (tg-check.toml); \
+                     declare its owning crate and doc anchor"
+                ),
+            });
+        }
+    }
+}
+
+/// Workspace half of TG08, run only with `docs` available: the registry
+/// must not drift from the tree (an entry nobody references, or whose
+/// owner path holds no referencing file) nor from the documentation (a
+/// doc anchor that resolves in neither README.md nor DESIGN.md). Findings
+/// are attributed to the entry's line in tg-check.toml and are not
+/// suppressible — fix the registry, the code or the docs.
+fn tg08_registry_drift(
+    cfg: &Config,
+    refs: &[(String, String)],
+    docs: &[(String, String)],
+    out: &mut Vec<Finding>,
+) {
+    let mut fail = |line: u32, message: String| {
+        out.push(Finding {
+            lint: Lint::Tg08KnobRegistry,
+            path: crate::CONFIG_FILE.to_string(),
+            line,
+            message,
+        });
+    };
+    for k in &cfg.knobs {
+        let referenced: Vec<&str> = refs
+            .iter()
+            .filter(|(name, _)| name == &k.name)
+            .map(|(_, path)| path.as_str())
+            .collect();
+        if referenced.is_empty() {
+            fail(
+                k.line,
+                format!(
+                    "registered knob `{}` is referenced nowhere in the scanned tree; \
+                     delete the stale entry or restore the reading code",
+                    k.name
+                ),
+            );
+        } else if !referenced.iter().any(|p| p.starts_with(&k.owner)) {
+            fail(
+                k.line,
+                format!(
+                    "knob `{}` declares owner `{}` but is only referenced from {}; \
+                     update the owner",
+                    k.name,
+                    k.owner,
+                    referenced.join(", ")
+                ),
+            );
+        }
+        if !docs.iter().any(|(_, text)| text.contains(&k.anchor)) {
+            fail(
+                k.line,
+                format!(
+                    "doc anchor `{}` for knob `{}` resolves in none of: {}; document \
+                     the knob or fix the anchor",
+                    k.anchor,
+                    k.name,
+                    docs.iter()
+                        .map(|(name, _)| name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TG09 — ignored Results in library code
+// ---------------------------------------------------------------------------
+
+/// Std calls that return `Result` (or a must-handle `Result`-like) and
+/// show up on `let _ =` discards — the workspace function index covers
+/// first-party functions, this list covers the standard library.
+const RESULT_BUILTINS: [&str; 16] = [
+    "connect",
+    "join",
+    "flush",
+    "write_all",
+    "read_to_string",
+    "read_to_end",
+    "send",
+    "recv",
+    "try_with",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir_all",
+    "rename",
+    "set_read_timeout",
+    "set_write_timeout",
+    "set_nonblocking",
+];
+
+/// Flags `let _ = <call>;` in library code when the discarded value is a
+/// `Result` — from the workspace function index (`result_fns`), the std
+/// builtin list, or a `write!`/`writeln!` macro. A deliberate discard
+/// needs a `tg-check: allow(tg09, reason = "...")` saying why the error
+/// does not matter.
+fn tg09_ignored_result(
+    path: &str,
+    lexed: &Lexed,
+    result_fns: &std::collections::HashSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_discard = toks[i].ident() == Some("let")
+            && !lexed.in_test[i]
+            && toks.get(i + 1).and_then(Tok::ident) == Some("_")
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='));
+        if !is_discard {
+            i += 1;
+            continue;
+        }
+        // Walk the discarded expression to its `;`, tracking the last
+        // top-level call — `a.b(x).c()` discards what `c` returns.
+        let mut j = i + 3;
+        let mut depth = 0i32;
+        let mut last_call: Option<String> = None;
+        while let Some(t) = toks.get(j) {
+            match t {
+                Tok::Punct('(' | '[' | '{') => depth += 1,
+                Tok::Punct(')' | ']' | '}') => depth -= 1,
+                Tok::Punct(';') if depth == 0 => break,
+                Tok::Ident(name) if depth == 0 => {
+                    if call_paren_after(toks, j).is_some() {
+                        last_call = Some(name.clone());
+                    } else if matches!(name.as_str(), "write" | "writeln")
+                        && toks.get(j + 1).is_some_and(|t| t.is_punct('!'))
+                    {
+                        last_call = Some(format!("{name}!"));
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(call) = last_call {
+            let is_result = call.ends_with('!')
+                || RESULT_BUILTINS.contains(&call.as_str())
+                || result_fns.contains(&call);
+            if is_result {
+                out.push(Finding {
+                    lint: Lint::Tg09IgnoredResult,
+                    path: path.to_string(),
+                    line: lexed.lines[i],
+                    message: format!(
+                        "`let _ =` discards the `Result` of `{call}`; handle the \
+                         error, or annotate with tg09 and a reason it is ignorable"
+                    ),
+                });
+            }
+        }
+        i = j;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -533,7 +1025,7 @@ fn tg05_float_total_order(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
 // Token helpers
 // ---------------------------------------------------------------------------
 
-fn prev_is(lexed: &Lexed, i: usize, c: char) -> bool {
+pub(crate) fn prev_is(lexed: &Lexed, i: usize, c: char) -> bool {
     i > 0 && lexed.tokens[i - 1].is_punct(c)
 }
 

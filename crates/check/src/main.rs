@@ -3,19 +3,23 @@
 //! ```text
 //! tg-check --workspace [--root DIR]   # scan per tg-check.toml, exit 1 on findings
 //! tg-check FILE...                    # lint specific files
+//! tg-check --workspace --json         # one JSON object per finding per line
+//! tg-check --workspace --lint TG04    # only the named lint(s)
 //! ```
 //!
-//! CI runs `cargo run -p tg-check -- --workspace` in the `analysis` job;
-//! the exit code is the contract (0 clean, 1 findings, 2 usage/config
-//! error).
+//! CI runs `cargo run -p tg-check -- --workspace --json` in the `analysis`
+//! job; the exit code is the contract (0 clean, 1 findings, 2 usage/config
+//! error), and the JSON stream is one finding per line for machine diffing.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tg_check::{check_source, find_root, load_config, scan_workspace, scope_of, FileScope};
+use tg_check::{check_source, find_root, load_config, scan_workspace, scope_of, FileScope, Lint};
 
 fn main() -> ExitCode {
     let mut workspace = false;
+    let mut json = false;
+    let mut lint_filter: Vec<Lint> = Vec::new();
     let mut root_arg: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
 
@@ -23,12 +27,18 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--lint" => match args.next().as_deref().map(Lint::from_code) {
+                Some(Some(lint)) => lint_filter.push(lint),
+                Some(None) => return usage("--lint expects a code like TG04"),
+                None => return usage("--lint requires a lint code"),
+            },
             "--root" => match args.next() {
                 Some(dir) => root_arg = Some(PathBuf::from(dir)),
                 None => return usage("--root requires a directory"),
             },
             "--help" | "-h" => {
-                eprintln!("usage: tg-check --workspace [--root DIR] | tg-check FILE...");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -54,7 +64,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (findings, scanned) = if workspace {
+    let (mut findings, scanned) = if workspace {
         scan_workspace(&root, &cfg)
     } else {
         let mut findings = Vec::new();
@@ -86,8 +96,15 @@ fn main() -> ExitCode {
         (findings, scanned)
     };
 
+    if !lint_filter.is_empty() {
+        findings.retain(|f| lint_filter.contains(&f.lint));
+    }
     for finding in &findings {
-        println!("{}", finding.render());
+        if json {
+            println!("{}", finding.render_json());
+        } else {
+            println!("{}", finding.render());
+        }
     }
     eprintln!(
         "tg-check: {} finding(s) in {scanned} file(s) scanned",
@@ -100,8 +117,11 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str =
+    "usage: tg-check --workspace [--root DIR] [--json] [--lint TGnn]... | tg-check FILE...";
+
 fn usage(why: &str) -> ExitCode {
     eprintln!("tg-check: {why}");
-    eprintln!("usage: tg-check --workspace [--root DIR] | tg-check FILE...");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }

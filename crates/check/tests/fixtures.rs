@@ -5,7 +5,9 @@
 
 use std::path::Path;
 
-use tg_check::{check_source, scan_workspace, Config, FileScope, Finding, Lint};
+use tg_check::{
+    check_source, check_sources, scan_workspace, Config, FileScope, Finding, Lint, SourceFile,
+};
 
 /// The real repo config — fixtures are validated against the same lock
 /// table and allowlists CI enforces.
@@ -115,6 +117,216 @@ fn tg00_flags_every_malformed_allow_and_suppresses_nothing() {
     );
     let tg01 = lines_of(&findings, Lint::Tg01NoPanic);
     assert_eq!(tg01.len(), 3, "malformed directives must not suppress");
+}
+
+#[test]
+fn tg06_fires_on_bare_if_unregistered_condvar_and_wrong_guard() {
+    let findings = lint_fixture("tg06_condvar.rs");
+    let tg06 = lines_of(&findings, Lint::Tg06CondvarDiscipline);
+    assert_eq!(
+        tg06.len(),
+        3,
+        "bare `if`, unregistered condvar, decoupled guard (the loop-shaped \
+         wait and Barrier::wait() stay clean): {findings:?}"
+    );
+    let messages: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::Tg06CondvarDiscipline)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("outside any loop")));
+    assert!(messages.iter().any(|m| m.contains("not registered")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("does not pass its paired mutex guard")));
+}
+
+#[test]
+fn tg07_fires_on_sleep_and_join_inside_the_critical_section() {
+    let findings = lint_fixture("tg07_blocking.rs");
+    let tg07 = lines_of(&findings, Lint::Tg07BlockingWhileLocked);
+    assert_eq!(
+        tg07.len(),
+        2,
+        "sleep + thread-join while locked (post-release sleep, path.join and \
+         the store-shard exemption stay clean): {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .filter(|f| f.lint == Lint::Tg07BlockingWhileLocked)
+            .all(|f| f.message.contains("registry")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn tg08_flags_both_unregistered_knob_literals_only() {
+    let findings = lint_fixture("tg08_knobs.rs");
+    let tg08 = lines_of(&findings, Lint::Tg08KnobRegistry);
+    assert_eq!(
+        tg08.len(),
+        2,
+        "the env::var read and the const, not the registered knob or the \
+         prose mention: {findings:?}"
+    );
+    let messages: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::Tg08KnobRegistry)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("TG_FIXTURE_ADDR")));
+    assert!(messages.iter().any(|m| m.contains("TG_ROGUE_KNOB")));
+}
+
+#[test]
+fn tg08_registry_drift_fails_in_all_three_directions() {
+    let cfg = Config::parse("[knobs]\nTG_DEMO = [\"crates/demo\", \"`TG_DEMO`\"]\n")
+        .expect("minimal knob config parses");
+    let reading = |rel_path: &str| SourceFile {
+        rel_path: rel_path.to_string(),
+        source: "pub fn demo() -> Option<String> { std::env::var(\"TG_DEMO\").ok() }\n".to_string(),
+        scope: FileScope::Lib,
+    };
+    let documented = [(
+        "README.md".to_string(),
+        "| `TG_DEMO` | demo knob |".to_string(),
+    )];
+
+    // Registered + referenced under the owner + documented: clean.
+    let clean = check_sources(&[reading("crates/demo/src/lib.rs")], &cfg, &documented);
+    assert!(clean.is_empty(), "{clean:?}");
+
+    // Removing the doc anchor fails, attributed to tg-check.toml.
+    let undocumented = [("README.md".to_string(), "knob section deleted".to_string())];
+    let findings = check_sources(&[reading("crates/demo/src/lib.rs")], &cfg, &undocumented);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].path, "tg-check.toml");
+    assert!(findings[0].message.contains("doc anchor"), "{findings:?}");
+
+    // A registered knob nobody reads is stale.
+    let no_refs = [SourceFile {
+        rel_path: "crates/demo/src/lib.rs".to_string(),
+        source: "pub fn demo() {}\n".to_string(),
+        scope: FileScope::Lib,
+    }];
+    let findings = check_sources(&no_refs, &cfg, &documented);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("referenced nowhere"),
+        "{findings:?}"
+    );
+
+    // Referenced, but never under the declared owner path.
+    let findings = check_sources(&[reading("crates/other/src/lib.rs")], &cfg, &documented);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("declares owner"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn tg09_fires_on_builtin_first_party_and_macro_discards() {
+    let findings = lint_fixture("tg09_result.rs");
+    let tg09 = lines_of(&findings, Lint::Tg09IgnoredResult);
+    assert_eq!(
+        tg09.len(),
+        3,
+        "std builtin + workspace-indexed fn + write! macro (the annotated \
+         and non-Result discards stay clean): {findings:?}"
+    );
+    let messages: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::Tg09IgnoredResult)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("`flush`")));
+    assert!(messages.iter().any(|m| m.contains("`parse_config`")));
+    assert!(messages.iter().any(|m| m.contains("`write!`")));
+}
+
+#[test]
+fn cross_function_inversion_is_caught_through_the_call_chain() {
+    let findings = lint_fixture("tg04_cross_function.rs");
+    let tg04 = lines_of(&findings, Lint::Tg04LockOrder);
+    assert_eq!(
+        tg04.len(),
+        1,
+        "only `refresh` (shard held, transitively reaches the registry \
+         lock) violates; the downward call chain is clean: {findings:?}"
+    );
+    let f = findings
+        .iter()
+        .find(|f| f.lint == Lint::Tg04LockOrder)
+        .expect("one cross-function finding");
+    assert!(
+        f.message.contains("reload")
+            && f.message.contains("route")
+            && f.message.contains("registry")
+            && f.message.contains("cache_shard"),
+        "the finding must carry the witness chain: {}",
+        f.message
+    );
+}
+
+#[test]
+fn cross_function_analysis_spans_files() {
+    let cfg = repo_config();
+    let caller = SourceFile {
+        rel_path: "crates/a/src/lib.rs".to_string(),
+        source: "use std::sync::RwLock;\n\
+                 pub struct Shards { pub shards: Vec<RwLock<u64>> }\n\
+                 pub fn refresh(s: &Shards, reg: &crate::Registry) -> usize {\n\
+                     let _shard = s.shards[0].write();\n\
+                     reload(reg)\n\
+                 }\n"
+        .to_string(),
+        scope: FileScope::Lib,
+    };
+    let callee = SourceFile {
+        rel_path: "crates/b/src/lib.rs".to_string(),
+        source: "use std::collections::HashMap;\n\
+                 use std::sync::Mutex;\n\
+                 pub struct Registry { inner: Mutex<HashMap<u64, u64>> }\n\
+                 pub fn reload(reg: &Registry) -> usize {\n\
+                     let _inner = reg.inner.lock();\n\
+                     0\n\
+                 }\n"
+        .to_string(),
+        scope: FileScope::Lib,
+    };
+    let findings = check_sources(&[caller, callee], &cfg, &[]);
+    let tg04: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::Tg04LockOrder)
+        .collect();
+    assert_eq!(tg04.len(), 1, "{findings:?}");
+    assert_eq!(
+        tg04[0].path, "crates/a/src/lib.rs",
+        "the finding lands at the cross-file call site"
+    );
+    assert!(
+        tg04[0].message.contains("reload") && tg04[0].message.contains("registry"),
+        "{}",
+        tg04[0].message
+    );
+}
+
+#[test]
+fn findings_render_as_single_line_json_and_codes_round_trip() {
+    let findings = lint_fixture("tg01_panics.rs");
+    let line = findings[0].render_json();
+    assert!(line.starts_with("{\"lint\":\"TG01\""), "{line}");
+    assert!(!line.contains('\n'), "{line}");
+    assert!(
+        line.contains("\"path\":") && line.contains("\"line\":"),
+        "{line}"
+    );
+
+    assert_eq!(Lint::from_code("TG06"), Some(Lint::Tg06CondvarDiscipline));
+    assert_eq!(Lint::from_code("TG09"), Some(Lint::Tg09IgnoredResult));
+    assert_eq!(Lint::from_code("TG99"), None);
 }
 
 #[test]

@@ -1,15 +1,18 @@
 // A representative clean library file: recoverable errors, Relaxed
-// counters, total float comparisons, well-ordered locking. tg-check must
+// counters, total float comparisons, well-ordered locking, a loop-shaped
+// condvar wait, a registered env knob and handled Results. tg-check must
 // report zero findings here (the self-test's false-positive guard).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Condvar, Mutex, RwLock};
 
 pub struct Clean {
     inner: Mutex<HashMap<u64, u64>>,
     shards: Vec<RwLock<HashMap<u64, u64>>>,
     hits: AtomicU64,
+    pass: Mutex<u64>,
+    cv: Condvar,
 }
 
 impl Clean {
@@ -27,6 +30,28 @@ impl Clean {
     pub fn parse(&self, text: &str) -> Result<u64, std::num::ParseIntError> {
         text.trim().parse()
     }
+
+    pub fn parsed_or_default(&self, text: &str) -> u64 {
+        match self.parse(text) {
+            Ok(n) => n,
+            Err(_) => 0,
+        }
+    }
+
+    pub fn next_ready(&self) -> u64 {
+        let mut pass = self.pass.lock().unwrap_or_else(|e| e.into_inner());
+        while *pass == 0 {
+            pass = self.cv.wait(pass).unwrap_or_else(|e| e.into_inner());
+        }
+        *pass
+    }
+}
+
+pub fn seed() -> u64 {
+    std::env::var("TG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024)
 }
 
 #[cfg(test)]

@@ -1,0 +1,39 @@
+// Seeded cross-function TG04 inversion: `refresh` holds a cache shard
+// (rank 5) and calls `self.reload()`, which re-enters the registry lock
+// (rank 0) through a helper chain the lexical pass cannot see. The
+// downward direction (`registry` first, then a shard-taking helper) must
+// stay clean.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
+
+pub struct Fixture {
+    inner: Mutex<HashMap<u64, u64>>,
+    shards: Vec<RwLock<HashMap<u64, u64>>>,
+}
+
+impl Fixture {
+    pub fn refresh(&self) -> usize {
+        let _shard = self.shards[0].write();
+        self.reload()
+    }
+
+    fn reload(&self) -> usize {
+        self.route()
+    }
+
+    fn route(&self) -> usize {
+        let _inner = self.inner.lock();
+        0
+    }
+
+    pub fn downward_is_fine(&self) -> usize {
+        let _inner = self.inner.lock();
+        self.touch_shard()
+    }
+
+    fn touch_shard(&self) -> usize {
+        let _shard = self.shards[0].write();
+        1
+    }
+}

@@ -1,0 +1,53 @@
+// Seeded TG06 violations: a wait under a bare `if` (no predicate re-test),
+// a condvar missing from the [condvars] registry, and a wait handed an
+// unrelated guard. The loop-shaped wait and the empty-arg `Barrier::wait()`
+// must stay clean.
+
+use std::sync::{Barrier, Condvar, Mutex};
+
+pub struct Fixture {
+    pass: Mutex<u32>,
+    cv: Condvar,
+    doorbell: Condvar,
+    gate: Barrier,
+}
+
+impl Fixture {
+    pub fn clean_loop_wait(&self) -> u32 {
+        let mut pass = self.pass.lock().unwrap_or_else(|e| e.into_inner());
+        while *pass == 0 {
+            pass = self.cv.wait(pass).unwrap_or_else(|e| e.into_inner());
+        }
+        *pass
+    }
+
+    pub fn bare_if_wait(&self) -> u32 {
+        let mut pass = self.pass.lock().unwrap_or_else(|e| e.into_inner());
+        if *pass == 0 {
+            pass = self.cv.wait(pass).unwrap_or_else(|e| e.into_inner());
+        }
+        *pass
+    }
+
+    pub fn unregistered_condvar(&self) -> u32 {
+        let mut pass = self.pass.lock().unwrap_or_else(|e| e.into_inner());
+        while *pass == 0 {
+            pass = self.doorbell.wait(pass).unwrap_or_else(|e| e.into_inner());
+        }
+        *pass
+    }
+
+    pub fn decoupled_wait(&self, other: &Mutex<u32>) -> u32 {
+        let mut g = other.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *g > 0 {
+                return *g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub fn barriers_are_not_condvars(&self) {
+        self.gate.wait();
+    }
+}

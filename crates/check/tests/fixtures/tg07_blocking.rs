@@ -1,0 +1,44 @@
+// Seeded TG07 violations: sleeping and thread-joining inside a registry
+// critical section. Blocking after the guard releases, `path.join(seg)`
+// (non-empty args: path concatenation, not a thread join) and blocking
+// inside the exempt store-shard class must all stay clean.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub struct Fixture {
+    inner: Mutex<HashMap<u64, u64>>,
+    disk: Mutex<HashMap<u64, u64>>,
+}
+
+impl Fixture {
+    pub fn sleeps_while_locked(&self) {
+        let _inner = self.inner.lock();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    pub fn joins_while_locked(&self, handle: JoinHandle<()>) {
+        let _inner = self.inner.lock();
+        handle.join().ok();
+    }
+
+    pub fn sleeps_after_release(&self) {
+        {
+            let _inner = self.inner.lock();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    pub fn path_join_is_not_a_thread_join(&self, dir: &Path) -> PathBuf {
+        let _inner = self.inner.lock();
+        dir.join("artifacts")
+    }
+
+    pub fn store_shard_sections_may_block(&self) {
+        let _disk = self.disk.lock();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

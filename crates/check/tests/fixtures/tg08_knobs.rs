@@ -1,0 +1,17 @@
+// Seeded TG08 violations: an `env::var` read and a `const NAME_ENV` both
+// naming knobs missing from the [knobs] registry. The registered read and
+// the prose mention (not an exact `TG_*` literal) stay clean.
+
+pub const ADDR_ENV: &str = "TG_FIXTURE_ADDR";
+
+pub fn scale() -> Option<String> {
+    std::env::var("TG_SCALE").ok()
+}
+
+pub fn rogue() -> Option<String> {
+    std::env::var("TG_ROGUE_KNOB").ok()
+}
+
+pub fn documented() -> &'static str {
+    "set TG_SEED to an integer before running the benches"
+}

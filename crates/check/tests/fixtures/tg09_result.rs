@@ -1,0 +1,39 @@
+// Seeded TG09 violations: `let _ =` discarding a `Result` from a std
+// builtin, from a first-party fallible function (picked up through the
+// workspace signature index) and from a `write!` macro. The annotated
+// discard and the non-`Result` discards stay clean.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::TcpStream;
+
+pub fn parse_config(text: &str) -> Result<u64, std::num::ParseIntError> {
+    text.trim().parse()
+}
+
+pub fn discards_first_party(text: &str) {
+    let _ = parse_config(text);
+}
+
+pub fn discards_builtin(stream: &mut TcpStream) {
+    let _ = stream.flush();
+}
+
+pub fn discards_macro(buf: &mut String, x: u64) {
+    let _ = write!(buf, "{x}");
+}
+
+pub fn annotated_discard(stream: &mut TcpStream) {
+    // tg-check: allow(tg09, reason = "best-effort flush on a shed path")
+    let _ = stream.flush();
+}
+
+pub fn non_call_discard(x: u64) -> u64 {
+    let _ = x + 1;
+    x
+}
+
+pub fn infallible_call_discard(text: &str) -> usize {
+    let _ = text.len();
+    text.len()
+}

@@ -192,11 +192,16 @@ impl Coalescer {
         } else {
             self.followers.fetch_add(1, Ordering::Relaxed);
             {
-                let _rank = rank_guard(Rank::Coalesce);
+                let rank = rank_guard(Rank::Coalesce);
                 let mut pass = unpoisoned(cell.pass.lock());
                 loop {
                     match &*pass {
-                        PassState::Pending => pass = unpoisoned(cell.cv.wait(pass)),
+                        // The wait releases the cell mutex while parked, so
+                        // the rank is released with it and re-asserted on
+                        // wake (`RankGuard::suspended`).
+                        PassState::Pending => {
+                            pass = rank.suspended(|| unpoisoned(cell.cv.wait(pass)));
+                        }
                         PassState::Done(outcome) => return Arc::clone(outcome),
                         PassState::Abandoned => break,
                     }

@@ -1,228 +1,38 @@
-//! Lock-order tracking and poison recovery for the serving layer.
+//! Lock-order tracking and poison recovery — re-exported from the
+//! workspace-wide [`tg_sync`] leaf crate.
 //!
-//! The registry/store stack holds a small family of locks with a declared
-//! partial order (see `tg-check.toml` and DESIGN.md):
+//! The tracker used to live here, but the lock table spans crates on
+//! *both* sides of this one: `tg-linalg`'s per-column Jacobi locks
+//! (rank `jacobi_col`) sit below it and `tg-serve`'s connection queue
+//! (rank `conn_queue`) above it. Extracting the tracker into `tg-sync`
+//! (a dependency-free leaf) turned those two formerly static-only ranks
+//! into runtime-enforced ones: every crate in the workspace now takes
+//! the same `rank_guard` before its ranked lock calls, and Condvar
+//! waits release their rank for the park and re-assert it on wake via
+//! [`RankGuard::suspended`].
 //!
-//! | rank | class         | locks                                         |
-//! |------|---------------|-----------------------------------------------|
-//! | 0    | `Registry`    | `ZooRegistry::inner`                          |
-//! | 1    | `BuildSlot`   | per-fingerprint `BuildSlot::cell`             |
-//! | 2    | `Inductive`   | `ZooHandle::inductive` embedder cache         |
-//! | 3    | `Coalesce`    | `Coalescer::passes` map + per-key pass cells  |
-//! | 4    | `StoreShard`  | persist lock, `TieredCache::disk`             |
-//! | 5    | `CacheShard`  | `ShardedCache` shard `RwLock`s                |
-//! | 6    | *(static only)* | `cols` — per-column Jacobi rotation mutexes |
-//! | 7    | *(static only)* | `queue` — the server's connection queue     |
-//!
-//! Rank 3 is the serving layer's request coalescing
-//! ([`crate::coalesce::Coalescer`]): a pass leader holds its per-key cell
-//! across a whole Workbench evaluation (which reaches the store and cache
-//! ranks below), and briefly re-takes the same-rank `passes` map to publish
-//! or retire the cell — equal-rank nesting, allowed by the order.
-//!
-//! Rank 6 covers the parallel Jacobi sweep's per-column locks in
-//! `tg-linalg` (`decomp.rs`). That crate sits below this one and cannot
-//! reach the runtime tracker, so the rank exists only in `tg-check.toml`
-//! for the static TG04 layer; it is a leaf rank (a rotation holds two
-//! same-rank column locks and acquires nothing else). Rank 7 is
-//! `tg-serve`'s bounded connection queue — the crate sits *above* this one,
-//! so it too is enforced statically only; the queue lock is never held
-//! across any other acquisition (push/pop are self-contained critical
-//! sections).
-//!
-//! A thread may only acquire locks in non-decreasing rank order (equal
-//! ranks are fine: the persist lock wraps disk-tier reads at the same
-//! rank, and the sharded cache takes its shards one at a time). Any thread
-//! obeying this order can never participate in a deadlock cycle across
-//! these locks.
-//!
-//! Two layers enforce the order:
-//!
-//! * **statically**, `tg-check`'s TG04 lint classifies every `.lock()` /
-//!   `.read()` / `.write()` receiver in the tree and flags intra-function
-//!   inversions;
-//! * **dynamically** (debug builds only), [`rank_guard`] keeps a
-//!   thread-local stack of held ranks and asserts monotonicity on every
-//!   acquisition, catching cross-function orderings the lint cannot see.
-//!   In release builds the guard compiles to nothing.
-//!
-//! Call sites take the rank guard immediately before the matching lock
-//! call and keep it alive exactly as long as the lock guard:
-//!
-//! ```ignore
-//! let _rank = rank_guard(Rank::Registry);
-//! let inner = unpoisoned(self.inner.lock());
-//! ```
+//! See `tg_sync`'s crate docs for the full rank table and the call-site
+//! discipline, `tg-check.toml` for the static spelling of the same
+//! table, and DESIGN.md §6b for the rationale.
 
-use std::sync::PoisonError;
-
-/// The lock classes of the serving layer, in declared acquisition order.
-/// The discriminant is the rank: a thread holding rank `r` may only
-/// acquire ranks `>= r`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) enum Rank {
-    /// `ZooRegistry::inner` — the routing table.
-    Registry = 0,
-    /// A per-fingerprint `BuildSlot::cell` build-coordination mutex.
-    BuildSlot = 1,
-    /// `ZooHandle::inductive` — the per-handle trained-embedder cache.
-    /// Training happens *outside* this lock (it only guards the map), but
-    /// embedder lookups during admit do reach the store caches below, so
-    /// the rank sits above the store ranks.
-    Inductive = 2,
-    /// Request-coalescing locks ([`crate::coalesce::Coalescer`]): the
-    /// per-key pass cells and the map that routes racers to them. A pass
-    /// leader evaluates while holding its cell, reaching the store ranks
-    /// below, so the rank sits above them.
-    Coalesce = 3,
-    /// Store-level locks: the process-wide per-fingerprint persist lock
-    /// and a `TieredCache`'s disk-tier `RwLock`.
-    StoreShard = 4,
-    /// One shard of a `ShardedCache`.
-    CacheShard = 5,
-}
-
-/// Recovers the guard from a possibly poisoned lock result.
-///
-/// Every value behind these locks is a pure function of its key (cached
-/// artifacts) or simple bookkeeping that stays internally consistent
-/// under panic (routing tables, counters), so observing the state a
-/// panicking thread left behind is always safe — unlike propagating the
-/// poison, which turns one worker's panic into a process-wide outage.
-pub(crate) fn unpoisoned<G>(result: Result<G, PoisonError<G>>) -> G {
-    result.unwrap_or_else(PoisonError::into_inner)
-}
-
-#[cfg(debug_assertions)]
-mod tracker {
-    use super::Rank;
-    use std::cell::RefCell;
-
-    thread_local! {
-        /// Ranks currently held by this thread, in acquisition order.
-        static HELD: RefCell<Vec<Rank>> = const { RefCell::new(Vec::new()) };
-    }
-
-    /// RAII token pairing one lock acquisition with its rank. Dropping it
-    /// un-registers the rank, so it must live exactly as long as the lock
-    /// guard it shadows (bind it immediately before the lock call).
-    pub(crate) struct RankGuard {
-        rank: Rank,
-    }
-
-    /// Registers the intent to acquire a lock of class `rank`, asserting
-    /// the declared order: `rank` must be >= every rank this thread
-    /// already holds.
-    #[track_caller]
-    pub(crate) fn rank_guard(rank: Rank) -> RankGuard {
-        // `try_with` so guards created during thread-local teardown
-        // degrade to untracked instead of aborting the process.
-        let _ = HELD.try_with(|held| {
-            let mut held = held.borrow_mut();
-            if let Some(&max) = held.iter().max() {
-                assert!(
-                    rank >= max,
-                    "lock-order violation: acquiring {rank:?} (rank {}) while holding \
-                     {max:?} (rank {}); declared order is registry -> build_slot -> \
-                     inductive -> coalesce -> store_shard -> cache_shard",
-                    rank as u8,
-                    max as u8,
-                );
-            }
-            held.push(rank);
-        });
-        RankGuard { rank }
-    }
-
-    impl Drop for RankGuard {
-        fn drop(&mut self) {
-            let _ = HELD.try_with(|held| {
-                let mut held = held.borrow_mut();
-                // Guards may drop out of acquisition order; release the
-                // most recent entry of this guard's rank.
-                if let Some(i) = held.iter().rposition(|&r| r == self.rank) {
-                    held.remove(i);
-                }
-            });
-        }
-    }
-}
-
-#[cfg(not(debug_assertions))]
-mod tracker {
-    use super::Rank;
-
-    /// Release builds: a zero-sized no-op token.
-    pub(crate) struct RankGuard;
-
-    #[inline(always)]
-    pub(crate) fn rank_guard(_rank: Rank) -> RankGuard {
-        RankGuard
-    }
-}
-
-pub(crate) use tracker::rank_guard;
 #[allow(unused_imports)] // re-exported for call sites that only bind it
-pub(crate) use tracker::RankGuard;
+pub(crate) use tg_sync::RankGuard;
+pub(crate) use tg_sync::{rank_guard, unpoisoned, Rank};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The serving layer's ranks thread through the re-export; the full
+    /// tracker semantics are tested in `tg-sync` itself.
     #[test]
-    fn unpoisoned_passes_healthy_guards_through() {
-        let m = std::sync::Mutex::new(41);
-        *unpoisoned(m.lock()) += 1;
-        assert_eq!(*unpoisoned(m.lock()), 42);
-    }
-
-    #[test]
-    fn unpoisoned_recovers_a_poisoned_lock() {
-        let m = std::sync::Arc::new(std::sync::Mutex::new(7));
-        let m2 = std::sync::Arc::clone(&m);
-        let _ = std::thread::spawn(move || {
-            let _guard = m2.lock().unwrap();
-            panic!("poison the lock");
-        })
-        .join();
-        assert!(m.lock().is_err(), "lock must actually be poisoned");
-        assert_eq!(*unpoisoned(m.lock()), 7);
-    }
-
-    #[test]
-    fn ordered_acquisition_is_accepted() {
+    fn core_ranks_are_orderable_through_the_reexport() {
         let _a = rank_guard(Rank::Registry);
         let _b = rank_guard(Rank::BuildSlot);
         let _i = rank_guard(Rank::Inductive);
         let _p = rank_guard(Rank::Coalesce);
         let _c = rank_guard(Rank::StoreShard);
         let _d = rank_guard(Rank::CacheShard);
-    }
-
-    #[test]
-    fn equal_ranks_may_nest() {
-        let _a = rank_guard(Rank::StoreShard);
-        let _b = rank_guard(Rank::StoreShard);
-        let _c = rank_guard(Rank::CacheShard);
-    }
-
-    #[test]
-    fn release_then_lower_rank_is_accepted() {
-        {
-            let _high = rank_guard(Rank::CacheShard);
-        }
-        let _low = rank_guard(Rank::Registry);
-    }
-
-    #[test]
-    fn out_of_order_drops_release_correctly() {
-        let a = rank_guard(Rank::StoreShard);
-        let b = rank_guard(Rank::CacheShard);
-        drop(a); // dropped before `b`: still holding rank 3 only
-        let c = rank_guard(Rank::CacheShard);
-        drop(b);
-        drop(c); // everything released, in neither acquisition order
-        let _d = rank_guard(Rank::Registry);
     }
 
     #[cfg(debug_assertions)]
@@ -234,13 +44,9 @@ mod tests {
     }
 
     #[test]
-    fn ranks_are_thread_local() {
-        let _high = rank_guard(Rank::CacheShard);
-        // Another thread holds nothing; low ranks are fine there.
-        std::thread::spawn(|| {
-            let _low = rank_guard(Rank::Registry);
-        })
-        .join()
-        .expect("spawned thread must not observe this thread's ranks");
+    fn unpoisoned_passes_healthy_guards_through() {
+        let m = std::sync::Mutex::new(41);
+        *unpoisoned(m.lock()) += 1;
+        assert_eq!(*unpoisoned(m.lock()), 42);
     }
 }

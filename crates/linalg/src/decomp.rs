@@ -14,6 +14,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+use tg_sync::{rank_guard, unpoisoned, Rank};
+
 use crate::matrix::Matrix;
 use crate::pool;
 
@@ -455,9 +457,13 @@ pub fn one_sided_jacobi_svd(a: &Matrix, opts: &JacobiOpts) -> Result<(Svd, usize
             // concurrently running pair, let alone deadlock; the mutexes
             // only exist to prove disjointness to the compiler without
             // `unsafe`. Poison is unreachable (rotations don't panic), and
-            // recovering the inner value is the no-panic fallback.
-            let mut cp = cols[p].lock().unwrap_or_else(PoisonError::into_inner);
-            let mut cq = cols[q].lock().unwrap_or_else(PoisonError::into_inner);
+            // recovering the inner value is the no-panic fallback. The
+            // rank guards make the debug-build tracker in `tg-sync` see
+            // both equal-rank leaf acquisitions.
+            let _rank_p = rank_guard(Rank::JacobiCol);
+            let mut cp = unpoisoned(cols[p].lock());
+            let _rank_q = rank_guard(Rank::JacobiCol);
+            let mut cq = unpoisoned(cols[q].lock());
             if rotate_pair(&mut cp, &mut cq, opts.tol) {
                 rotated.store(true, Ordering::Relaxed);
             }
@@ -778,6 +784,32 @@ mod tests {
             Err(DecompError::NoConvergence)
         );
         assert!(one_sided_jacobi_svd(&a, &JacobiOpts::default()).is_ok());
+    }
+
+    /// `jacobi_col` is no longer a static-only rank: the per-column
+    /// rotation locks register with the debug-build tracker in
+    /// `tg-sync`, and a deliberate inversion trips it.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn jacobi_col_rank_inversion_trips_the_runtime_tracker() {
+        let _col = rank_guard(Rank::JacobiCol);
+        let _registry = rank_guard(Rank::Registry);
+    }
+
+    /// The real parallel sweep path runs clean under the tracker, even
+    /// for a caller already holding every rank below `jacobi_col` —
+    /// the leaf rank is reachable from anywhere in the stack.
+    #[test]
+    fn parallel_jacobi_runs_clean_under_the_runtime_tracker() {
+        let _held = rank_guard(Rank::CacheShard);
+        let a = Matrix::from_fn(24, 8, |r, c| ((r * 8 + c) as f64 * 0.173).sin());
+        let opts = JacobiOpts {
+            workers: 3,
+            ..JacobiOpts::default()
+        };
+        let (svd, _) = one_sided_jacobi_svd(&a, &opts).expect("converges");
+        assert_eq!(svd.sigma.len(), 8);
     }
 
     #[test]

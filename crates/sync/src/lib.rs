@@ -1,0 +1,390 @@
+//! Workspace-wide lock-order tracking and poison recovery.
+//!
+//! The reproduction holds a small family of locks with one declared
+//! partial order (see `tg-check.toml` at the repo root and DESIGN.md
+//! §6b). The table spans three crates — `tg-linalg` below the core
+//! crate, `transfergraph` itself, and `tg-serve` above it — so the
+//! tracker lives in this leaf crate, where all three can reach it:
+//!
+//! | rank | class        | locks                                          |
+//! |------|--------------|------------------------------------------------|
+//! | 0    | `registry`   | `ZooRegistry::inner` routing table             |
+//! | 1    | `build_slot` | per-fingerprint `BuildSlot::cell`              |
+//! | 2    | `inductive`  | `ZooHandle::inductive` embedder cache          |
+//! | 3    | `coalesce`   | `Coalescer::passes` map + per-key pass cells   |
+//! | 4    | `store_shard`| persist lock, `TieredCache::disk`              |
+//! | 5    | `cache_shard`| `ShardedCache` shard `RwLock`s                 |
+//! | 6    | `jacobi_col` | per-column rotation locks of parallel Jacobi   |
+//! | 7    | `conn_queue` | `tg-serve`'s bounded connection queue          |
+//!
+//! A thread may only acquire locks in non-decreasing rank order (equal
+//! ranks may nest: the persist lock wraps disk-tier reads, a Jacobi
+//! rotation holds two same-rank column locks). Any thread obeying the
+//! order can never participate in a deadlock cycle across these locks.
+//!
+//! Two layers enforce the order: statically, `tg-check`'s TG04 lint
+//! (intra-function) plus its cross-function call-graph pass; and
+//! dynamically in debug builds, [`rank_guard`] keeps a thread-local
+//! stack of held ranks and asserts monotonicity on every acquisition.
+//! Release builds compile the guard to nothing.
+//!
+//! Call sites take the rank guard immediately before the matching lock
+//! call and keep it alive exactly as long as the lock guard:
+//!
+//! ```ignore
+//! let _rank = rank_guard(Rank::Registry);
+//! let inner = unpoisoned(self.inner.lock());
+//! ```
+//!
+//! # Condvar waits
+//!
+//! `Condvar::wait` atomically *releases* the mutex while parked and
+//! re-acquires it on wake, so a tracked guard must not count as held
+//! across the wait. [`RankGuard::suspended`] brackets the wait: it pops
+//! the rank before the closure runs and re-asserts it (against whatever
+//! the thread still holds) when the wait returns:
+//!
+//! ```ignore
+//! let rank = rank_guard(Rank::Coalesce);
+//! let mut state = unpoisoned(cell.lock());
+//! loop {
+//!     if ready(&state) { break; }
+//!     state = rank.suspended(move || unpoisoned(cv.wait(state)));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::PoisonError;
+
+/// The lock classes of the workspace, in declared acquisition order.
+/// The discriminant is the rank: a thread holding rank `r` may only
+/// acquire ranks `>= r`. The same table, by the same class names, is
+/// checked statically from `tg-check.toml` — keep the two in sync
+/// (a unit test in this crate cross-checks them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rank {
+    /// `ZooRegistry::inner` — the routing table.
+    Registry = 0,
+    /// A per-fingerprint `BuildSlot::cell` build-coordination mutex.
+    BuildSlot = 1,
+    /// `ZooHandle::inductive` — the per-handle trained-embedder cache.
+    /// Training happens *outside* this lock (it only guards the map),
+    /// but embedder lookups during admit reach the store caches below,
+    /// so the rank sits above the store ranks.
+    Inductive = 2,
+    /// Request-coalescing locks (`Coalescer`): the per-key pass cells
+    /// and the map that routes racers to them. A pass leader evaluates
+    /// while holding its cell, reaching the store ranks below, so the
+    /// rank sits above them.
+    Coalesce = 3,
+    /// Store-level locks: the process-wide per-fingerprint persist lock
+    /// and a `TieredCache`'s disk-tier `RwLock`.
+    StoreShard = 4,
+    /// One shard of a `ShardedCache`.
+    CacheShard = 5,
+    /// Per-column rotation locks of the parallel one-sided Jacobi
+    /// sweeps (`tg-linalg`). A rotation holds two of these at once —
+    /// equal-rank nesting — and acquires nothing else: a leaf rank.
+    JacobiCol = 6,
+    /// `tg-serve`'s bounded connection queue. Push/pop/shed are
+    /// self-contained critical sections that acquire nothing else: the
+    /// final leaf rank.
+    ConnQueue = 7,
+}
+
+impl Rank {
+    /// Every rank, in declared acquisition order.
+    pub const ALL: [Rank; 8] = [
+        Rank::Registry,
+        Rank::BuildSlot,
+        Rank::Inductive,
+        Rank::Coalesce,
+        Rank::StoreShard,
+        Rank::CacheShard,
+        Rank::JacobiCol,
+        Rank::ConnQueue,
+    ];
+
+    /// The class name this rank carries in `tg-check.toml`'s
+    /// `[lock_order] order` list.
+    pub fn class(self) -> &'static str {
+        match self {
+            Rank::Registry => "registry",
+            Rank::BuildSlot => "build_slot",
+            Rank::Inductive => "inductive",
+            Rank::Coalesce => "coalesce",
+            Rank::StoreShard => "store_shard",
+            Rank::CacheShard => "cache_shard",
+            Rank::JacobiCol => "jacobi_col",
+            Rank::ConnQueue => "conn_queue",
+        }
+    }
+}
+
+/// Recovers the guard from a possibly poisoned lock result.
+///
+/// Every value behind the ranked locks is a pure function of its key
+/// (cached artifacts, rotated columns) or simple bookkeeping that stays
+/// internally consistent under panic (routing tables, queues,
+/// counters), so observing the state a panicking thread left behind is
+/// always safe — unlike propagating the poison, which turns one
+/// worker's panic into a process-wide outage.
+pub fn unpoisoned<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(debug_assertions)]
+mod tracker {
+    use super::Rank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks currently held by this thread, in acquisition order.
+        static HELD: RefCell<Vec<Rank>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// RAII token pairing one lock acquisition with its rank. Dropping
+    /// it un-registers the rank, so it must live exactly as long as the
+    /// lock guard it shadows (bind it immediately before the lock
+    /// call).
+    pub struct RankGuard {
+        rank: Rank,
+    }
+
+    /// Asserts `rank` may be acquired given what the thread holds, and
+    /// pushes it. Shared by acquisition and post-wait re-assertion.
+    #[track_caller]
+    fn assert_and_push(rank: Rank) {
+        // `try_with` so guards created during thread-local teardown
+        // degrade to untracked instead of aborting the process.
+        // tg-check: allow(tg09, reason = "AccessError only during TLS teardown; untracked is the intended fallback")
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&max) = held.iter().max() {
+                assert!(
+                    rank >= max,
+                    "lock-order violation: acquiring {:?} (rank {}) while holding \
+                     {:?} (rank {}); declared order is registry -> build_slot -> \
+                     inductive -> coalesce -> store_shard -> cache_shard -> \
+                     jacobi_col -> conn_queue",
+                    rank,
+                    rank as u8,
+                    max,
+                    max as u8,
+                );
+            }
+            held.push(rank);
+        });
+    }
+
+    /// Removes the most recent entry of `rank` from the held stack.
+    fn release(rank: Rank) {
+        // tg-check: allow(tg09, reason = "AccessError only during TLS teardown; untracked is the intended fallback")
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            // Guards may drop out of acquisition order; release the
+            // most recent entry of this guard's rank.
+            if let Some(i) = held.iter().rposition(|&r| r == rank) {
+                held.remove(i);
+            }
+        });
+    }
+
+    /// Registers the intent to acquire a lock of class `rank`,
+    /// asserting the declared order: `rank` must be >= every rank this
+    /// thread already holds.
+    #[track_caller]
+    pub fn rank_guard(rank: Rank) -> RankGuard {
+        assert_and_push(rank);
+        RankGuard { rank }
+    }
+
+    impl RankGuard {
+        /// Runs `wait` with this guard's rank released, re-asserting it
+        /// when the closure returns — the shape of a `Condvar::wait`,
+        /// which atomically gives the mutex up while parked and holds
+        /// it again on wake. The re-assertion checks the rank against
+        /// whatever the thread still holds, so a wake into an
+        /// inconsistent stack still trips the tracker.
+        #[track_caller]
+        pub fn suspended<R>(&self, wait: impl FnOnce() -> R) -> R {
+            release(self.rank);
+            let out = wait();
+            assert_and_push(self.rank);
+            out
+        }
+    }
+
+    impl Drop for RankGuard {
+        fn drop(&mut self) {
+            release(self.rank);
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod tracker {
+    use super::Rank;
+
+    /// Release builds: a zero-sized no-op token.
+    pub struct RankGuard;
+
+    /// Release builds: no tracking, no cost.
+    #[inline(always)]
+    pub fn rank_guard(_rank: Rank) -> RankGuard {
+        RankGuard
+    }
+
+    impl RankGuard {
+        /// Release builds: runs the wait with no bookkeeping.
+        #[inline(always)]
+        pub fn suspended<R>(&self, wait: impl FnOnce() -> R) -> R {
+            wait()
+        }
+    }
+}
+
+pub use tracker::{rank_guard, RankGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpoisoned_passes_healthy_guards_through() {
+        let m = std::sync::Mutex::new(41);
+        *unpoisoned(m.lock()) += 1;
+        assert_eq!(*unpoisoned(m.lock()), 42);
+    }
+
+    #[test]
+    fn unpoisoned_recovers_a_poisoned_lock() {
+        let m = std::sync::Arc::new(std::sync::Mutex::new(7));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock must actually be poisoned");
+        assert_eq!(*unpoisoned(m.lock()), 7);
+    }
+
+    #[test]
+    fn ordered_acquisition_is_accepted() {
+        let _guards: Vec<RankGuard> = Rank::ALL.into_iter().map(rank_guard).collect();
+    }
+
+    #[test]
+    fn equal_ranks_may_nest() {
+        let _a = rank_guard(Rank::JacobiCol);
+        let _b = rank_guard(Rank::JacobiCol);
+        let _c = rank_guard(Rank::ConnQueue);
+    }
+
+    #[test]
+    fn release_then_lower_rank_is_accepted() {
+        {
+            let _high = rank_guard(Rank::ConnQueue);
+        }
+        let _low = rank_guard(Rank::Registry);
+    }
+
+    #[test]
+    fn out_of_order_drops_release_correctly() {
+        let a = rank_guard(Rank::StoreShard);
+        let b = rank_guard(Rank::CacheShard);
+        drop(a); // dropped before `b`: still holding rank 5 only
+        let c = rank_guard(Rank::CacheShard);
+        drop(b);
+        drop(c); // everything released, in neither acquisition order
+        let _d = rank_guard(Rank::Registry);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn inversion_trips_the_tracker() {
+        let _shard = rank_guard(Rank::CacheShard);
+        let _registry = rank_guard(Rank::Registry);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn leaf_rank_inversions_trip_the_tracker() {
+        let _queue = rank_guard(Rank::ConnQueue);
+        let _col = rank_guard(Rank::JacobiCol);
+    }
+
+    #[test]
+    fn ranks_are_thread_local() {
+        let _high = rank_guard(Rank::CacheShard);
+        // Another thread holds nothing; low ranks are fine there.
+        std::thread::spawn(|| {
+            let _low = rank_guard(Rank::Registry);
+        })
+        .join()
+        .expect("spawned thread must not observe this thread's ranks");
+    }
+
+    #[test]
+    fn suspended_releases_the_rank_for_the_wait() {
+        let coalesce = rank_guard(Rank::Coalesce);
+        // During the wait the Coalesce rank is not held, so a helper on
+        // this thread may take a *lower* rank (as a woken thread's
+        // stack would allow); on return the rank re-asserts cleanly.
+        coalesce.suspended(|| {
+            let _low = rank_guard(Rank::Registry);
+        });
+        // Still usable as a held rank afterwards.
+        let _higher = rank_guard(Rank::CacheShard);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn suspended_reassertion_checks_the_stack_on_wake() {
+        let coalesce = rank_guard(Rank::Coalesce);
+        // A guard acquired during the wait and *kept* across the wake
+        // makes the re-assertion of Coalesce an inversion.
+        let mut kept = Vec::new();
+        coalesce.suspended(|| kept.push(rank_guard(Rank::CacheShard)));
+    }
+
+    /// The numeric table here and the `[lock_order] order` list in
+    /// `tg-check.toml` are two spellings of one declaration; this test
+    /// fails if they drift.
+    #[test]
+    fn rank_table_matches_tg_check_toml() {
+        let toml = include_str!("../../../tg-check.toml");
+        let mut in_section = false;
+        let mut order: Option<Vec<String>> = None;
+        for line in toml.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_section = line == "[lock_order]";
+                continue;
+            }
+            if in_section {
+                if let Some(rest) = line.strip_prefix("order") {
+                    let list = rest
+                        .trim_start()
+                        .strip_prefix('=')
+                        .and_then(|r| r.trim().strip_prefix('['))
+                        .and_then(|r| r.split(']').next())
+                        .expect("order is a string array");
+                    order = Some(
+                        list.split(',')
+                            .map(|s| s.trim().trim_matches('"').to_string())
+                            .collect(),
+                    );
+                }
+            }
+        }
+        let order = order.expect("tg-check.toml declares [lock_order] order");
+        let classes: Vec<&str> = Rank::ALL.iter().map(|r| r.class()).collect();
+        assert_eq!(order, classes, "tg-check.toml and tg_sync::Rank disagree");
+    }
+}

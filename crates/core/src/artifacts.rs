@@ -34,7 +34,7 @@ use tg_transfer::{DecompArm, Labels, LogMe};
 use tg_zoo::{DatasetId, Modality, ModelId, ModelZoo};
 
 use crate::config::Representation;
-use crate::store::{ArtifactStore, DiskStats, PersistStats};
+use crate::store::{ArtifactStore, DiskStats, PersistStats, StoreOptions};
 
 /// Pipeline stages the workbench attributes wall-clock time to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -274,7 +274,7 @@ impl WorkbenchStats {
             "stages: collection {:.3?} (logme-kernel {}x {:.3?}), graph {:.3?}, \
              regression {:.3?} | \
              cache hit rates: logme {} ({}h/{}m), repr {} ({}h/{}m), sim {} ({}h/{}m) | \
-             disk {}h/{}m ({}B read, {}B written){}{}",
+             disk {}h/{}m/{}rej ({}B read, {}B written){}{}",
             self.stage(Stage::FeatureCollection),
             self.logme_kernel.0,
             self.logme_kernel.1,
@@ -291,6 +291,7 @@ impl WorkbenchStats {
             self.similarity.1,
             self.disk.hits,
             self.disk.misses,
+            self.disk.rejected,
             self.disk.bytes_read,
             self.disk.bytes_written,
             decomp,
@@ -328,11 +329,14 @@ impl ZooRef<'_> {
 /// [`Workbench::from_parts`], do share — that is the registry's
 /// [`ZooHandle`](crate::registry::ZooHandle) shape.)
 ///
-/// With an artifact directory ([`Workbench::with_artifact_dir`] or
-/// `TG_ARTIFACT_DIR` via [`Workbench::from_env`]) the store adds a disk
-/// tier: previously [`persist`](Workbench::persist)ed collection artifacts
-/// of the *same zoo fingerprint* are served instead of recomputed, making a
-/// warm re-run collection-free while keeping results bit-identical.
+/// With an artifact directory ([`Workbench::open`] with
+/// [`StoreOptions::in_dir`], or `TG_ARTIFACT_DIR` via
+/// [`Workbench::from_env`]) the store adds a disk tier: previously
+/// [`persist`](Workbench::persist)ed collection artifacts of the *same zoo
+/// fingerprint* are served instead of recomputed, making a warm re-run
+/// collection-free while keeping results bit-identical. `TGARTv2` files
+/// are served in place (mmap where available); see [`crate::store`] for
+/// the tiering and the cross-process merge-on-persist protocol.
 ///
 /// ```
 /// use tg_zoo::{Modality, ModelZoo, ZooConfig};
@@ -360,21 +364,30 @@ impl<'z> Workbench<'z> {
         }
     }
 
-    /// Workbench whose store persists to (and warms from) `dir`.
-    pub fn with_artifact_dir(zoo: &'z ModelZoo, dir: impl Into<PathBuf>) -> Self {
+    /// Workbench whose store is backed per `options` — the primary
+    /// disk-backed constructor. Existing artifacts of this zoo's
+    /// fingerprint are warmed immediately.
+    pub fn open(zoo: &'z ModelZoo, options: StoreOptions) -> Self {
         Workbench {
-            store: Arc::new(ArtifactStore::with_dir(zoo.config.fingerprint(), dir)),
+            store: Arc::new(ArtifactStore::open(zoo.config.fingerprint(), options)),
             zoo: ZooRef::Borrowed(zoo),
         }
     }
 
-    /// Workbench configured from `TG_ARTIFACT_DIR`: disk-backed when the
-    /// variable is set and non-empty, memory-only otherwise.
+    /// Workbench whose store persists to (and warms from) `dir`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Workbench::open(zoo, StoreOptions::in_dir(dir))`"
+    )]
+    pub fn with_artifact_dir(zoo: &'z ModelZoo, dir: impl Into<PathBuf>) -> Self {
+        Self::open(zoo, StoreOptions::in_dir(dir))
+    }
+
+    /// Workbench configured from the environment: disk-backed when
+    /// `TG_ARTIFACT_DIR` is set and non-empty (with `TG_ARTIFACT_MMAP`
+    /// choosing the warm-start backing), memory-only otherwise.
     pub fn from_env(zoo: &'z ModelZoo) -> Self {
-        Workbench {
-            store: Arc::new(ArtifactStore::from_env(zoo.config.fingerprint())),
-            zoo: ZooRef::Borrowed(zoo),
-        }
+        Self::open(zoo, StoreOptions::from_env())
     }
 
     /// Workbench view over a shared zoo and a shared store — the ownership
@@ -424,8 +437,14 @@ impl<'z> Workbench<'z> {
     /// (Re)loads persisted artifacts of this zoo's fingerprint from the
     /// artifact directory, returning the number of disk-tier entries now
     /// available. A no-op returning 0 without an artifact directory.
+    pub fn warm(&self) -> usize {
+        self.store.warm()
+    }
+
+    /// Former name of [`warm`](Workbench::warm).
+    #[deprecated(since = "0.1.0", note = "renamed to `Workbench::warm`")]
     pub fn warm_from_disk(&self) -> usize {
-        self.store.warm_from_disk()
+        self.warm()
     }
 
     /// The workbench's stage timers (used by [`mod@crate::evaluate`] to

@@ -45,6 +45,7 @@ pub mod config;
 pub mod evaluate;
 pub mod explain;
 pub mod features;
+pub(crate) mod format;
 pub mod inductive;
 pub mod metrics;
 pub mod pipeline;
@@ -52,9 +53,11 @@ pub mod recommend;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod store;
 pub mod strategy;
 pub(crate) mod sync;
+pub(crate) mod tier;
 
 pub use artifacts::{Stage, Workbench, WorkbenchStats};
 pub use coalesce::{CoalesceStats, Coalescer};
@@ -66,5 +69,9 @@ pub use registry::{
     REGISTRY_MAX_ZOOS_ENV,
 };
 pub use runner::{run_jobs, run_over_targets, EvalJob, RunSummary};
-pub use store::{ArtifactStore, DiskStats, PersistStats, ARTIFACT_DIR_ENV};
+pub use shard::{ShardConfig, ShardMap, SHARD_SELF_ENV, SHARD_SLOTS_ENV};
+pub use store::{
+    ArtifactKind, ArtifactStore, DiskStats, PersistStats, StoreOptions, TierKind, TierStats,
+    ARTIFACT_DIR_ENV, ARTIFACT_MMAP_ENV,
+};
 pub use strategy::Strategy;

@@ -43,7 +43,8 @@ use tg_zoo::{DatasetId, Modality, ModelZoo, ZooConfig};
 use crate::artifacts::Workbench;
 use crate::config::Representation;
 use crate::inductive::{InductiveConfig, InductiveEmbedder};
-use crate::store::{dir_from_env, ArtifactStore, PersistStats};
+use crate::shard::{ShardConfig, ShardMap};
+use crate::store::{dir_from_env, mmap_from_env, ArtifactStore, PersistStats, StoreOptions};
 use crate::sync::{rank_guard, unpoisoned, Rank};
 
 /// Environment variable bounding the number of resident zoos. Unset, empty
@@ -74,13 +75,10 @@ pub struct ZooHandle {
 }
 
 impl ZooHandle {
-    fn build(config: &ZooConfig, dir: Option<&PathBuf>) -> Arc<Self> {
+    fn build(config: &ZooConfig, store_options: StoreOptions) -> Arc<Self> {
         let fingerprint = config.fingerprint();
         let zoo = Arc::new(ModelZoo::build(config));
-        let store = Arc::new(match dir {
-            Some(d) => ArtifactStore::with_dir(fingerprint, d.clone()),
-            None => ArtifactStore::new(fingerprint),
-        });
+        let store = Arc::new(ArtifactStore::open(fingerprint, store_options));
         let workbench = Workbench::from_parts(Arc::clone(&zoo), Arc::clone(&store));
         Arc::new(ZooHandle {
             zoo,
@@ -188,19 +186,36 @@ pub struct RegistryStats {
     pub builds: u64,
     /// Handles evicted from the memory tier.
     pub evictions: u64,
+    /// Process slots in the shard ring (1 = sharding off).
+    pub shard_slots: u64,
+    /// This process's slot in the ring.
+    pub shard_self: u64,
+    /// Resident zoos whose fingerprint this process owns (persist-enabled).
+    pub resident_owned: u64,
+    /// Resident zoos served read-only on behalf of other slots.
+    pub resident_foreign: u64,
 }
 
 impl RegistryStats {
     /// One-line rendering for run summaries.
     pub fn render(&self) -> String {
+        let shard = if self.shard_slots > 1 {
+            format!(
+                " | shard slot {}/{}: {} owned, {} foreign",
+                self.shard_self, self.shard_slots, self.resident_owned, self.resident_foreign,
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "registry: {} resident (~{}B), routes {}h/{}m, {} built, {} evicted",
+            "registry: {} resident (~{}B), routes {}h/{}m, {} built, {} evicted{}",
             self.resident,
             self.resident_bytes,
             self.route_hits,
             self.route_misses,
             self.builds,
             self.evictions,
+            shard,
         )
     }
 }
@@ -210,7 +225,7 @@ impl RegistryStats {
 // ---------------------------------------------------------------------------
 
 /// Bounds and disk configuration of a [`ZooRegistry`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RegistryOptions {
     /// Shared artifact directory: evicted handles persist here, and new
     /// handles warm from it. `None` disables the disk tier (eviction then
@@ -223,12 +238,34 @@ pub struct RegistryOptions {
     /// unbounded. The most recently routed handle is exempt, so one
     /// oversized zoo still serves.
     pub max_bytes: Option<u64>,
+    /// Prefer mmap-backed `TGARTv2` warm starts (default `true`); passed
+    /// through to every handle's [`StoreOptions`].
+    pub mmap: bool,
+    /// Consistent-hash sharding across server processes; `None` means
+    /// this process owns every fingerprint. With sharding on, handles for
+    /// fingerprints owned by *other* slots open their stores read-only:
+    /// they warm from (and serve) the shared artifacts but never persist.
+    pub shard: Option<ShardConfig>,
+}
+
+impl Default for RegistryOptions {
+    fn default() -> Self {
+        RegistryOptions {
+            artifact_dir: None,
+            max_zoos: None,
+            max_bytes: None,
+            mmap: true,
+            shard: None,
+        }
+    }
 }
 
 impl RegistryOptions {
     /// Options from the environment: artifact directory from
     /// `TG_ARTIFACT_DIR`, bounds from [`REGISTRY_MAX_ZOOS_ENV`] and
-    /// [`REGISTRY_MAX_BYTES_ENV`].
+    /// [`REGISTRY_MAX_BYTES_ENV`], mmap preference from
+    /// `TG_ARTIFACT_MMAP`, sharding from `TG_SHARD_SLOTS` /
+    /// `TG_SHARD_SELF` ([`ShardConfig::from_env`]).
     pub fn from_env() -> Self {
         let parse = |name: &str| {
             std::env::var(name)
@@ -240,6 +277,8 @@ impl RegistryOptions {
             artifact_dir: dir_from_env(),
             max_zoos: parse(REGISTRY_MAX_ZOOS_ENV).map(|v| v as usize),
             max_bytes: parse(REGISTRY_MAX_BYTES_ENV),
+            mmap: mmap_from_env(),
+            shard: ShardConfig::from_env(),
         }
     }
 }
@@ -283,6 +322,8 @@ struct Inner {
 /// ```
 pub struct ZooRegistry {
     options: RegistryOptions,
+    shard_map: ShardMap,
+    self_slot: usize,
     inner: Mutex<Inner>,
     clock: AtomicU64,
     route_hits: AtomicU64,
@@ -294,8 +335,17 @@ pub struct ZooRegistry {
 impl ZooRegistry {
     /// New registry with explicit options.
     pub fn new(options: RegistryOptions) -> Self {
+        let (shard_map, self_slot) = match options.shard {
+            Some(cfg) => (
+                ShardMap::new(cfg.slots, ShardMap::DEFAULT_VNODES),
+                cfg.self_slot,
+            ),
+            None => (ShardMap::single(), 0),
+        };
         ZooRegistry {
             options,
+            shard_map,
+            self_slot,
             inner: Mutex::new(Inner::default()),
             clock: AtomicU64::new(0),
             route_hits: AtomicU64::new(0),
@@ -314,6 +364,33 @@ impl ZooRegistry {
     /// The registry's options (bounds and artifact directory).
     pub fn options(&self) -> &RegistryOptions {
         &self.options
+    }
+
+    /// The consistent-hash ring mapping fingerprints to owner slots
+    /// (the trivial single-slot ring when sharding is off).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
+    /// This process's slot in the shard ring.
+    pub fn self_slot(&self) -> usize {
+        self.self_slot
+    }
+
+    /// Whether this process owns `fingerprint` under the shard map.
+    /// Owners persist artifacts; non-owners serve them read-only.
+    pub fn owns(&self, fingerprint: u64) -> bool {
+        self.shard_map.owner_of(fingerprint) == self.self_slot
+    }
+
+    /// Store options for one fingerprint: the registry's directory and
+    /// mmap preference, read-only unless this process owns it.
+    fn store_options(&self, fingerprint: u64) -> StoreOptions {
+        StoreOptions {
+            dir: self.options.artifact_dir.clone(),
+            mmap: self.options.mmap,
+            read_only: !self.owns(fingerprint),
+        }
     }
 
     /// Routes `config` to its resident handle, building (and warming from
@@ -347,7 +424,7 @@ impl ZooRegistry {
                 // is valid and bit-identical to a rebuild).
                 return Arc::clone(handle);
             }
-            let handle = ZooHandle::build(config, self.options.artifact_dir.as_ref());
+            let handle = ZooHandle::build(config, self.store_options(fingerprint));
             self.builds.fetch_add(1, Ordering::Relaxed);
             *cell = Some(Arc::clone(&handle));
             handle
@@ -407,7 +484,7 @@ impl ZooRegistry {
 
     /// Telemetry snapshot.
     pub fn stats(&self) -> RegistryStats {
-        let (resident, resident_bytes) = {
+        let (resident, resident_bytes, resident_owned, resident_foreign) = {
             let _rank = rank_guard(Rank::Registry);
             let inner = unpoisoned(self.inner.lock());
             let bytes = inner
@@ -415,7 +492,9 @@ impl ZooRegistry {
                 .values()
                 .map(|r| r.handle.resident_bytes())
                 .sum();
-            (inner.resident.len() as u64, bytes)
+            let owned = inner.resident.keys().filter(|&&fp| self.owns(fp)).count() as u64;
+            let total = inner.resident.len() as u64;
+            (total, bytes, owned, total - owned)
         };
         RegistryStats {
             resident,
@@ -424,6 +503,10 @@ impl ZooRegistry {
             route_misses: self.route_misses.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            shard_slots: self.shard_map.slots() as u64,
+            shard_self: self.self_slot as u64,
+            resident_owned,
+            resident_foreign,
         }
     }
 
@@ -715,6 +798,50 @@ mod tests {
         assert!(v1.iter().all(|x| x.is_finite()));
         let delta = handle.workbench().stats().delta_since(&before);
         assert!(delta.sampler_blocks > 0, "admission sampled blocks");
+    }
+
+    #[test]
+    fn non_owned_fingerprints_serve_read_only_and_never_persist() {
+        let dir = temp_registry_dir("shard-ro");
+        let map = ShardMap::new(2, ShardMap::DEFAULT_VNODES);
+        // Pick one config per owner slot; the ring is deterministic, so
+        // scanning seeds finds both quickly.
+        let cfg_for_slot = |slot: usize| {
+            (0..200u64)
+                .map(ZooConfig::small)
+                .find(|c| map.owner_of(c.fingerprint()) == slot)
+                .expect("some small config lands on each of two slots")
+        };
+        let owned_cfg = cfg_for_slot(0);
+        let foreign_cfg = cfg_for_slot(1);
+        let registry = ZooRegistry::new(RegistryOptions {
+            artifact_dir: Some(dir.clone()),
+            shard: Some(ShardConfig {
+                slots: 2,
+                self_slot: 0,
+            }),
+            ..RegistryOptions::default()
+        });
+        assert!(registry.owns(owned_cfg.fingerprint()));
+        assert!(!registry.owns(foreign_cfg.fingerprint()));
+
+        // The foreign handle computes and serves normally…
+        let handle = registry.get_or_build(&foreign_cfg);
+        assert!(handle.store().read_only());
+        let m = handle.zoo().models_of(Modality::Image)[0];
+        let t = handle.zoo().targets_of(Modality::Image)[0];
+        handle.workbench().logme(m, t);
+        // …but persisting is a no-op: only the owner slot writes.
+        handle.store().persist().unwrap();
+        assert_eq!(handle.store().disk_stats().bytes_written, 0);
+
+        let owned = registry.get_or_build(&owned_cfg);
+        assert!(!owned.store().read_only());
+        let stats = registry.stats();
+        assert_eq!((stats.shard_slots, stats.shard_self), (2, 0));
+        assert_eq!((stats.resident_owned, stats.resident_foreign), (1, 1));
+        assert!(stats.render().contains("shard slot 0/2"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

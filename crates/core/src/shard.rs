@@ -1,0 +1,191 @@
+//! Consistent-hash shard ownership: which server process *owns* a zoo
+//! fingerprint.
+//!
+//! Several `tg-serve` processes can share one `TG_ARTIFACT_DIR`. The
+//! advisory file locks (see `store.rs`) make concurrent persists
+//! *safe*; the [`ShardMap`] makes them *rare*: each fingerprint has
+//! exactly one owner slot, owners persist, and non-owners open their
+//! stores read-only — they still warm from (and serve) the shared
+//! artifacts, they just never write them.
+//!
+//! The map is a classic consistent-hash ring with
+//! [`ShardMap::DEFAULT_VNODES`] virtual nodes per slot: each slot
+//! contributes `vnodes` pseudo-random points (a splitmix64 mix of
+//! `(slot, vnode)` — no wall-clock, no RNG state, so every process
+//! computes the identical ring), and a fingerprint is owned by the
+//! slot of the first ring point at or after its own mixed position.
+//! Virtual nodes keep ownership balanced and, when the slot count
+//! changes, only ~1/slots of fingerprints move — resident warm state
+//! elsewhere stays valid.
+//!
+//! Configuration comes from two env knobs, read by
+//! [`ShardConfig::from_env`]: `TG_SHARD_SLOTS` (total process slots;
+//! unset, `0` or `1` means sharding off) and `TG_SHARD_SELF` (this
+//! process's slot, default `0`).
+
+/// Environment variable: total number of process slots in the shard
+/// ring. Unset, empty, `0` or `1` disables sharding (single-owner
+/// mode: this process owns every fingerprint).
+pub const SHARD_SLOTS_ENV: &str = "TG_SHARD_SLOTS";
+
+/// Environment variable: this process's slot index in `[0, slots)`.
+/// Defaults to `0`; out-of-range values clamp to the last slot.
+pub const SHARD_SELF_ENV: &str = "TG_SHARD_SELF";
+
+/// Shard-ring configuration of one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Total process slots on the ring (≥ 2 when sharding is on).
+    pub slots: usize,
+    /// This process's slot.
+    pub self_slot: usize,
+}
+
+impl ShardConfig {
+    /// Reads [`SHARD_SLOTS_ENV`] / [`SHARD_SELF_ENV`]; `None` when
+    /// sharding is off (slots unset, unparsable, `0` or `1`).
+    pub fn from_env() -> Option<ShardConfig> {
+        let slots: usize = std::env::var(SHARD_SLOTS_ENV).ok()?.trim().parse().ok()?;
+        if slots <= 1 {
+            return None;
+        }
+        let self_slot = std::env::var(SHARD_SELF_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        Some(ShardConfig {
+            slots,
+            self_slot: self_slot.min(slots - 1),
+        })
+    }
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed, build-stable hash.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Consistent-hash ring mapping zoo fingerprints to owner slots.
+///
+/// Deterministic: two processes constructing a map with the same slot
+/// count compute identical rings, so "am I the owner?" has one answer
+/// fleet-wide without any coordination.
+pub struct ShardMap {
+    slots: usize,
+    /// `(ring point, slot)` sorted by point.
+    ring: Vec<(u64, u32)>,
+}
+
+impl ShardMap {
+    /// Virtual nodes per slot: enough that ownership imbalance across
+    /// slots stays small (≲20% at typical fleet sizes) while the ring
+    /// stays tiny.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// The trivial single-slot map: slot 0 owns everything.
+    pub fn single() -> ShardMap {
+        ShardMap::new(1, 1)
+    }
+
+    /// A ring of `slots` process slots with `vnodes` virtual nodes
+    /// each. `slots` and `vnodes` are clamped to at least 1.
+    pub fn new(slots: usize, vnodes: usize) -> ShardMap {
+        let slots = slots.max(1);
+        let vnodes = vnodes.max(1);
+        let mut ring = Vec::with_capacity(slots * vnodes);
+        for slot in 0..slots {
+            for vnode in 0..vnodes {
+                // Mix twice so (slot, vnode) pairs that differ in one
+                // low bit land far apart on the ring.
+                let point = mix(mix(slot as u64).wrapping_add(vnode as u64));
+                ring.push((point, slot as u32));
+            }
+        }
+        ring.sort_unstable();
+        ShardMap { slots, ring }
+    }
+
+    /// Total process slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The slot owning `fingerprint`: the first ring point at or after
+    /// the fingerprint's mixed position, wrapping at the top.
+    pub fn owner_of(&self, fingerprint: u64) -> usize {
+        if self.slots == 1 {
+            return 0;
+        }
+        let point = mix(fingerprint);
+        let i = self.ring.partition_point(|&(p, _)| p < point);
+        let (_, slot) = self.ring[i % self.ring.len()];
+        slot as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_slot_owns_everything() {
+        let map = ShardMap::single();
+        for fp in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(map.owner_of(fp), 0);
+        }
+    }
+
+    #[test]
+    fn ownership_is_deterministic_across_instances() {
+        let a = ShardMap::new(5, ShardMap::DEFAULT_VNODES);
+        let b = ShardMap::new(5, ShardMap::DEFAULT_VNODES);
+        for fp in 0..500u64 {
+            assert_eq!(a.owner_of(fp), b.owner_of(fp));
+        }
+    }
+
+    #[test]
+    fn every_slot_owns_a_reasonable_share() {
+        let slots = 4;
+        let map = ShardMap::new(slots, ShardMap::DEFAULT_VNODES);
+        let mut counts = vec![0usize; slots];
+        let n = 4000u64;
+        for fp in 0..n {
+            counts[map.owner_of(fp)] += 1;
+        }
+        let fair = n as usize / slots;
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(
+                c > fair / 3 && c < fair * 3,
+                "slot {slot} owns {c} of {n} (fair share {fair}): ring too unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_a_fraction_of_keys() {
+        let before = ShardMap::new(4, ShardMap::DEFAULT_VNODES);
+        let after = ShardMap::new(5, ShardMap::DEFAULT_VNODES);
+        let n = 4000u64;
+        let moved = (0..n)
+            .filter(|&fp| before.owner_of(fp) != after.owner_of(fp))
+            .count();
+        // Ideal is n/5; consistent hashing should stay well under half.
+        assert!(
+            moved < n as usize / 2,
+            "{moved} of {n} keys moved when adding one slot"
+        );
+    }
+
+    #[test]
+    fn config_parses_and_clamps() {
+        // Env-free construction paths only (env mutation is reserved
+        // for the serial env tests elsewhere): clamp logic is in `new`.
+        let map = ShardMap::new(0, 0);
+        assert_eq!(map.slots(), 1);
+        assert_eq!(map.owner_of(9), 0);
+    }
+}

@@ -1,33 +1,41 @@
-//! The two-tier [`ArtifactStore`]: the caching spine behind the
+//! The tiered [`ArtifactStore`]: the caching spine behind the
 //! [`Workbench`](crate::artifacts::Workbench).
 //!
 //! The paper observes that feature collection (Fig. 5, steps ①–④) "can be
 //! achieved offline": LogME scores, probe embeddings and pairwise
 //! similarities are pure functions of the zoo. The store exploits that with
-//! two tiers:
+//! a memory tier plus an optional disk tier behind the internal `Tier`
+//! abstraction (`crates/core/src/tier.rs`):
 //!
-//! * an **in-memory tier** — sharded `RwLock<HashMap>`s (`ShardedCache`)
-//!   shared by every worker thread of a process;
-//! * an optional **disk tier** — plain little-endian binary files, one per
-//!   cache, keyed by a [zoo fingerprint](tg_zoo::ZooConfig::fingerprint) so
-//!   artifacts of one world are never replayed into another. Files are
-//!   written atomically (temp file + rename) and corrupted, truncated or
-//!   mismatched files are silently ignored: the value is recomputed and the
-//!   file rewritten on the next [`ArtifactStore::persist`].
+//! * the **memory tier** — sharded `RwLock<HashMap>`s shared by every
+//!   worker thread of a process;
+//! * the **warm tier** — one artifact file per cache under
+//!   `TG_ARTIFACT_DIR`, keyed by a
+//!   [zoo fingerprint](tg_zoo::ZooConfig::fingerprint) so artifacts of one
+//!   world are never replayed into another. `TGARTv2` files (format in
+//!   `crates/core/src/format.rs` and DESIGN.md §3c) are served in place — mmap where available, one
+//!   buffered read otherwise — while legacy `TGARTv1` files decode
+//!   wholesale and are rewritten as v2 on the next
+//!   [`persist`](ArtifactStore::persist).
 //!
-//! Persisting is coordinated, not last-writer-wins: writers of the same
-//! fingerprint serialise on a process-wide per-fingerprint lock, and each
-//! write *merges* with whatever a concurrent store (or an earlier process)
-//! already put in the file, so two stores that each computed a disjoint
-//! slice of the artifact grid both survive a pair of persists. Values are
-//! pure functions of their key, so overlapping entries are bit-identical
-//! and merge order is immaterial.
+//! Persisting is coordinated *across processes*, not last-writer-wins:
+//! writers of the same fingerprint serialise on a per-fingerprint advisory
+//! file lock ([`tg_sync::LockFile`], rank `file_lock`), and each write
+//! *merges* with whatever the file currently holds — lock → re-read →
+//! union → temp-file + rename. Values are pure functions of their key, so
+//! overlapping entries are bit-identical and merge order is immaterial.
 //!
-//! A lookup falls through memory → disk → compute. Disk-tier hits, misses
-//! and I/O volume are counted ([`DiskStats`]) and surfaced in
+//! Which caches a store is *allowed* to persist is a sharding decision:
+//! [`StoreOptions::read_only`] (set by the registry for fingerprints this
+//! process does not own — see [`crate::shard`]) turns `persist` into a
+//! no-op while warm reads keep working.
+//!
+//! A lookup falls through memory → warm tier → compute. Disk-tier hits,
+//! misses, I/O volume and — new in v2 — *rejected files* (corrupt,
+//! truncated, foreign) are counted ([`DiskStats`]) and surfaced in
 //! [`WorkbenchStats`](crate::artifacts::WorkbenchStats) / the runner's
-//! `RunSummary`, so a warm re-run is *verifiably* collection-free: zero
-//! cache misses, nonzero disk hits.
+//! `RunSummary`, so a warm re-run is *verifiably* collection-free and a
+//! corrupted artifact directory is distinguishable from a cold one.
 //!
 //! No serde: every record is a fixed little-endian layout (`u64` ids, `f64`
 //! bits, length-prefixed slices), making the format trivially stable across
@@ -35,30 +43,30 @@
 //! workbench produces predictions bit-identical to a cold one.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::Arc;
 
 use tg_zoo::{DatasetId, ModelId};
 
 use crate::artifacts::Telemetry;
 use crate::config::Representation;
-use crate::sync::{rank_guard, unpoisoned, Rank};
-
-/// Magic prefix of every artifact file (8 bytes, version-tagged).
-const MAGIC: [u8; 8] = *b"TGARTv1\0";
-
-/// Number of lock shards per in-memory cache. A small power of two: enough
-/// to keep writer contention negligible for tens of worker threads without
-/// bloating the struct.
-const SHARDS: usize = 16;
+use crate::format::{encode_v2, ArtifactView, Backing, MAGIC_V1, MAGIC_V2};
+use crate::sync::LockFile;
+use crate::tier::{DecodedTier, MappedTier, TieredCache};
+pub use crate::tier::{TierKind, TierStats};
 
 /// Environment variable naming the artifact directory. When set (and
 /// non-empty), workbenches built via `Workbench::from_env` read previously
 /// persisted collection artifacts from it and `persist()` writes into it.
 pub const ARTIFACT_DIR_ENV: &str = "TG_ARTIFACT_DIR";
+
+/// Environment variable toggling the mmap backing of `TGARTv2` warm
+/// starts. Defaults to on; set to `0`, `off` or `false` to force the
+/// portable read-into-memory backing instead.
+pub const ARTIFACT_MMAP_ENV: &str = "TG_ARTIFACT_MMAP";
 
 // ---------------------------------------------------------------------------
 // Disk codec
@@ -68,7 +76,9 @@ pub const ARTIFACT_DIR_ENV: &str = "TG_ARTIFACT_DIR";
 ///
 /// Implementations must be injective and self-delimiting: `decode` consumes
 /// exactly the bytes `encode` produced and returns `None` on truncation or
-/// an invalid tag (the caller then discards the whole file).
+/// an invalid tag (the caller then discards the whole file). Every
+/// encoding is a whole number of u64 words — that is what keeps `TGARTv2`
+/// payload records 8-byte aligned for free.
 pub trait DiskCodec: Sized {
     /// Appends the little-endian encoding of `self` to `out`.
     fn encode(&self, out: &mut Vec<u8>);
@@ -185,173 +195,136 @@ impl<A: DiskCodec, B: DiskCodec, C: DiskCodec> DiskCodec for (A, B, C) {
 }
 
 // ---------------------------------------------------------------------------
-// In-memory tier
+// Artifact kinds
 // ---------------------------------------------------------------------------
 
-/// A concurrent map sharded across [`SHARDS`] reader-writer locks. Pure
-/// storage: hit/miss accounting lives in the [`TieredCache`] wrapper.
-pub(crate) struct ShardedCache<K, V> {
-    shards: Vec<RwLock<HashMap<K, V>>>,
+/// The four persisted artifact kinds, replacing the stringly-typed cache
+/// names of the v1 surface. The kind names the file
+/// (`{fingerprint:016x}.{file_stem}.bin`) and tags the `TGARTv2` header,
+/// so a file renamed across kinds is rejected at parse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// Per-(model, target) LogME transferability scores.
+    LogMe,
+    /// Domain-similarity probe embeddings per dataset.
+    DsEmbed,
+    /// Task2Vec probe embeddings per dataset.
+    T2vEmbed,
+    /// Pairwise dataset similarities per representation.
+    Similarity,
 }
 
-impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
-    fn new() -> Self {
-        ShardedCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+impl ArtifactKind {
+    /// Every kind, in persist order.
+    pub const ALL: [ArtifactKind; 4] = [
+        ArtifactKind::LogMe,
+        ArtifactKind::DsEmbed,
+        ArtifactKind::T2vEmbed,
+        ArtifactKind::Similarity,
+    ];
+
+    /// The file-name stem (unchanged from v1, so v1 files are found and
+    /// migrated in place).
+    pub fn file_stem(self) -> &'static str {
+        match self {
+            ArtifactKind::LogMe => "logme",
+            ArtifactKind::DsEmbed => "ds-embed",
+            ArtifactKind::T2vEmbed => "t2v-embed",
+            ArtifactKind::Similarity => "similarity",
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
-    }
-
-    fn get(&self, key: &K) -> Option<V> {
-        let _rank = rank_guard(Rank::CacheShard);
-        unpoisoned(self.shard(key).read()).get(key).cloned()
-    }
-
-    /// Inserts `value` unless the key is already present (first insert wins —
-    /// cached values are pure functions of the key, so a racing duplicate is
-    /// bit-identical) and returns the stored value.
-    fn insert(&self, key: K, value: V) -> V {
-        let _rank = rank_guard(Rank::CacheShard);
-        unpoisoned(self.shard(&key).write())
-            .entry(key)
-            .or_insert(value)
-            .clone()
-    }
-
-    fn len(&self) -> usize {
-        let _rank = rank_guard(Rank::CacheShard);
-        self.shards
-            .iter()
-            .map(|shard| unpoisoned(shard.read()).len())
-            .sum()
-    }
-
-    fn for_each(&self, mut f: impl FnMut(&K, &V)) {
-        let _rank = rank_guard(Rank::CacheShard);
-        for shard in &self.shards {
-            for (k, v) in unpoisoned(shard.read()).iter() {
-                f(k, v);
-            }
+    /// The kind tag written into the `TGARTv2` header.
+    pub fn tag(self) -> u64 {
+        match self {
+            ArtifactKind::LogMe => 1,
+            ArtifactKind::DsEmbed => 2,
+            ArtifactKind::T2vEmbed => 3,
+            ArtifactKind::Similarity => 4,
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Tiered cache
+// Options
 // ---------------------------------------------------------------------------
 
-/// One named cache with a memory tier, a disk-loaded tier and counters.
-///
-/// A lookup falls through: memory hit → disk hit (promoted into memory) →
-/// compute (counted as a miss; a disk miss too when the disk tier is
-/// enabled). The miss counter therefore equals the number of *computations*,
-/// which is what makes "zero misses on a warm run" a meaningful assertion.
-pub(crate) struct TieredCache<K, V> {
-    name: &'static str,
-    mem: ShardedCache<K, V>,
-    /// Snapshot loaded from the artifact file; read-mostly after warm-up.
-    disk: RwLock<HashMap<K, V>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    disk_hits: AtomicU64,
-    disk_misses: AtomicU64,
+/// How an [`ArtifactStore`] backs itself, replacing the positional
+/// `with_dir`-style constructors of the v1 surface.
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Artifact directory; `None` means memory-only.
+    pub dir: Option<PathBuf>,
+    /// Prefer the mmap backing for `TGARTv2` warm starts (falls back to
+    /// a buffered read when mapping is unavailable). Default `true`.
+    pub mmap: bool,
+    /// Serve warm state but never persist. Set by the registry for
+    /// fingerprints this process does not own under the shard map.
+    pub read_only: bool,
 }
 
-impl<K: Eq + Hash + Clone, V: Clone> TieredCache<K, V> {
-    fn new(name: &'static str) -> Self {
-        TieredCache {
-            name,
-            mem: ShardedCache::new(),
-            disk: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            disk_misses: AtomicU64::new(0),
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            dir: None,
+            mmap: true,
+            read_only: false,
         }
-    }
-
-    /// Returns the cached value for `key`, computing and inserting it when
-    /// both tiers miss. `compute` runs *outside* any lock.
-    pub(crate) fn get_or_insert_with(
-        &self,
-        key: K,
-        disk_enabled: bool,
-        compute: impl FnOnce() -> V,
-    ) -> V {
-        if let Some(v) = self.mem.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return v;
-        }
-        if disk_enabled {
-            let found = {
-                let _rank = rank_guard(Rank::StoreShard);
-                unpoisoned(self.disk.read()).get(&key).cloned()
-            };
-            if let Some(v) = found {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                return self.mem.insert(key, v);
-            }
-            self.disk_misses.fetch_add(1, Ordering::Relaxed);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = compute();
-        self.mem.insert(key, v)
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.mem.len()
-    }
-
-    /// Approximate heap footprint of both tiers, using `entry` to cost one
-    /// (key, value) pair. Entries promoted from disk into memory are counted
-    /// twice — acceptable for an eviction heuristic, which only needs a
-    /// stable over-estimate.
-    fn approx_bytes(&self, entry: impl Fn(&K, &V) -> u64) -> u64 {
-        let mut total = 0;
-        self.mem.for_each(|k, v| total += entry(k, v));
-        let _rank = rank_guard(Rank::StoreShard);
-        for (k, v) in unpoisoned(self.disk.read()).iter() {
-            total += entry(k, v);
-        }
-        total
-    }
-
-    pub(crate) fn counters(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
-    }
-
-    fn disk_counters(&self) -> (u64, u64) {
-        (
-            self.disk_hits.load(Ordering::Relaxed),
-            self.disk_misses.load(Ordering::Relaxed),
-        )
     }
 }
 
-/// Process-wide per-fingerprint write lock taken for the whole of one
-/// [`ArtifactStore::persist`] call. Serialising writers of the same
-/// fingerprint makes the read-merge-write sequence atomic within a process,
-/// which is what upgrades persist from last-writer-wins to a true union
-/// (cross-process writers still converge because every write re-merges the
-/// current file contents).
-fn persist_lock(fingerprint: u64) -> Arc<Mutex<()>> {
-    // The map lock is a short-lived meta-lock (clone an Arc out, release);
-    // it never nests with the serving-layer locks, so it sits outside the
-    // ranked order.
-    static LOCKS: OnceLock<Mutex<HashMap<u64, Arc<Mutex<()>>>>> = OnceLock::new();
-    unpoisoned(LOCKS.get_or_init(|| Mutex::new(HashMap::new())).lock())
-        .entry(fingerprint)
-        .or_default()
-        .clone()
+impl StoreOptions {
+    /// Options with a disk tier rooted at `dir` (mmap on, writable).
+    pub fn in_dir(dir: impl Into<PathBuf>) -> StoreOptions {
+        StoreOptions {
+            dir: Some(dir.into()),
+            ..StoreOptions::default()
+        }
+    }
+
+    /// Options from the environment: [`ARTIFACT_DIR_ENV`] for the
+    /// directory, [`ARTIFACT_MMAP_ENV`] for the backing preference.
+    pub fn from_env() -> StoreOptions {
+        StoreOptions {
+            dir: dir_from_env(),
+            mmap: mmap_from_env(),
+            read_only: false,
+        }
+    }
+
+    /// Returns these options with `read_only` replaced.
+    pub fn read_only(mut self, read_only: bool) -> StoreOptions {
+        self.read_only = read_only;
+        self
+    }
+
+    /// Returns these options with the mmap preference replaced.
+    pub fn mmap(mut self, mmap: bool) -> StoreOptions {
+        self.mmap = mmap;
+        self
+    }
+}
+
+/// Reads the artifact directory from the environment; `None` when unset or
+/// empty.
+pub fn dir_from_env() -> Option<PathBuf> {
+    let v = std::env::var_os(ARTIFACT_DIR_ENV)?;
+    if v.is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(v))
+}
+
+/// Reads the mmap preference from [`ARTIFACT_MMAP_ENV`]; on unless
+/// explicitly disabled.
+pub(crate) fn mmap_from_env() -> bool {
+    match std::env::var(ARTIFACT_MMAP_ENV) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false"
+        ),
+        Err(_) => true,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -359,7 +332,8 @@ fn persist_lock(fingerprint: u64) -> Arc<Mutex<()>> {
 // ---------------------------------------------------------------------------
 
 /// Disk-tier counters: lookups served from persisted artifacts, lookups
-/// that had to compute despite an enabled disk tier, and I/O volume.
+/// that had to compute despite an enabled disk tier, I/O volume, and
+/// files refused at warm start.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DiskStats {
     /// Lookups answered by the disk tier (each also counts as a cache hit).
@@ -367,10 +341,17 @@ pub struct DiskStats {
     /// Lookups that missed an *enabled* disk tier (0 when no artifact
     /// directory is configured).
     pub misses: u64,
-    /// Bytes of artifact files successfully loaded.
+    /// Bytes of artifact files read at warm start. `TGARTv2` mapped warm
+    /// starts charge only the header + index actually parsed; payload
+    /// pages fault in on demand and are not counted here.
     pub bytes_read: u64,
     /// Bytes of artifact files written by [`ArtifactStore::persist`].
     pub bytes_written: u64,
+    /// Artifact files refused at warm start: corrupt, truncated,
+    /// kind-mismatched or carrying a foreign fingerprint. A *missing*
+    /// file (plain cold start) does not count — a nonzero value here
+    /// means the artifact directory holds bytes this store refused.
+    pub rejected: u64,
 }
 
 impl DiskStats {
@@ -381,6 +362,7 @@ impl DiskStats {
             misses: self.misses - earlier.misses,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            rejected: self.rejected - earlier.rejected,
         }
     }
 }
@@ -398,7 +380,7 @@ pub struct PersistStats {
 // The store
 // ---------------------------------------------------------------------------
 
-/// Two-tier cache of every feature-collection artifact of one zoo.
+/// Tiered cache of every feature-collection artifact of one zoo.
 ///
 /// The store is zoo-*keyed* but zoo-agnostic: it never computes anything
 /// itself. The [`Workbench`](crate::artifacts::Workbench) is the thin view
@@ -406,9 +388,10 @@ pub struct PersistStats {
 /// closures.
 pub struct ArtifactStore {
     fingerprint: u64,
-    dir: Option<PathBuf>,
+    options: StoreOptions,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    disk_rejected: AtomicU64,
     pub(crate) logme: TieredCache<(ModelId, DatasetId), f64>,
     pub(crate) ds_embed: TieredCache<DatasetId, Arc<[f64]>>,
     pub(crate) t2v_embed: TieredCache<DatasetId, Arc<[f64]>>,
@@ -419,47 +402,74 @@ pub struct ArtifactStore {
 impl ArtifactStore {
     /// Memory-only store for the given zoo fingerprint.
     pub fn new(fingerprint: u64) -> Self {
+        // Per-entry byte costs for the eviction heuristic: payload plus
+        // ~32B of HashMap bucket/entry overhead.
         ArtifactStore {
             fingerprint,
-            dir: None,
+            options: StoreOptions::default(),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
-            logme: TieredCache::new("logme"),
-            ds_embed: TieredCache::new("ds-embed"),
-            t2v_embed: TieredCache::new("t2v-embed"),
-            similarity: TieredCache::new("similarity"),
+            disk_rejected: AtomicU64::new(0),
+            logme: TieredCache::new(ArtifactKind::LogMe, |_, _| 32 + 16 + 8),
+            ds_embed: TieredCache::new(ArtifactKind::DsEmbed, |_, v| {
+                32 + 8 + 16 + v.len() as u64 * 8
+            }),
+            t2v_embed: TieredCache::new(ArtifactKind::T2vEmbed, |_, v| {
+                32 + 8 + 16 + v.len() as u64 * 8
+            }),
+            similarity: TieredCache::new(ArtifactKind::Similarity, |_, _| 32 + 24 + 8),
             telemetry: Telemetry::default(),
         }
     }
 
-    /// Store with a disk tier rooted at `dir`. Existing artifact files for
-    /// this fingerprint are loaded immediately (see
-    /// [`warm_from_disk`](ArtifactStore::warm_from_disk)); the directory is
-    /// created lazily on the first [`persist`](ArtifactStore::persist).
-    pub fn with_dir(fingerprint: u64, dir: impl Into<PathBuf>) -> Self {
+    /// Store backed per `options`. With a directory configured, existing
+    /// artifact files for this fingerprint are loaded immediately (see
+    /// [`warm`](ArtifactStore::warm)); the directory itself is created
+    /// lazily on the first [`persist`](ArtifactStore::persist).
+    pub fn open(fingerprint: u64, options: StoreOptions) -> Self {
         let mut store = Self::new(fingerprint);
-        store.dir = Some(dir.into());
-        store.warm_from_disk();
+        store.options = options;
+        store.warm();
         store
     }
 
-    /// Store configured from the [`ARTIFACT_DIR_ENV`] environment variable:
-    /// a disk tier when set and non-empty, memory-only otherwise.
+    /// Store with a disk tier rooted at `dir`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ArtifactStore::open(fp, StoreOptions::in_dir(dir))`"
+    )]
+    pub fn with_dir(fingerprint: u64, dir: impl Into<PathBuf>) -> Self {
+        Self::open(fingerprint, StoreOptions::in_dir(dir))
+    }
+
+    /// Store configured from the environment.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ArtifactStore::open(fp, StoreOptions::from_env())`"
+    )]
     pub fn from_env(fingerprint: u64) -> Self {
-        match dir_from_env() {
-            Some(dir) => Self::with_dir(fingerprint, dir),
-            None => Self::new(fingerprint),
-        }
+        Self::open(fingerprint, StoreOptions::from_env())
     }
 
     /// The artifact directory, when a disk tier is configured.
     pub fn dir(&self) -> Option<&Path> {
-        self.dir.as_deref()
+        self.options.dir.as_deref()
     }
 
     /// Whether lookups consult a disk tier.
     pub fn disk_enabled(&self) -> bool {
-        self.dir.is_some()
+        self.options.dir.is_some()
+    }
+
+    /// Whether [`persist`](ArtifactStore::persist) is disabled (shard
+    /// non-owners serve warm state read-only).
+    pub fn read_only(&self) -> bool {
+        self.options.read_only
+    }
+
+    /// The options this store was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
     }
 
     /// The zoo fingerprint keying this store's artifact files.
@@ -468,52 +478,68 @@ impl ArtifactStore {
     }
 
     /// (Re)loads every artifact file of this fingerprint from the disk
-    /// directory into the disk tier, returning the number of entries now
-    /// available for disk-tier lookups. Missing, truncated, corrupted or
-    /// fingerprint-mismatched files are ignored (their entries simply
-    /// recompute). A no-op returning 0 without a configured directory.
-    pub fn warm_from_disk(&self) -> usize {
-        let Some(dir) = self.dir.clone() else {
+    /// directory into the warm tier, returning the number of entries now
+    /// available for disk-tier lookups. `TGARTv2` files are served in
+    /// place (mapped when [`StoreOptions::mmap`] allows); legacy
+    /// `TGARTv1` files decode wholesale. Missing files simply leave a
+    /// cache cold; truncated, corrupted, kind-mismatched or
+    /// fingerprint-mismatched files are refused *and counted* in
+    /// [`DiskStats::rejected`]. A no-op returning 0 without a configured
+    /// directory.
+    pub fn warm(&self) -> usize {
+        let Some(dir) = self.options.dir.clone() else {
             return 0;
         };
-        self.load_cache(&self.logme, &dir)
-            + self.load_cache(&self.ds_embed, &dir)
-            + self.load_cache(&self.t2v_embed, &dir)
-            + self.load_cache(&self.similarity, &dir)
+        self.warm_cache(&self.logme, &dir)
+            + self.warm_cache(&self.ds_embed, &dir)
+            + self.warm_cache(&self.t2v_embed, &dir)
+            + self.warm_cache(&self.similarity, &dir)
     }
 
-    /// Writes every cache to the artifact directory, one file per cache,
-    /// atomically (temp file + rename). A no-op without a configured
-    /// directory.
+    /// Former name of [`warm`](ArtifactStore::warm).
+    #[deprecated(since = "0.1.0", note = "renamed to `ArtifactStore::warm`")]
+    pub fn warm_from_disk(&self) -> usize {
+        self.warm()
+    }
+
+    /// Writes every cache to the artifact directory, one `TGARTv2` file
+    /// per cache, atomically (temp file + rename). A no-op without a
+    /// configured directory or with [`StoreOptions::read_only`] set.
     ///
-    /// Concurrent writers of the same fingerprint are *merged*, not raced:
-    /// the call holds a process-wide per-fingerprint write lock and each
-    /// file is rewritten as the union of (current file contents) ∪ (disk
-    /// tier) ∪ (memory tier). Entries computed by another store of the same
-    /// zoo are therefore preserved — and since every cached value is a pure
-    /// function of its key, overlapping entries are bit-identical.
+    /// Concurrent writers of the same fingerprint — *including other
+    /// processes* — are merged, not raced: the call holds a
+    /// per-fingerprint advisory file lock ([`tg_sync::LockFile`],
+    /// `{fingerprint:016x}.lock` in the artifact directory) across the
+    /// whole read-union-write sequence, and each file is rewritten as the
+    /// union of (current file contents) ∪ (warm tier) ∪ (memory tier).
+    /// Entries computed by another store of the same zoo are therefore
+    /// preserved — and since every cached value is a pure function of its
+    /// key, overlapping entries are bit-identical. Legacy `TGARTv1` files
+    /// are unioned in and come out as v2: persist *is* the migration.
     ///
     /// ```
-    /// use transfergraph::ArtifactStore;
+    /// use transfergraph::{ArtifactStore, StoreOptions};
     ///
     /// let dir = std::env::temp_dir().join("tg-doc-persist");
-    /// let store = ArtifactStore::with_dir(0xFEED, &dir);
+    /// let store = ArtifactStore::open(0xFEED, StoreOptions::in_dir(&dir));
     /// // (caches fill via the Workbench in real use)
     /// let stats = store.persist()?;
     /// // A fresh store over the same dir + fingerprint starts warm.
-    /// let warm = ArtifactStore::with_dir(0xFEED, &dir);
-    /// assert_eq!(warm.warm_from_disk(), stats.entries as usize);
+    /// let warm = ArtifactStore::open(0xFEED, StoreOptions::in_dir(&dir));
+    /// assert_eq!(warm.warm(), stats.entries as usize);
     /// # std::fs::remove_dir_all(&dir).ok();
     /// # Ok::<(), std::io::Error>(())
     /// ```
     pub fn persist(&self) -> io::Result<PersistStats> {
-        let Some(dir) = self.dir.clone() else {
+        let Some(dir) = self.options.dir.clone() else {
             return Ok(PersistStats::default());
         };
+        if self.options.read_only {
+            return Ok(PersistStats::default());
+        }
         std::fs::create_dir_all(&dir)?;
-        let persist = persist_lock(self.fingerprint);
-        let _rank = rank_guard(Rank::StoreShard);
-        let _guard = unpoisoned(persist.lock());
+        let lockfile = LockFile::open(&dir.join(format!("{:016x}.lock", self.fingerprint)))?;
+        let _flock = lockfile.lock()?;
         let mut stats = PersistStats::default();
         self.persist_cache(&self.logme, &dir, &mut stats)?;
         self.persist_cache(&self.ds_embed, &dir, &mut stats)?;
@@ -522,18 +548,18 @@ impl ArtifactStore {
         Ok(stats)
     }
 
-    /// Approximate heap bytes held by this store's caches (both tiers).
+    /// Approximate bytes held by this store's caches (both tiers).
     ///
-    /// The estimate prices each entry at its payload size plus a flat
-    /// per-entry `HashMap` overhead; it is meant for the registry's
+    /// Memory entries are priced at payload size plus a flat per-entry
+    /// `HashMap` overhead; a warm tier contributes its backing file size
+    /// (for a mapped tier that is page cache, not heap, but it bounds
+    /// what serving the tier can touch). Meant for the registry's
     /// byte-bounded eviction policy, not exact accounting.
     pub fn resident_bytes(&self) -> u64 {
-        // key/value payload + ~32B of HashMap bucket/entry overhead.
-        let embed = |_: &DatasetId, v: &Arc<[f64]>| 32 + 8 + 16 + v.len() as u64 * 8;
-        self.logme.approx_bytes(|_, _| 32 + 16 + 8)
-            + self.similarity.approx_bytes(|_, _| 32 + 24 + 8)
-            + self.ds_embed.approx_bytes(embed)
-            + self.t2v_embed.approx_bytes(embed)
+        self.logme.approx_bytes()
+            + self.similarity.approx_bytes()
+            + self.ds_embed.approx_bytes()
+            + self.t2v_embed.approx_bytes()
     }
 
     /// Snapshot of the disk-tier counters.
@@ -557,31 +583,78 @@ impl ArtifactStore {
             misses,
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            rejected: self.disk_rejected.load(Ordering::Relaxed),
         }
     }
 
-    fn artifact_path(&self, dir: &Path, name: &str) -> PathBuf {
-        dir.join(format!("{:016x}.{name}.bin", self.fingerprint))
+    /// Per-cache, per-tier statistics: one row per (artifact kind, tier).
+    pub fn tier_stats(&self) -> Vec<(ArtifactKind, TierKind, TierStats)> {
+        let mut out = Vec::new();
+        for (t, s) in self.logme.tier_stats() {
+            out.push((ArtifactKind::LogMe, t, s));
+        }
+        for (t, s) in self.ds_embed.tier_stats() {
+            out.push((ArtifactKind::DsEmbed, t, s));
+        }
+        for (t, s) in self.t2v_embed.tier_stats() {
+            out.push((ArtifactKind::T2vEmbed, t, s));
+        }
+        for (t, s) in self.similarity.tier_stats() {
+            out.push((ArtifactKind::Similarity, t, s));
+        }
+        out
     }
 
-    fn load_cache<K, V>(&self, cache: &TieredCache<K, V>, dir: &Path) -> usize
+    fn artifact_path(&self, dir: &Path, kind: ArtifactKind) -> PathBuf {
+        dir.join(format!(
+            "{:016x}.{}.bin",
+            self.fingerprint,
+            kind.file_stem()
+        ))
+    }
+
+    fn warm_cache<K, V>(&self, cache: &TieredCache<K, V>, dir: &Path) -> usize
     where
-        K: DiskCodec + Eq + Hash + Clone,
-        V: DiskCodec + Clone,
+        K: DiskCodec + Eq + Hash + Clone + Send + Sync + 'static,
+        V: DiskCodec + Clone + Send + Sync + 'static,
     {
-        let path = self.artifact_path(dir, cache.name);
-        let Ok(buf) = std::fs::read(&path) else {
-            return 0;
+        let path = self.artifact_path(dir, cache.kind());
+        let backing = match Backing::open(&path, self.options.mmap) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return 0, // cold, not corrupt
+            Err(_) => {
+                self.disk_rejected.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            }
         };
-        let Some(map) = decode_artifact::<K, V>(&buf, self.fingerprint) else {
-            return 0;
-        };
-        self.bytes_read
-            .fetch_add(buf.len() as u64, Ordering::Relaxed);
-        let n = map.len();
-        let _rank = rank_guard(Rank::StoreShard);
-        *unpoisoned(cache.disk.write()) = map;
-        n
+        let bytes = backing.bytes();
+        if bytes.len() >= 8 && bytes[..8] == MAGIC_V2 {
+            let Some(view) = ArtifactView::parse(backing, cache.kind().tag(), self.fingerprint)
+            else {
+                self.disk_rejected.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            };
+            // Only the header + index were parsed; payload records fault
+            // in (or seek in) on first lookup.
+            self.bytes_read
+                .fetch_add(view.warm_bytes() as u64, Ordering::Relaxed);
+            let n = view.count();
+            cache.set_warm(Arc::new(MappedTier::new(view)));
+            n
+        } else {
+            // Legacy TGARTv1 (or junk): decode wholesale. The next
+            // persist rewrites the file as v2.
+            let Some(map) = decode_v1::<K, V>(bytes, self.fingerprint) else {
+                self.disk_rejected.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            };
+            self.bytes_read
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            let source_bytes = bytes.len() as u64;
+            let n = map.len();
+            cache.set_warm(Arc::new(DecodedTier::new(map, source_bytes)));
+            n
+        }
     }
 
     fn persist_cache<K, V>(
@@ -591,40 +664,44 @@ impl ArtifactStore {
         stats: &mut PersistStats,
     ) -> io::Result<()>
     where
-        K: DiskCodec + Eq + Hash + Clone,
-        V: DiskCodec + Clone,
+        K: DiskCodec + Eq + Hash + Clone + Send + Sync + 'static,
+        V: DiskCodec + Clone + Send + Sync + 'static,
     {
         // Merge-on-persist: start from whatever the file currently holds
-        // (a concurrent writer of the same zoo may have added entries we
-        // never loaded), then overlay our disk snapshot and memory tier.
-        // Values are pure, so overlapping entries agree bit-for-bit.
-        let path = self.artifact_path(dir, cache.name);
+        // (a concurrent process of the same zoo may have added entries we
+        // never loaded), then overlay our warm tier and memory tier.
+        // Values are pure, so overlapping entries agree bit-for-bit. The
+        // caller holds the per-fingerprint file lock across this whole
+        // read-union-write sequence.
+        let path = self.artifact_path(dir, cache.kind());
         let mut union: HashMap<K, V> = std::fs::read(&path)
             .ok()
-            .and_then(|buf| decode_artifact::<K, V>(&buf, self.fingerprint))
+            .and_then(|buf| decode_any::<K, V>(buf, cache.kind(), self.fingerprint))
             .unwrap_or_default();
-        {
-            let _rank = rank_guard(Rank::StoreShard);
-            for (k, v) in unpoisoned(cache.disk.read()).iter() {
-                union.insert(k.clone(), v.clone());
-            }
+        if let Some(tier) = cache.warm_tier() {
+            tier.for_each(&mut |k, v| {
+                union.insert(k, v);
+            });
         }
-        cache.mem.for_each(|k, v| {
-            union.insert(k.clone(), v.clone());
+        cache.mem_for_each(|k, v| {
+            union.insert(k, v);
         });
 
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&MAGIC);
-        self.fingerprint.encode(&mut buf);
-        (union.len() as u64).encode(&mut buf);
-        for (k, v) in &union {
-            k.encode(&mut buf);
-            v.encode(&mut buf);
-        }
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = union
+            .iter()
+            .map(|(k, v)| {
+                let mut kb = Vec::new();
+                k.encode(&mut kb);
+                let mut vb = Vec::new();
+                v.encode(&mut vb);
+                (kb, vb)
+            })
+            .collect();
+        let buf = encode_v2(cache.kind().tag(), self.fingerprint, entries);
 
         let tmp = dir.join(format!(
             ".{}.{:016x}.{}.tmp",
-            cache.name,
+            cache.kind().file_stem(),
             self.fingerprint,
             std::process::id()
         ));
@@ -638,26 +715,47 @@ impl ArtifactStore {
     }
 }
 
-/// Reads the artifact directory from the environment; `None` when unset or
-/// empty.
-pub fn dir_from_env() -> Option<PathBuf> {
-    let v = std::env::var_os(ARTIFACT_DIR_ENV)?;
-    if v.is_empty() {
-        return None;
+// ---------------------------------------------------------------------------
+// Decoding (v1 + v2)
+// ---------------------------------------------------------------------------
+
+/// Decodes a whole artifact buffer of either version into a map.
+/// Returns `None` on any structural problem.
+fn decode_any<K, V>(buf: Vec<u8>, kind: ArtifactKind, fingerprint: u64) -> Option<HashMap<K, V>>
+where
+    K: DiskCodec + Eq + Hash,
+    V: DiskCodec,
+{
+    if buf.len() >= 8 && buf[..8] == MAGIC_V2 {
+        let view = ArtifactView::parse(Backing::Owned(buf), kind.tag(), fingerprint)?;
+        let mut map = HashMap::with_capacity(view.count());
+        for i in 0..view.count() {
+            let record = view.record(i);
+            let mut pos = 0;
+            let k = K::decode(record, &mut pos)?;
+            let v = V::decode(record, &mut pos)?;
+            if pos != record.len() {
+                return None;
+            }
+            map.insert(k, v);
+        }
+        Some(map)
+    } else {
+        decode_v1(&buf, fingerprint)
     }
-    Some(PathBuf::from(v))
 }
 
-/// Decodes one artifact file: magic, fingerprint, entry count, entries.
-/// Returns `None` (file ignored) on any structural problem: wrong magic,
-/// foreign fingerprint, truncation, invalid tags, or trailing bytes.
-fn decode_artifact<K, V>(buf: &[u8], fingerprint: u64) -> Option<HashMap<K, V>>
+/// Decodes one legacy `TGARTv1` file: magic, fingerprint, entry count,
+/// entries. Returns `None` (file ignored) on any structural problem:
+/// wrong magic, foreign fingerprint, truncation, invalid tags, or
+/// trailing bytes.
+fn decode_v1<K, V>(buf: &[u8], fingerprint: u64) -> Option<HashMap<K, V>>
 where
     K: DiskCodec + Eq + Hash,
     V: DiskCodec,
 {
     let mut pos = 0;
-    if take::<8>(buf, &mut pos)? != MAGIC {
+    if take::<8>(buf, &mut pos)? != MAGIC_V1 {
         return None;
     }
     if u64::decode(buf, &mut pos)? != fingerprint {
@@ -681,6 +779,59 @@ where
     Some(map)
 }
 
+/// Rewrites every artifact file of `fingerprint` under `dir` in the
+/// legacy `TGARTv1` layout, returning the number of files rewritten.
+///
+/// Exists for migration testing and the `artifact` bench (which times a
+/// v1 full-decode warm start against the v2 mapped one); production code
+/// never writes v1. Files that are missing are skipped; files that parse
+/// in neither format are left untouched.
+pub fn rewrite_as_v1(dir: &Path, fingerprint: u64) -> io::Result<usize> {
+    fn one<K, V>(dir: &Path, fingerprint: u64, kind: ArtifactKind) -> io::Result<usize>
+    where
+        K: DiskCodec + Eq + Hash,
+        V: DiskCodec,
+    {
+        let path = dir.join(format!("{:016x}.{}.bin", fingerprint, kind.file_stem()));
+        let buf = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let Some(map) = decode_any::<K, V>(buf, kind, fingerprint) else {
+            return Ok(0);
+        };
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC_V1);
+        fingerprint.encode(&mut out);
+        (map.len() as u64).encode(&mut out);
+        for (k, v) in &map {
+            k.encode(&mut out);
+            v.encode(&mut out);
+        }
+        let tmp = dir.join(format!(
+            ".{}.{:016x}.{}.v1.tmp",
+            kind.file_stem(),
+            fingerprint,
+            std::process::id()
+        ));
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(1)
+    }
+
+    Ok(
+        one::<(ModelId, DatasetId), f64>(dir, fingerprint, ArtifactKind::LogMe)?
+            + one::<DatasetId, Arc<[f64]>>(dir, fingerprint, ArtifactKind::DsEmbed)?
+            + one::<DatasetId, Arc<[f64]>>(dir, fingerprint, ArtifactKind::T2vEmbed)?
+            + one::<(Representation, DatasetId, DatasetId), f64>(
+                dir,
+                fingerprint,
+                ArtifactKind::Similarity,
+            )?,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +840,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("tg-store-test-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn open_in(fingerprint: u64, dir: &Path) -> ArtifactStore {
+        ArtifactStore::open(fingerprint, StoreOptions::in_dir(dir))
     }
 
     #[test]
@@ -738,7 +893,7 @@ mod tests {
     #[test]
     fn persist_and_warm_round_trip_through_disk_tier() {
         let dir = temp_store_dir("roundtrip");
-        let store = ArtifactStore::with_dir(0xABCD, &dir);
+        let store = open_in(0xABCD, &dir);
         let key = (ModelId(1), DatasetId(2));
         let v = store
             .logme
@@ -749,7 +904,7 @@ mod tests {
         assert!(store.disk_stats().bytes_written > 0);
 
         // A fresh store over the same dir + fingerprint serves from disk.
-        let warm = ArtifactStore::with_dir(0xABCD, &dir);
+        let warm = open_in(0xABCD, &dir);
         assert!(warm.disk_stats().bytes_read > 0);
         let v2 = warm
             .logme
@@ -757,27 +912,155 @@ mod tests {
         assert_eq!(v2.to_bits(), 0.75f64.to_bits());
         let stats = warm.disk_stats();
         assert_eq!((stats.hits, stats.misses), (1, 0));
+        assert_eq!(stats.rejected, 0, "healthy files reject nothing");
         let (hits, misses) = warm.logme.counters();
         assert_eq!((hits, misses), (1, 0), "disk hit counts as cache hit");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
+    fn persisted_files_are_v2_and_mapped_at_warm_start() {
+        let dir = temp_store_dir("v2format");
+        let store = open_in(0x2222, &dir);
+        for i in 0..8 {
+            store
+                .logme
+                .get_or_insert_with((ModelId(i), DatasetId(0)), true, || i as f64 * 0.5);
+        }
+        store.persist().unwrap();
+        let path = store.artifact_path(&dir, ArtifactKind::LogMe);
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(&head[..8], b"TGARTv2\0", "persist writes the v2 magic");
+
+        let warm = open_in(0x2222, &dir);
+        let mapped = warm
+            .tier_stats()
+            .into_iter()
+            .any(|(k, t, s)| k == ArtifactKind::LogMe && t != TierKind::Memory && s.entries == 8);
+        assert!(mapped, "warm start must install a disk tier with 8 entries");
+        for i in 0..8 {
+            let v = warm
+                .logme
+                .get_or_insert_with((ModelId(i), DatasetId(0)), true, || {
+                    panic!("must serve from the v2 file")
+                });
+            assert_eq!(v.to_bits(), (i as f64 * 0.5).to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_files_warm_and_migrate_to_v2_on_persist() {
+        let dir = temp_store_dir("v1migrate");
+        let store = open_in(0x1111, &dir);
+        store
+            .logme
+            .get_or_insert_with((ModelId(3), DatasetId(4)), true, || 2.5);
+        store.persist().unwrap();
+        assert_eq!(
+            rewrite_as_v1(&dir, 0x1111).unwrap(),
+            4,
+            "all four files rewritten"
+        );
+        let path = store.artifact_path(&dir, ArtifactKind::LogMe);
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], b"TGARTv1\0");
+
+        // A v1 file warms (wholesale decode)…
+        let legacy = open_in(0x1111, &dir);
+        assert_eq!(legacy.disk_stats().rejected, 0);
+        let v = legacy
+            .logme
+            .get_or_insert_with((ModelId(3), DatasetId(4)), true, || panic!("must be warm"));
+        assert_eq!(v.to_bits(), 2.5f64.to_bits());
+        let decoded = legacy
+            .tier_stats()
+            .into_iter()
+            .any(|(k, t, _)| k == ArtifactKind::LogMe && t == TierKind::DecodedDisk);
+        assert!(decoded, "v1 backing must be the decoded tier");
+
+        // …and the next persist rewrites it as v2 without losing entries.
+        legacy.persist().unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], b"TGARTv2\0");
+        let migrated = open_in(0x1111, &dir);
+        let v = migrated
+            .logme
+            .get_or_insert_with((ModelId(3), DatasetId(4)), true, || {
+                panic!("lost in migration")
+            });
+        assert_eq!(v.to_bits(), 2.5f64.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_disabled_still_serves_v2_files() {
+        let dir = temp_store_dir("nommap");
+        let store = open_in(0x3333, &dir);
+        store
+            .logme
+            .get_or_insert_with((ModelId(0), DatasetId(9)), true, || 1.25);
+        store.persist().unwrap();
+
+        let warm = ArtifactStore::open(0x3333, StoreOptions::in_dir(&dir).mmap(false));
+        let v = warm
+            .logme
+            .get_or_insert_with((ModelId(0), DatasetId(9)), true, || panic!("must be warm"));
+        assert_eq!(v.to_bits(), 1.25f64.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_only_store_serves_but_never_persists() {
+        let dir = temp_store_dir("readonly");
+        let owner = open_in(0x4444, &dir);
+        owner
+            .logme
+            .get_or_insert_with((ModelId(1), DatasetId(1)), true, || 0.5);
+        owner.persist().unwrap();
+
+        let follower = ArtifactStore::open(0x4444, StoreOptions::in_dir(&dir).read_only(true));
+        assert!(follower.read_only());
+        let v = follower
+            .logme
+            .get_or_insert_with((ModelId(1), DatasetId(1)), true, || panic!("must be warm"));
+        assert_eq!(v.to_bits(), 0.5f64.to_bits());
+        // New entries stay local: persist is a no-op…
+        follower
+            .logme
+            .get_or_insert_with((ModelId(2), DatasetId(2)), true, || 0.75);
+        assert_eq!(follower.persist().unwrap(), PersistStats::default());
+        assert_eq!(follower.disk_stats().bytes_written, 0);
+        // …so a fresh store sees only the owner's entry.
+        let fresh = open_in(0x4444, &dir);
+        assert_eq!(fresh.warm(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn fingerprint_mismatch_falls_back_to_recompute() {
         let dir = temp_store_dir("fpmismatch");
-        let store = ArtifactStore::with_dir(1, &dir);
+        let store = open_in(1, &dir);
         store
             .logme
             .get_or_insert_with((ModelId(0), DatasetId(0)), true, || 0.5);
         store.persist().unwrap();
 
         // Same dir, different fingerprint: nothing loads by name…
-        let other = ArtifactStore::with_dir(2, &dir);
-        assert_eq!(other.warm_from_disk(), 0);
-        // …and even a renamed file is rejected by the in-file fingerprint.
-        let stolen = other.artifact_path(&dir, "logme");
-        std::fs::copy(store.artifact_path(&dir, "logme"), &stolen).unwrap();
-        assert_eq!(other.warm_from_disk(), 0);
+        let other = open_in(2, &dir);
+        assert_eq!(other.warm(), 0);
+        assert_eq!(
+            other.disk_stats().rejected,
+            0,
+            "missing files are cold, not corrupt"
+        );
+        // …and even a renamed file is rejected by the in-file fingerprint,
+        // which *does* count as a rejection.
+        let stolen = other.artifact_path(&dir, ArtifactKind::LogMe);
+        std::fs::copy(store.artifact_path(&dir, ArtifactKind::LogMe), &stolen).unwrap();
+        assert_eq!(other.warm(), 0);
+        assert!(
+            other.disk_stats().rejected > 0,
+            "foreign file must be counted"
+        );
         let mut computed = false;
         other
             .logme
@@ -790,38 +1073,43 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_and_truncated_files_are_ignored() {
+    fn corrupted_and_truncated_files_are_rejected_and_counted() {
         let dir = temp_store_dir("corrupt");
-        let store = ArtifactStore::with_dir(7, &dir);
+        let store = open_in(7, &dir);
         for i in 0..4 {
             store
                 .logme
                 .get_or_insert_with((ModelId(i), DatasetId(0)), true, || i as f64);
         }
         store.persist().unwrap();
-        let path = store.artifact_path(&dir, "logme");
+        let path = store.artifact_path(&dir, ArtifactKind::LogMe);
         let full = std::fs::read(&path).unwrap();
 
-        // Truncate mid-entry.
+        // Truncate mid-payload.
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
-        assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 0);
+        let s = open_in(7, &dir);
+        assert_eq!((s.warm(), s.disk_stats().rejected >= 1), (0, true));
 
         // Garbage magic.
         let mut garbage = full.clone();
         garbage[0] ^= 0xFF;
         std::fs::write(&path, &garbage).unwrap();
-        assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 0);
+        let s = open_in(7, &dir);
+        assert_eq!((s.warm(), s.disk_stats().rejected >= 1), (0, true));
 
         // Trailing junk after a valid payload.
         let mut trailing = full.clone();
-        trailing.extend_from_slice(b"junk");
+        trailing.extend_from_slice(b"junkjunk");
         std::fs::write(&path, &trailing).unwrap();
-        assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 0);
+        let s = open_in(7, &dir);
+        assert_eq!((s.warm(), s.disk_stats().rejected >= 1), (0, true));
 
-        // Restoring the intact bytes loads again — and recomputation works
-        // in the meantime (no panic anywhere above).
+        // A file renamed across kinds is refused by the kind tag.
         std::fs::write(&path, &full).unwrap();
-        assert_eq!(ArtifactStore::with_dir(7, &dir).warm_from_disk(), 4);
+        std::fs::copy(&path, store.artifact_path(&dir, ArtifactKind::Similarity)).unwrap();
+        let s = open_in(7, &dir);
+        assert_eq!(s.warm(), 4, "legitimate file still loads");
+        assert!(s.disk_stats().rejected >= 1, "kind-mismatched copy counted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -829,8 +1117,8 @@ mod tests {
     fn persist_merges_concurrent_writers_instead_of_last_writer_wins() {
         let dir = temp_store_dir("merge");
         // Two stores over the same zoo, each computing a disjoint slice.
-        let a = ArtifactStore::with_dir(0x77, &dir);
-        let b = ArtifactStore::with_dir(0x77, &dir);
+        let a = open_in(0x77, &dir);
+        let b = open_in(0x77, &dir);
         a.logme
             .get_or_insert_with((ModelId(1), DatasetId(1)), true, || 0.25);
         b.logme
@@ -840,8 +1128,8 @@ mod tests {
         a.persist().unwrap();
         b.persist().unwrap();
 
-        let merged = ArtifactStore::with_dir(0x77, &dir);
-        assert_eq!(merged.warm_from_disk(), 2, "both writers' entries kept");
+        let merged = open_in(0x77, &dir);
+        assert_eq!(merged.warm(), 2, "both writers' entries kept");
         for (key, expect) in [
             ((ModelId(1), DatasetId(1)), 0.25),
             ((ModelId(2), DatasetId(2)), 0.5),
@@ -859,7 +1147,7 @@ mod tests {
         let dir = temp_store_dir("racing");
         let stores: Vec<ArtifactStore> = (0..4)
             .map(|i| {
-                let s = ArtifactStore::with_dir(0x99, &dir);
+                let s = open_in(0x99, &dir);
                 s.logme
                     .get_or_insert_with((ModelId(i), DatasetId(0)), true, || i as f64);
                 s
@@ -870,8 +1158,8 @@ mod tests {
                 scope.spawn(move || s.persist().unwrap());
             }
         });
-        let merged = ArtifactStore::with_dir(0x99, &dir);
-        assert_eq!(merged.warm_from_disk(), 4, "no writer's entry was lost");
+        let merged = open_in(0x99, &dir);
+        assert_eq!(merged.warm(), 4, "no writer's entry was lost");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -898,6 +1186,20 @@ mod tests {
             .get_or_insert_with((ModelId(0), DatasetId(0)), store.disk_enabled(), || 1.0);
         assert_eq!(store.disk_stats(), DiskStats::default());
         assert_eq!(store.persist().unwrap(), PersistStats::default());
-        assert_eq!(store.warm_from_disk(), 0);
+        assert_eq!(store.warm(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let dir = temp_store_dir("shims");
+        let store = ArtifactStore::with_dir(0xAA, &dir);
+        store
+            .logme
+            .get_or_insert_with((ModelId(0), DatasetId(0)), true, || 3.0);
+        store.persist().unwrap();
+        let warm = ArtifactStore::with_dir(0xAA, &dir);
+        assert_eq!(warm.warm_from_disk(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,7 +17,7 @@
 
 #[allow(unused_imports)] // re-exported for call sites that only bind it
 pub(crate) use tg_sync::RankGuard;
-pub(crate) use tg_sync::{rank_guard, unpoisoned, Rank};
+pub(crate) use tg_sync::{rank_guard, unpoisoned, LockFile, Rank};
 
 #[cfg(test)]
 mod tests {

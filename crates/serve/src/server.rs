@@ -327,7 +327,7 @@ impl Shared {
         )
     }
 
-    /// `GET /stats` — server, coalescing and registry telemetry.
+    /// `GET /stats` — server, coalescing, registry and shard telemetry.
     fn stats_response(&self) -> Response {
         let stats = self.snapshot();
         let coalesce = self.coalescer.stats();
@@ -509,6 +509,14 @@ pub fn stats_body(
                 .u64("route_misses", registry.route_misses)
                 .u64("builds", registry.builds)
                 .u64("evictions", registry.evictions),
+        )
+        .object(
+            "shard",
+            JsonObject::new()
+                .u64("slots", registry.shard_slots)
+                .u64("self_slot", registry.shard_self)
+                .u64("resident_owned", registry.resident_owned)
+                .u64("resident_foreign", registry.resident_foreign),
         )
 }
 
@@ -741,7 +749,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_body_nests_all_three_sections() {
+    fn stats_body_nests_all_four_sections() {
         let body = stats_body(
             &ServerStats {
                 accepted: 3,
@@ -750,11 +758,17 @@ mod tests {
                 ..ServerStats::default()
             },
             &CoalesceStats::default(),
-            &RegistryStats::default(),
+            &RegistryStats {
+                shard_slots: 4,
+                shard_self: 2,
+                resident_owned: 5,
+                resident_foreign: 3,
+                ..RegistryStats::default()
+            },
         )
         .render();
         let parsed = JsonValue::parse(&body).unwrap();
-        for section in ["server", "coalesce", "registry"] {
+        for section in ["server", "coalesce", "registry", "shard"] {
             assert!(parsed.get(section).is_some(), "missing section {section}");
         }
         assert_eq!(
@@ -764,5 +778,15 @@ mod tests {
                 .and_then(JsonValue::as_u64),
             Some(1)
         );
+        let shard = |field: &str| {
+            parsed
+                .get("shard")
+                .and_then(|s| s.get(field))
+                .and_then(JsonValue::as_u64)
+        };
+        assert_eq!(shard("slots"), Some(4));
+        assert_eq!(shard("self_slot"), Some(2));
+        assert_eq!(shard("resident_owned"), Some(5));
+        assert_eq!(shard("resident_foreign"), Some(3));
     }
 }

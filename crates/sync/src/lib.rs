@@ -12,15 +12,20 @@
 //! | 1    | `build_slot` | per-fingerprint `BuildSlot::cell`              |
 //! | 2    | `inductive`  | `ZooHandle::inductive` embedder cache          |
 //! | 3    | `coalesce`   | `Coalescer::passes` map + per-key pass cells   |
-//! | 4    | `store_shard`| persist lock, `TieredCache::disk`              |
-//! | 5    | `cache_shard`| `ShardedCache` shard `RwLock`s                 |
-//! | 6    | `jacobi_col` | per-column rotation locks of parallel Jacobi   |
-//! | 7    | `conn_queue` | `tg-serve`'s bounded connection queue          |
+//! | 4    | `file_lock`  | per-fingerprint advisory file lock ([`LockFile`]) |
+//! | 5    | `store_shard`| `TieredCache`'s warm-tier slot                 |
+//! | 6    | `cache_shard`| `ShardedCache` shard `RwLock`s                 |
+//! | 7    | `jacobi_col` | per-column rotation locks of parallel Jacobi   |
+//! | 8    | `conn_queue` | `tg-serve`'s bounded connection queue          |
 //!
 //! A thread may only acquire locks in non-decreasing rank order (equal
-//! ranks may nest: the persist lock wraps disk-tier reads, a Jacobi
-//! rotation holds two same-rank column locks). Any thread obeying the
-//! order can never participate in a deadlock cycle across these locks.
+//! ranks may nest: the persist path reads the warm tier and the memory
+//! shards while holding the file lock, a Jacobi rotation holds two
+//! same-rank column locks). Any thread obeying the order can never
+//! participate in a deadlock cycle across these locks. The `file_lock`
+//! rank is special in one way: it is backed by an OS advisory lock, so
+//! it also serialises against *other processes* — but the rank rules it
+//! obeys inside a process are exactly those of any other class.
 //!
 //! Two layers enforce the order: statically, `tg-check`'s TG04 lint
 //! (intra-function) plus its cross-function call-graph pass; and
@@ -78,28 +83,35 @@ pub enum Rank {
     /// while holding its cell, reaching the store ranks below, so the
     /// rank sits above them.
     Coalesce = 3,
-    /// Store-level locks: the process-wide per-fingerprint persist lock
-    /// and a `TieredCache`'s disk-tier `RwLock`.
-    StoreShard = 4,
+    /// The per-fingerprint advisory *file* lock ([`LockFile`]) guarding
+    /// the persist path's read-union-write sequence. Backed by the OS,
+    /// so it also serialises persists across processes; within a
+    /// process it ranks below the store locks because persist reads the
+    /// warm tier and the memory shards while holding it.
+    FileLock = 4,
+    /// The warm-tier slot of a `TieredCache` (an `RwLock` around the
+    /// decoded- or mapped-disk tier swapped in at warm start).
+    StoreShard = 5,
     /// One shard of a `ShardedCache`.
-    CacheShard = 5,
+    CacheShard = 6,
     /// Per-column rotation locks of the parallel one-sided Jacobi
     /// sweeps (`tg-linalg`). A rotation holds two of these at once —
     /// equal-rank nesting — and acquires nothing else: a leaf rank.
-    JacobiCol = 6,
+    JacobiCol = 7,
     /// `tg-serve`'s bounded connection queue. Push/pop/shed are
     /// self-contained critical sections that acquire nothing else: the
     /// final leaf rank.
-    ConnQueue = 7,
+    ConnQueue = 8,
 }
 
 impl Rank {
     /// Every rank, in declared acquisition order.
-    pub const ALL: [Rank; 8] = [
+    pub const ALL: [Rank; 9] = [
         Rank::Registry,
         Rank::BuildSlot,
         Rank::Inductive,
         Rank::Coalesce,
+        Rank::FileLock,
         Rank::StoreShard,
         Rank::CacheShard,
         Rank::JacobiCol,
@@ -114,6 +126,7 @@ impl Rank {
             Rank::BuildSlot => "build_slot",
             Rank::Inductive => "inductive",
             Rank::Coalesce => "coalesce",
+            Rank::FileLock => "file_lock",
             Rank::StoreShard => "store_shard",
             Rank::CacheShard => "cache_shard",
             Rank::JacobiCol => "jacobi_col",
@@ -166,8 +179,8 @@ mod tracker {
                     rank >= max,
                     "lock-order violation: acquiring {:?} (rank {}) while holding \
                      {:?} (rank {}); declared order is registry -> build_slot -> \
-                     inductive -> coalesce -> store_shard -> cache_shard -> \
-                     jacobi_col -> conn_queue",
+                     inductive -> coalesce -> file_lock -> store_shard -> \
+                     cache_shard -> jacobi_col -> conn_queue",
                     rank,
                     rank as u8,
                     max,
@@ -247,6 +260,68 @@ mod tracker {
 
 pub use tracker::{rank_guard, RankGuard};
 
+/// A cross-process advisory file lock, rank [`Rank::FileLock`].
+///
+/// Thin RAII over std's [`std::fs::File::lock`] (flock semantics on
+/// unix: the lock belongs to the open file description, so two threads
+/// that each `LockFile::open` the same path serialise exactly like two
+/// processes would). The artifact store takes one of these per zoo
+/// fingerprint around its persist sequence — lock, re-read the current
+/// file, union, write temp, rename — which is what makes
+/// merge-on-persist safe when several server processes share one
+/// `TG_ARTIFACT_DIR`.
+///
+/// The lock file itself carries no data; only its advisory lock
+/// matters. Crashed holders are harmless: the OS drops the lock with
+/// the file descriptor.
+pub struct LockFile {
+    file: std::fs::File,
+}
+
+impl LockFile {
+    /// Opens (creating if absent) the lock file at `path`. Opening does
+    /// not lock; call [`LockFile::lock`] for that.
+    pub fn open(path: &std::path::Path) -> std::io::Result<LockFile> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(LockFile { file })
+    }
+
+    /// Takes the exclusive advisory lock, blocking until granted, and
+    /// registers rank [`Rank::FileLock`] with the runtime tracker for
+    /// the guard's lifetime. The rank is asserted *before* blocking on
+    /// the OS lock, matching every other call site's
+    /// rank-then-acquire shape.
+    pub fn lock(&self) -> std::io::Result<LockGuard<'_>> {
+        let rank = rank_guard(Rank::FileLock);
+        self.file.lock()?;
+        Ok(LockGuard {
+            file: &self.file,
+            _rank: rank,
+        })
+    }
+}
+
+/// RAII guard for a held [`LockFile`]; unlocks on drop.
+pub struct LockGuard<'a> {
+    file: &'a std::fs::File,
+    _rank: RankGuard,
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        // An unlock failure leaves the lock to be released when the
+        // descriptor closes; Drop cannot report it and nothing useful
+        // could be done with it.
+        // tg-check: allow(tg09, reason = "unlock failure falls back to release-on-close; Drop cannot propagate")
+        let _ = self.file.unlock();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,7 +370,7 @@ mod tests {
     fn out_of_order_drops_release_correctly() {
         let a = rank_guard(Rank::StoreShard);
         let b = rank_guard(Rank::CacheShard);
-        drop(a); // dropped before `b`: still holding rank 5 only
+        drop(a); // dropped before `b`: still holding rank 6 only
         let c = rank_guard(Rank::CacheShard);
         drop(b);
         drop(c); // everything released, in neither acquisition order
@@ -351,6 +426,75 @@ mod tests {
         // makes the re-assertion of Coalesce an inversion.
         let mut kept = Vec::new();
         coalesce.suspended(|| kept.push(rank_guard(Rank::CacheShard)));
+    }
+
+    fn lock_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tg-sync-flock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create lock dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn lock_file_excludes_a_second_holder_until_dropped() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let path = lock_path("exclusive.lock");
+        let a = LockFile::open(&path).expect("open a");
+        let b = LockFile::open(&path).expect("open b");
+        let released = Arc::new(AtomicBool::new(false));
+        let guard = a.lock().expect("lock a");
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let released2 = Arc::clone(&released);
+        let contender = std::thread::spawn(move || {
+            tx.send(()).expect("signal started");
+            let _guard = b.lock().expect("lock b");
+            // One-sided check: a correctly blocking lock can only be
+            // granted after the holder set the flag and dropped; a
+            // non-blocking bug acquires early and sees `false`.
+            released2.load(Ordering::Relaxed)
+        });
+        rx.recv().expect("contender started");
+        // Give the contender scheduling opportunities to reach the
+        // blocked acquisition before the release.
+        for _ in 0..200 {
+            std::thread::yield_now();
+        }
+        released.store(true, Ordering::Relaxed);
+        drop(guard);
+        assert!(
+            contender.join().expect("contender thread"),
+            "second holder must block until the first guard drops"
+        );
+    }
+
+    #[test]
+    fn lock_file_reacquires_after_guard_drop() {
+        let path = lock_path("reacquire.lock");
+        let lockfile = LockFile::open(&path).expect("open");
+        drop(lockfile.lock().expect("first"));
+        drop(lockfile.lock().expect("second"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn file_lock_under_a_store_rank_trips_the_tracker() {
+        let path = lock_path("inversion.lock");
+        let lockfile = LockFile::open(&path).expect("open");
+        let _store = rank_guard(Rank::StoreShard);
+        let _guard = lockfile.lock();
+    }
+
+    #[test]
+    fn file_lock_then_store_ranks_is_the_declared_order() {
+        let path = lock_path("persist-shape.lock");
+        let lockfile = LockFile::open(&path).expect("open");
+        let _guard = lockfile.lock().expect("lock");
+        // The persist path's shape: warm-tier read, then memory shards.
+        let _warm = rank_guard(Rank::StoreShard);
+        let _shard = rank_guard(Rank::CacheShard);
     }
 
     /// The numeric table here and the `[lock_order] order` list in

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the full TransferGraph pipeline on a
 //! small zoo, exercising every subsystem together.
 
-use transfergraph_repro::core::{evaluate, EvalOptions, FeatureSet, Strategy, Workbench};
+use transfergraph_repro::core::{
+    evaluate, EvalOptions, FeatureSet, StoreOptions, Strategy, Workbench,
+};
 use transfergraph_repro::embed::LearnerKind;
 use transfergraph_repro::predict::RegressorKind;
 use transfergraph_repro::zoo::{FineTuneMethod, Modality, ModelZoo, ZooConfig};
@@ -235,7 +237,7 @@ fn warm_from_disk_reproduces_cold_predictions_bit_identically() {
     ];
 
     let cold: Vec<Vec<f64>> = {
-        let wb = Workbench::with_artifact_dir(&zoo, &dir);
+        let wb = Workbench::open(&zoo, StoreOptions::in_dir(&dir));
         let preds = strategies
             .iter()
             .map(|s| evaluate(&wb, s, target, &fast_opts()).predictions)
@@ -247,7 +249,7 @@ fn warm_from_disk_reproduces_cold_predictions_bit_identically() {
 
     // A second workbench over the same directory serves every feature from
     // the disk tier: zero recomputation, identical bits out.
-    let wb = Workbench::with_artifact_dir(&zoo, &dir);
+    let wb = Workbench::open(&zoo, StoreOptions::in_dir(&dir));
     let before = wb.stats();
     let warm: Vec<Vec<f64>> = strategies
         .iter()
@@ -266,7 +268,7 @@ fn disk_artifacts_from_another_zoo_are_not_used() {
     let dir = temp_artifact_dir("fingerprint");
     {
         let zoo = small_zoo();
-        let wb = Workbench::with_artifact_dir(&zoo, &dir);
+        let wb = Workbench::open(&zoo, StoreOptions::in_dir(&dir));
         let target = zoo.targets_of(Modality::Image)[0];
         evaluate(&wb, &Strategy::LogMe, target, &fast_opts());
         wb.persist().expect("persist artifacts");
@@ -274,8 +276,8 @@ fn disk_artifacts_from_another_zoo_are_not_used() {
     // Same directory, different zoo config: the fingerprint must gate the
     // foreign artifacts out and everything recomputes.
     let other = ModelZoo::build(&ZooConfig::small(7));
-    let wb = Workbench::with_artifact_dir(&other, &dir);
-    assert_eq!(wb.warm_from_disk(), 0, "foreign fingerprints must not load");
+    let wb = Workbench::open(&other, StoreOptions::in_dir(&dir));
+    assert_eq!(wb.warm(), 0, "foreign fingerprints must not load");
     let target = other.targets_of(Modality::Image)[0];
     let out = evaluate(&wb, &Strategy::LogMe, target, &fast_opts());
     assert!(out.predictions.iter().all(|p| p.is_finite()));
@@ -291,7 +293,7 @@ fn corrupted_artifact_files_never_panic_and_fall_back_to_recompute() {
     let dir = temp_artifact_dir("corrupt");
     let target = zoo.targets_of(Modality::Text)[0];
     let clean = {
-        let wb = Workbench::with_artifact_dir(&zoo, &dir);
+        let wb = Workbench::open(&zoo, StoreOptions::in_dir(&dir));
         let out = evaluate(&wb, &Strategy::lr_all_logme(), target, &fast_opts());
         wb.persist().expect("persist artifacts");
         out.predictions
@@ -308,7 +310,7 @@ fn corrupted_artifact_files_never_panic_and_fall_back_to_recompute() {
     std::fs::write(&files[0], &bytes[..bytes.len() / 2]).unwrap();
     std::fs::write(&files[1], b"definitely not an artifact").unwrap();
 
-    let wb = Workbench::with_artifact_dir(&zoo, &dir);
+    let wb = Workbench::open(&zoo, StoreOptions::in_dir(&dir));
     let out = evaluate(&wb, &Strategy::lr_all_logme(), target, &fast_opts());
     assert_eq!(out.predictions, clean, "recompute must be bit-identical");
     let _ = std::fs::remove_dir_all(&dir);
@@ -321,7 +323,7 @@ fn registry_eviction_with_disk_tier_reroutes_bit_identically_and_warm() {
     let registry = ZooRegistry::new(RegistryOptions {
         artifact_dir: Some(dir.clone()),
         max_zoos: Some(1),
-        max_bytes: None,
+        ..RegistryOptions::default()
     });
     let config = ZooConfig::small(2024);
     let strategy = Strategy::transfer_graph_default();
